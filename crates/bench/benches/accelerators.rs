@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks of the hardware accelerator models and the
+//! substrate data structures — throughput of the structures a simulation
+//! spends its time in.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use igm_core::{
+    AccelConfig, DispatchPipeline, IdempotentFilter, IfGeometry, InheritanceTracker, ItConfig,
+    MetadataTlb,
+};
+use igm_isa::{Reg, TraceEntry};
+use igm_lba::{Event, IfEventConfig};
+use igm_lifeguards::{CostSink, Lifeguard, LifeguardKind, TaintCheck};
+use igm_shadow::{ShadowLayout, TwoLevelShadow};
+use igm_sim::{SimConfig, Simulator};
+use igm_timing::{Cache, CacheConfig};
+use igm_workload::Benchmark;
+
+fn bench_inheritance_tracker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inheritance_tracker");
+    let events: Vec<Event> = Benchmark::Gcc
+        .trace(20_000)
+        .filter_map(|e| match e.op {
+            igm_isa::TraceOp::Op(op) => Some(Event::Prop(op)),
+            _ => None,
+        })
+        .collect();
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("process_gcc_mix", |b| {
+        b.iter(|| {
+            let mut it = InheritanceTracker::new(ItConfig::taint_style());
+            let mut out = Vec::with_capacity(4);
+            for (i, ev) in events.iter().enumerate() {
+                out.clear();
+                it.process(i as u32, *ev, &mut out);
+                black_box(&out);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_idempotent_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idempotent_filter");
+    let accesses: Vec<Event> = Benchmark::Crafty
+        .trace(20_000)
+        .filter_map(|e| e.mem_read().map(Event::MemRead))
+        .collect();
+    let cfg = IfEventConfig::cacheable_addr(0);
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    for geom in [IfGeometry::isca08(), IfGeometry::set_associative(32, 4)] {
+        g.bench_function(format!("{geom}"), |b| {
+            b.iter(|| {
+                let mut f = IdempotentFilter::new(geom);
+                for ev in &accesses {
+                    black_box(f.process(0, ev, &cfg));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mtlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metadata_tlb");
+    let layout = ShadowLayout::taintcheck_fig7();
+    let addrs: Vec<u32> = Benchmark::Gzip
+        .trace(20_000)
+        .filter_map(|e| e.mem_read().map(|m| m.addr))
+        .collect();
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("lma_or_fill_64e", |b| {
+        b.iter(|| {
+            let mut tlb = MetadataTlb::new(64);
+            tlb.lma_config(layout);
+            let mut shadow = TwoLevelShadow::new(layout, 0);
+            for &a in &addrs {
+                black_box(tlb.lma_or_fill(a, || shadow.chunk_base_va(a)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_level_shadow");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("packed_set_get", |b| {
+        b.iter(|| {
+            let mut s = TwoLevelShadow::new(ShadowLayout::taintcheck_fig7(), 0);
+            for i in 0..10_000u32 {
+                s.packed_set(0x0900_0000 + i, (i % 4) as u8);
+                black_box(s.packed_get(0x0900_0000 + i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_model");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("l1_stream", |b| {
+        b.iter(|| {
+            let mut l1 = Cache::new(CacheConfig::isca08_l1());
+            for i in 0..100_000u32 {
+                black_box(l1.access((i * 12_345) & 0xf_ffff));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_dispatch_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_pipeline");
+    let trace: Vec<TraceEntry> = Benchmark::Gcc.trace(20_000).collect();
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("taintcheck_full_accel", |b| {
+        b.iter(|| {
+            let accel = AccelConfig::full(ItConfig::taint_style());
+            let masked = LifeguardKind::TaintCheck.mask_config(&accel);
+            let mut lg = TaintCheck::new(&masked);
+            let mut pipeline = DispatchPipeline::new(lg.etct(), &masked);
+            let mut cost = CostSink::new();
+            for e in &trace {
+                pipeline.dispatch(e, |dev| {
+                    cost.clear();
+                    lg.handle(&dev, &mut cost);
+                });
+            }
+            black_box(pipeline.stats().delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("addrcheck_optimized_gzip", |b| {
+        b.iter(|| {
+            let r = Simulator::new(SimConfig::optimized(LifeguardKind::AddrCheck))
+                .run_benchmark(Benchmark::Gzip, 20_000);
+            black_box(r.slowdown())
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    use igm_isa::asm::{Addressing, BinOp, Cond, ProgramBuilder, SelfOp};
+    use igm_isa::{Machine, MemSize};
+    let mut g = c.benchmark_group("functional_machine");
+    let mut p = ProgramBuilder::new(0x0804_8000);
+    let top = p.label();
+    p.mov_ri(Reg::Ecx, 10_000);
+    p.mov_ri(Reg::Ebx, 0x0900_0000);
+    p.bind(top);
+    p.load(Reg::Eax, Addressing::base_disp(Reg::Ebx, 0, MemSize::B4));
+    p.alu_rr(BinOp::Add, Reg::Edx, Reg::Eax);
+    p.store(Addressing::base_disp(Reg::Ebx, 4, MemSize::B4), Reg::Edx);
+    p.alu_ri(SelfOp::AddI(8), Reg::Ebx);
+    p.alu_ri(SelfOp::SubI(1), Reg::Ecx);
+    p.cmp_ri(Reg::Ecx, 0);
+    p.jcc(Cond::Ne, top);
+    p.halt();
+    let prog = p.build();
+    g.throughput(Throughput::Elements(70_000));
+    g.bench_function("loop_70k_instrs", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone());
+            m.run().expect("loop terminates");
+            black_box(m.retired())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inheritance_tracker,
+    bench_idempotent_filter,
+    bench_mtlb,
+    bench_shadow,
+    bench_cache_model,
+    bench_dispatch_pipeline,
+    bench_end_to_end,
+    bench_machine,
+);
+criterion_main!(benches);

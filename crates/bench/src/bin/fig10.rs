@@ -1,0 +1,56 @@
+//! Figure 10: per-benchmark slowdowns for the five lifeguards, LBA
+//! baseline versus LBA optimized (all applicable techniques).
+//!
+//! Also prints the Table 2 system parameters as the header and the §7.2
+//! headline (overhead reduction factor, residual overhead band) as the
+//! footer.
+
+use igm_bench::{average_slowdown, run_scale, run_suite};
+use igm_lifeguards::LifeguardKind;
+use igm_sim::SimConfig;
+use igm_timing::SystemConfig;
+
+fn main() {
+    let n = run_scale();
+    println!("=== Figure 10: lifeguard slowdowns, LBA baseline vs optimized ===");
+    println!("System (Table 2): {}", SystemConfig::isca08().describe());
+    println!("Records per run: {n}\n");
+
+    let mut reductions = Vec::new();
+    let mut residuals = Vec::new();
+
+    for kind in LifeguardKind::ALL {
+        println!("--- {} ---", kind.name());
+        let base = run_suite(&SimConfig::baseline(kind), n);
+        let opt = run_suite(&SimConfig::optimized(kind), n);
+        println!("{:<10} {:>10} {:>10}", "benchmark", "baseline", "optimized");
+        for (b, o) in base.iter().zip(&opt) {
+            println!(
+                "{:<10} {:>9.2}x {:>9.2}x",
+                b.benchmark.as_deref().unwrap_or("-"),
+                b.slowdown(),
+                o.slowdown()
+            );
+        }
+        let (ab, ao) = (average_slowdown(&base), average_slowdown(&opt));
+        println!("{:<10} {ab:>9.2}x {ao:>9.2}x\n", "Avg");
+        reductions.push(ab / ao);
+        if kind != LifeguardKind::MemCheck {
+            residuals.push(ao - 1.0);
+        }
+    }
+
+    let rmin = reductions.iter().cloned().fold(f64::MAX, f64::min);
+    let rmax = reductions.iter().cloned().fold(0.0, f64::max);
+    let omin = residuals.iter().cloned().fold(f64::MAX, f64::min);
+    let omax = residuals.iter().cloned().fold(0.0, f64::max);
+    println!("=== §7.2 headline ===");
+    println!(
+        "Overhead reduction over LBA baseline: {rmin:.1}-{rmax:.1}x  (paper: 2-3x)"
+    );
+    println!(
+        "Residual overhead, all lifeguards but MemCheck: {:.0}%-{:.0}%  (paper: 2%-51%)",
+        omin * 100.0,
+        omax * 100.0
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 11: average slowdowns applying the three techniques one by one —
+//! the BASE / LMA / LMA+IT / LMA+IT+IF (or LMA+IF) bars for each lifeguard.
+
+use igm_bench::{average_slowdown, run_scale, run_suite};
+use igm_core::{AccelConfig, ItConfig};
+use igm_lifeguards::LifeguardKind;
+use igm_sim::SimConfig;
+
+fn main() {
+    let n = run_scale();
+    println!("=== Figure 11: applying the techniques one by one (avg slowdowns) ===");
+    println!("Records per run: {n}");
+    println!(
+        "(paper bars: AddrCheck 3.23/1.90/1.02 — MemCheck 7.80/6.05/3.81/3.27 — \
+         TaintCheck 3.36/2.29/1.36 — detailed 4.21/2.71/1.51 — LockSet 4.25/3.20/1.40)\n"
+    );
+
+    for kind in LifeguardKind::ALL {
+        // The per-lifeguard progression: BASE -> LMA -> (+IT if applicable)
+        // -> (+IF if applicable); masking deduplicates inapplicable steps.
+        let steps = [
+            AccelConfig::baseline(),
+            AccelConfig::lma(),
+            AccelConfig::lma_it(ItConfig::taint_style()),
+            AccelConfig::full(ItConfig::taint_style()),
+        ];
+        print!("{:<32}", kind.name());
+        let mut last_label = String::new();
+        for accel in steps {
+            let cfg = SimConfig::with_accel(kind, accel);
+            let label = cfg.accel.label();
+            if label == last_label {
+                continue; // masked to the same configuration: same bar
+            }
+            last_label = label.clone();
+            let avg = average_slowdown(&run_suite(&cfg, n));
+            print!("  {label}={avg:.2}x");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 14: M-TLB design space.
+//!
+//! (a) miss rate versus the number of level-1 bits (20 down to 8) and
+//!     M-TLB entries (16 to 256): maximum and average across benchmarks;
+//! (b) fixed 20-bit level-1 versus the footprint-adaptive (flexible)
+//!     design, at 16/64/256 entries, with the chosen width per benchmark.
+
+use igm_bench::run_scale;
+use igm_profiling::{mtlb_flexible, mtlb_miss_rate, trace_footprint};
+use igm_workload::Benchmark;
+
+fn main() {
+    let n = run_scale();
+    let entries = [16usize, 64, 256];
+    let bits: Vec<u8> = (8..=20).rev().collect();
+
+    println!("=== Figure 14(a): M-TLB miss rate vs level-1 bits and entries ===");
+    print!("{:<10}", "l1 bits:");
+    for b in &bits {
+        print!("{b:>7}");
+    }
+    println!();
+    for &e in &entries {
+        let mut maxes = vec![0.0f64; bits.len()];
+        let mut sums = vec![0.0f64; bits.len()];
+        for bench in Benchmark::ALL {
+            for (i, &l1) in bits.iter().enumerate() {
+                let m = mtlb_miss_rate(bench.trace(n), l1, e);
+                maxes[i] = maxes[i].max(m);
+                sums[i] += m;
+            }
+        }
+        print!("{:<10}", format!("{e}-max"));
+        for m in &maxes {
+            print!("{:>6.2}%", m * 100.0);
+        }
+        println!();
+        print!("{:<10}", format!("{e}-avg"));
+        for s in &sums {
+            print!("{:>6.2}%", s / Benchmark::ALL.len() as f64 * 100.0);
+        }
+        println!();
+    }
+
+    println!("\n=== Figure 14(b): fixed 20-bit vs flexible level-1 sizing ===");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",
+        "benchmark", "fix-16", "fix-64", "fix-256", "flex-16", "flex-64", "flex-256"
+    );
+    for bench in Benchmark::ALL {
+        let fixed: Vec<f64> =
+            entries.iter().map(|&e| mtlb_miss_rate(bench.trace(n), 20, e)).collect();
+        let fp = trace_footprint(bench.trace(n));
+        let mut flex = Vec::new();
+        let mut chosen = 0u8;
+        for &e in &entries {
+            let (bits, rate) = mtlb_flexible(&fp, bench.trace(n), e);
+            chosen = bits;
+            flex.push(rate);
+        }
+        println!(
+            "{:<14} {:>9.3}% {:>9.3}% {:>9.3}%   {:>9.3}% {:>9.3}% {:>9.3}%",
+            format!("{}({})", bench.name(), chosen),
+            fixed[0] * 100.0,
+            fixed[1] * 100.0,
+            fixed[2] * 100.0,
+            flex[0] * 100.0,
+            flex[1] * 100.0,
+            flex[2] * 100.0,
+        );
+    }
+    println!("\n(paper: fixed-20 misses up to 8.4%; flexible (10-15 bits chosen) mostly negligible)");
+}

@@ -1,0 +1,139 @@
+//! Per-experiment accelerator configurations.
+//!
+//! [`AccelConfig`] selects which of the three techniques are active,
+//! mirroring the BASE → LMA → LMA+IT → LMA+IT+IF progression of the paper's
+//! Figure 11. A lifeguard additionally masks the configuration by its own
+//! applicability row in Figure 2 (e.g. AddrCheck never uses IT); that
+//! masking lives in `igm-lifeguards`.
+
+use crate::filter::IfGeometry;
+use crate::it::ItConfig;
+use std::fmt;
+
+/// One of the paper's three techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Metadata-TLB + `LMA` instruction (metadata mapping).
+    Lma,
+    /// Inheritance Tracking (metadata updates).
+    It,
+    /// Idempotent Filters (metadata checks).
+    If,
+}
+
+/// Default M-TLB capacity used in the simulation studies. Figure 14 sweeps
+/// 16–256 entries; 64 captures most of the benefit for the flexible layout.
+pub const DEFAULT_MTLB_ENTRIES: usize = 64;
+
+/// Which accelerators a simulation run enables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Handlers translate through the M-TLB (`lma`) instead of the
+    /// five-instruction software walk.
+    pub lma: bool,
+    /// M-TLB capacity in entries (only meaningful when `lma` is set).
+    pub mtlb_entries: usize,
+    /// Inheritance Tracking policy, if enabled.
+    pub it: Option<ItConfig>,
+    /// Idempotent Filter geometry, if enabled.
+    pub if_geometry: Option<IfGeometry>,
+}
+
+impl Default for AccelConfig {
+    fn default() -> AccelConfig {
+        AccelConfig::baseline()
+    }
+}
+
+impl AccelConfig {
+    /// The unaccelerated LBA baseline.
+    pub fn baseline() -> AccelConfig {
+        AccelConfig { lma: false, mtlb_entries: DEFAULT_MTLB_ENTRIES, it: None, if_geometry: None }
+    }
+
+    /// LMA only.
+    pub fn lma() -> AccelConfig {
+        AccelConfig { lma: true, ..AccelConfig::baseline() }
+    }
+
+    /// LMA + Inheritance Tracking.
+    pub fn lma_it(it: ItConfig) -> AccelConfig {
+        AccelConfig { lma: true, it: Some(it), ..AccelConfig::baseline() }
+    }
+
+    /// LMA + Idempotent Filter (the paper's simulated 32-entry filter).
+    pub fn lma_if() -> AccelConfig {
+        AccelConfig { lma: true, if_geometry: Some(IfGeometry::isca08()), ..AccelConfig::baseline() }
+    }
+
+    /// All three techniques.
+    pub fn full(it: ItConfig) -> AccelConfig {
+        AccelConfig {
+            lma: true,
+            it: Some(it),
+            if_geometry: Some(IfGeometry::isca08()),
+            ..AccelConfig::baseline()
+        }
+    }
+
+    /// Whether `t` is enabled.
+    pub fn has(&self, t: Technique) -> bool {
+        match t {
+            Technique::Lma => self.lma,
+            Technique::It => self.it.is_some(),
+            Technique::If => self.if_geometry.is_some(),
+        }
+    }
+
+    /// Short label for experiment tables (`BASE`, `LMA`, `LMA+IT`,
+    /// `LMA+IF`, `LMA+IT+IF`).
+    pub fn label(&self) -> String {
+        if !self.lma && self.it.is_none() && self.if_geometry.is_none() {
+            return "BASE".to_owned();
+        }
+        let mut parts = Vec::new();
+        if self.lma {
+            parts.push("LMA");
+        }
+        if self.it.is_some() {
+            parts.push("IT");
+        }
+        if self.if_geometry.is_some() {
+            parts.push("IF");
+        }
+        parts.join("+")
+    }
+}
+
+impl fmt::Display for AccelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure11_bars() {
+        assert_eq!(AccelConfig::baseline().label(), "BASE");
+        assert_eq!(AccelConfig::lma().label(), "LMA");
+        assert_eq!(AccelConfig::lma_it(ItConfig::taint_style()).label(), "LMA+IT");
+        assert_eq!(AccelConfig::lma_if().label(), "LMA+IF");
+        assert_eq!(AccelConfig::full(ItConfig::taint_style()).label(), "LMA+IT+IF");
+    }
+
+    #[test]
+    fn has_reports_enabled_techniques() {
+        let c = AccelConfig::full(ItConfig::memcheck_style());
+        assert!(c.has(Technique::Lma) && c.has(Technique::It) && c.has(Technique::If));
+        let b = AccelConfig::baseline();
+        assert!(!b.has(Technique::Lma) && !b.has(Technique::It) && !b.has(Technique::If));
+    }
+
+    #[test]
+    fn default_is_baseline() {
+        assert_eq!(AccelConfig::default(), AccelConfig::baseline());
+    }
+}

@@ -1,0 +1,328 @@
+//! The event-dispatch pipeline: record extraction → Inheritance Tracking →
+//! ETCT gating → Idempotent Filter → handler delivery.
+//!
+//! This is the consumer-side hardware of the paper's Figure 3: the
+//! `fetch & decompress` and `log record dispatch` components, extended with
+//! the IT and IF units proposed by the paper (dashed boxes).
+//!
+//! Stage order per record:
+//!
+//! 1. **Extraction** — the record expands into its events
+//!    ([`igm_lba::extract_events`]).
+//! 2. **Early gating** — check and annotation events whose type the
+//!    lifeguard never registered are dropped for free (`nlba` skips them).
+//!    Propagation events always enter IT (its table must observe every
+//!    data-flow instruction to stay coherent).
+//! 3. **Inheritance Tracking** — absorbs/transforms propagation events and
+//!    register-source checks; annotation records flush the table first
+//!    (their handlers may rewrite arbitrary metadata, invalidating lazy
+//!    inheritance).
+//! 4. **ETCT gating** — IT output events of unregistered types are dropped.
+//! 5. **Idempotent Filter** — invalidations and redundant-check filtering
+//!    per the lifeguard's ETCT configuration.
+//! 6. **Delivery** — everything surviving reaches the lifeguard's handler.
+
+use crate::config::AccelConfig;
+use crate::filter::{IdempotentFilter, IfOutcome, IfStats};
+use crate::it::{InheritanceTracker, ItStats};
+use igm_isa::TraceEntry;
+use igm_lba::{extract_events, DeliveredEvent, Etct, Event, NUM_EVENT_TYPES};
+
+/// Aggregate pipeline counters.
+#[derive(Debug, Clone)]
+pub struct DispatchStats {
+    /// Log records dispatched.
+    pub records: u64,
+    /// Events produced by extraction.
+    pub events_extracted: u64,
+    /// Events dropped because their type is unregistered.
+    pub unregistered_dropped: u64,
+    /// Events discarded by the Idempotent Filter.
+    pub if_filtered: u64,
+    /// Events delivered to lifeguard handlers.
+    pub delivered: u64,
+    /// Delivered events broken down by [`igm_lba::EventType`] index.
+    pub delivered_by_type: [u64; NUM_EVENT_TYPES],
+}
+
+impl Default for DispatchStats {
+    fn default() -> DispatchStats {
+        DispatchStats {
+            records: 0,
+            events_extracted: 0,
+            unregistered_dropped: 0,
+            if_filtered: 0,
+            delivered: 0,
+            delivered_by_type: [0; NUM_EVENT_TYPES],
+        }
+    }
+}
+
+/// The dispatch pipeline with its optional accelerator units.
+///
+/// # Example
+///
+/// ```
+/// use igm_core::{AccelConfig, DispatchPipeline, ItConfig};
+/// use igm_lba::{Etct, EventType, IfEventConfig};
+/// use igm_isa::{OpClass, MemRef, Reg, TraceEntry};
+///
+/// let mut etct = Etct::new();
+/// etct.register_plain(EventType::MemToReg);
+/// etct.register_plain(EventType::MemToMem);
+/// etct.register_plain(EventType::RegToMem);
+/// etct.register_plain(EventType::ImmToMem);
+///
+/// let mut p = DispatchPipeline::new(etct, &AccelConfig::lma_it(ItConfig::taint_style()));
+/// // A load is absorbed by IT: nothing reaches the handler.
+/// let load = TraceEntry::op(0x1000, OpClass::MemToReg {
+///     src: MemRef::word(0x9000), rd: Reg::Eax });
+/// let mut seen = Vec::new();
+/// p.dispatch(&load, |d| seen.push(d));
+/// assert!(seen.is_empty());
+/// assert_eq!(p.stats().records, 1);
+/// ```
+#[derive(Debug)]
+pub struct DispatchPipeline {
+    etct: Etct,
+    it: Option<InheritanceTracker>,
+    filter: Option<IdempotentFilter>,
+    stats: DispatchStats,
+    raw: Vec<DeliveredEvent>,
+    post_it: Vec<DeliveredEvent>,
+}
+
+impl DispatchPipeline {
+    /// Builds a pipeline for a lifeguard's ETCT under `cfg`.
+    pub fn new(etct: Etct, cfg: &AccelConfig) -> DispatchPipeline {
+        DispatchPipeline {
+            etct,
+            it: cfg.it.map(InheritanceTracker::new),
+            filter: cfg.if_geometry.map(IdempotentFilter::new),
+            stats: DispatchStats::default(),
+            raw: Vec::with_capacity(8),
+            post_it: Vec::with_capacity(8),
+        }
+    }
+
+    /// The pipeline's ETCT.
+    pub fn etct(&self) -> &Etct {
+        &self.etct
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &DispatchStats {
+        &self.stats
+    }
+
+    /// Inheritance Tracking counters, when the unit is present.
+    pub fn it_stats(&self) -> Option<&ItStats> {
+        self.it.as_ref().map(|t| t.stats())
+    }
+
+    /// Idempotent Filter counters, when the unit is present.
+    pub fn if_stats(&self) -> Option<&IfStats> {
+        self.filter.as_ref().map(|f| f.stats())
+    }
+
+    /// Dispatches one log record, invoking `deliver` for every event that
+    /// survives the accelerators.
+    pub fn dispatch(&mut self, entry: &TraceEntry, mut deliver: impl FnMut(DeliveredEvent)) {
+        self.stats.records += 1;
+        let mut raw = std::mem::take(&mut self.raw);
+        let mut post_it = std::mem::take(&mut self.post_it);
+        raw.clear();
+        post_it.clear();
+        extract_events(entry, &mut raw);
+        self.stats.events_extracted += raw.len() as u64;
+
+        for dev in raw.iter().copied() {
+            match (&mut self.it, &dev.event) {
+                (Some(it), Event::Annot(_)) => {
+                    if self.etct.is_registered(dev.event.event_type()) {
+                        // The annotation handler may rewrite metadata
+                        // arbitrarily: materialize all lazy inheritance
+                        // before it runs.
+                        it.flush_all(dev.pc, &mut post_it);
+                    }
+                    post_it.push(dev);
+                }
+                (Some(it), Event::Prop(_)) => it.process(dev.pc, dev.event, &mut post_it),
+                (Some(it), Event::Check { .. }) => {
+                    // Register-source checks resolve through the IT table,
+                    // but only if the lifeguard cares about this check kind.
+                    if self.etct.is_registered(dev.event.event_type()) {
+                        it.process(dev.pc, dev.event, &mut post_it);
+                    } else {
+                        self.stats.unregistered_dropped += 1;
+                    }
+                }
+                _ => post_it.push(dev),
+            }
+        }
+
+        for dev in post_it.iter().copied() {
+            let et = dev.event.event_type();
+            let row = *self.etct.entry(et);
+            if !row.registered {
+                self.stats.unregistered_dropped += 1;
+                continue;
+            }
+            if let Some(f) = &mut self.filter {
+                if f.process(dev.pc, &dev.event, &row.if_cfg) == IfOutcome::Filtered {
+                    self.stats.if_filtered += 1;
+                    continue;
+                }
+            }
+            self.stats.delivered += 1;
+            self.stats.delivered_by_type[et.index()] += 1;
+            deliver(dev);
+        }
+
+        self.raw = raw;
+        self.post_it = post_it;
+    }
+
+    /// Convenience wrapper collecting the delivered events of one record.
+    pub fn dispatch_collect(&mut self, entry: &TraceEntry) -> Vec<DeliveredEvent> {
+        let mut out = Vec::new();
+        self.dispatch(entry, |d| out.push(d));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::it::ItConfig;
+    use igm_isa::{Annotation, MemRef, OpClass, Reg};
+    use igm_lba::{EventType, IfEventConfig};
+
+    fn taint_etct() -> Etct {
+        let mut etct = Etct::new();
+        etct.register_all([
+            EventType::ImmToReg,
+            EventType::ImmToMem,
+            EventType::RegToReg,
+            EventType::RegToMem,
+            EventType::MemToReg,
+            EventType::MemToMem,
+            EventType::DestRegOpReg,
+            EventType::DestRegOpMem,
+            EventType::DestMemOpReg,
+            EventType::Other,
+            EventType::CheckJumpTarget,
+            EventType::Malloc,
+            EventType::ReadInput,
+        ]);
+        etct
+    }
+
+    fn addrcheck_etct() -> Etct {
+        let mut etct = Etct::new();
+        etct.register(EventType::MemRead, IfEventConfig::cacheable_addr(0));
+        etct.register(EventType::MemWrite, IfEventConfig::cacheable_addr(0));
+        etct.register(EventType::Malloc, IfEventConfig::invalidates_all());
+        etct.register(EventType::Free, IfEventConfig::invalidates_all());
+        etct
+    }
+
+    #[test]
+    fn baseline_delivers_registered_events_untouched() {
+        let mut p = DispatchPipeline::new(taint_etct(), &AccelConfig::baseline());
+        let load = TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        let out = p.dispatch_collect(&load);
+        // MemRead is unregistered for TaintCheck; the propagation event is
+        // delivered.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].event, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
+        assert_eq!(p.stats().unregistered_dropped, 1);
+    }
+
+    #[test]
+    fn it_absorbs_register_traffic_end_to_end() {
+        let mut p =
+            DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
+        let a = MemRef::word(0xa0);
+        let d = MemRef::word(0xd0);
+        let seq = [
+            TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }),
+            TraceEntry::op(2, OpClass::RegToReg { rs: Reg::Eax, rd: Reg::Ecx }),
+            TraceEntry::op(3, OpClass::RegToMem { rs: Reg::Ecx, dst: d }),
+        ];
+        let mut out = Vec::new();
+        for e in &seq {
+            out.extend(p.dispatch_collect(e));
+        }
+        // Only the final store reaches software, transformed to mem_to_mem.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].event, Event::Prop(OpClass::MemToMem { src: a, dst: d }));
+    }
+
+    #[test]
+    fn annotations_flush_it_before_delivery() {
+        let mut p =
+            DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
+        let a = MemRef::word(0xa0);
+        p.dispatch_collect(&TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
+        let out = p.dispatch_collect(&TraceEntry::annot(
+            2,
+            Annotation::Malloc { base: 0x9000, size: 64 },
+        ));
+        // Flush events (one per register) precede the annotation.
+        assert_eq!(out.len(), 9);
+        assert!(matches!(out[8].event, Event::Annot(Annotation::Malloc { .. })));
+        assert!(matches!(out[0].event, Event::Prop(_)));
+    }
+
+    #[test]
+    fn unregistered_annotation_does_not_flush() {
+        let mut p =
+            DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
+        let a = MemRef::word(0xa0);
+        p.dispatch_collect(&TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
+        // ThreadSwitch is unregistered for TaintCheck.
+        let out = p.dispatch_collect(&TraceEntry::annot(2, Annotation::ThreadSwitch { tid: 1 }));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn if_filters_redundant_accesses_and_invalidates_on_malloc() {
+        let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::lma_if());
+        let load = TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        assert_eq!(p.dispatch_collect(&load).len(), 1);
+        assert_eq!(p.dispatch_collect(&load).len(), 0); // filtered
+        assert_eq!(p.stats().if_filtered, 1);
+        // malloc invalidates; the next access re-checks.
+        let m = TraceEntry::annot(0x20, Annotation::Malloc { base: 0x9000, size: 16 });
+        assert_eq!(p.dispatch_collect(&m).len(), 1);
+        assert_eq!(p.dispatch_collect(&load).len(), 1);
+    }
+
+    #[test]
+    fn check_kind_gating_happens_before_it() {
+        // TaintCheck registers jump-target checks but not addr-compute
+        // checks; the latter never enter IT.
+        let mut p =
+            DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
+        let load = TraceEntry::op(1, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax })
+            .with_addr_regs(igm_isa::RegSet::from_regs([Reg::Ebx]));
+        let out = p.dispatch_collect(&load);
+        assert!(out.is_empty());
+        assert_eq!(p.it_stats().unwrap().check_in, 0);
+    }
+
+    #[test]
+    fn delivered_by_type_accounting() {
+        let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::baseline());
+        let load = TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        let store = TraceEntry::op(0x14, OpClass::RegToMem { rs: Reg::Eax, dst: MemRef::word(0x9004) });
+        p.dispatch_collect(&load);
+        p.dispatch_collect(&store);
+        let s = p.stats();
+        assert_eq!(s.delivered_by_type[EventType::MemRead.index()], 1);
+        assert_eq!(s.delivered_by_type[EventType::MemWrite.index()], 1);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.records, 2);
+    }
+}

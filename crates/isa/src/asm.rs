@@ -1,0 +1,596 @@
+//! A small structured assembler for writing monitored test programs.
+//!
+//! [`ProgramBuilder`] offers one method per supported instruction form and
+//! resolves labels at [`ProgramBuilder::build`] time. The produced
+//! [`Program`] is executed by [`crate::Machine`], which emits the retirement
+//! trace consumed by the monitoring infrastructure.
+//!
+//! The instruction set is a two-operand IA32-style subset: register/immediate
+//! /memory `mov`s, two-operand ALU ops (`dst = dst op src`), compares,
+//! conditional and indirect control flow, `push`/`pop`/`call`/`ret`, a
+//! string-copy element (`movs`), an opaque `xchg`, and the high-level
+//! annotations of [`Annotation`].
+
+use crate::trace::{Annotation, MemSize};
+use crate::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A memory operand before address resolution: `disp(base, index, scale)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Addressing {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Constant displacement (wrapping arithmetic, as on IA32).
+    pub disp: u32,
+    /// Access size.
+    pub size: MemSize,
+}
+
+impl Addressing {
+    /// Absolute address: `disp`.
+    pub fn abs(disp: u32, size: MemSize) -> Addressing {
+        Addressing { base: None, index: None, scale: 1, disp, size }
+    }
+
+    /// Base + displacement: `disp(%base)`.
+    pub fn base_disp(base: Reg, disp: i32, size: MemSize) -> Addressing {
+        Addressing { base: Some(base), index: None, scale: 1, disp: disp as u32, size }
+    }
+
+    /// Base + scaled index + displacement: `disp(%base, %index, scale)`.
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32, size: MemSize) -> Addressing {
+        Addressing { base: Some(base), index: Some(index), scale, disp: disp as u32, size }
+    }
+
+    /// Registers participating in the address computation.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+}
+
+/// Two-operand ALU operations (`dst = dst op src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+}
+
+impl BinOp {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, dst: u32, src: u32) -> u32 {
+        match self {
+            BinOp::Add => dst.wrapping_add(src),
+            BinOp::Sub => dst.wrapping_sub(src),
+            BinOp::And => dst & src,
+            BinOp::Or => dst | src,
+            BinOp::Xor => dst ^ src,
+        }
+    }
+}
+
+/// Single-operand (register- or memory-"self") ALU operations with an
+/// immediate: `dst = dst op imm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelfOp {
+    AddI(u32),
+    SubI(u32),
+    AndI(u32),
+    OrI(u32),
+    XorI(u32),
+    Shl(u8),
+    Shr(u8),
+    Not,
+    Neg,
+}
+
+impl SelfOp {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, v: u32) -> u32 {
+        match self {
+            SelfOp::AddI(i) => v.wrapping_add(i),
+            SelfOp::SubI(i) => v.wrapping_sub(i),
+            SelfOp::AndI(i) => v & i,
+            SelfOp::OrI(i) => v | i,
+            SelfOp::XorI(i) => v ^ i,
+            SelfOp::Shl(s) => v.wrapping_shl(s as u32),
+            SelfOp::Shr(s) => v.wrapping_shr(s as u32),
+            SelfOp::Not => !v,
+            SelfOp::Neg => v.wrapping_neg(),
+        }
+    }
+}
+
+/// Branch conditions (signed comparisons plus equality and unsigned
+/// below/above-or-equal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Unsigned below.
+    B,
+    /// Unsigned above or equal.
+    Ae,
+}
+
+impl Cond {
+    /// Evaluates the condition for the pair `(lhs, rhs)` last compared.
+    pub fn eval(self, lhs: u32, rhs: u32) -> bool {
+        let (sl, sr) = (lhs as i32, rhs as i32);
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => sl < sr,
+            Cond::Le => sl <= sr,
+            Cond::Gt => sl > sr,
+            Cond::Ge => sl >= sr,
+            Cond::B => lhs < rhs,
+            Cond::Ae => lhs >= rhs,
+        }
+    }
+}
+
+/// A label placeholder used before resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) u32);
+
+/// One assembled instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `mov $imm, %rd`
+    MovRI { rd: Reg, imm: u32 },
+    /// `mov %rs, %rd`
+    MovRR { rd: Reg, rs: Reg },
+    /// `mov mem, %rd` (load; 1/2-byte loads zero-extend)
+    Load { rd: Reg, src: Addressing },
+    /// `mov %rs, mem` (store)
+    Store { dst: Addressing, rs: Reg },
+    /// `mov $imm, mem`
+    StoreI { dst: Addressing, imm: u32 },
+    /// one `movs` element: copy `size` bytes from `[esi]` to `[edi]` and
+    /// advance both by the element size
+    Movs { size: MemSize },
+    /// `op %rs, %rd`
+    AluRR { op: BinOp, rd: Reg, rs: Reg },
+    /// `op mem, %rd`
+    AluRM { op: BinOp, rd: Reg, src: Addressing },
+    /// `op %rs, mem`
+    AluMR { op: BinOp, dst: Addressing, rs: Reg },
+    /// `op $imm, %rd` (reg_self)
+    AluRI { op: SelfOp, rd: Reg },
+    /// `op $imm, mem` (mem_self)
+    AluMI { op: SelfOp, dst: Addressing },
+    /// `cmp %rs, %rd` — sets flags from `rd - rs`
+    CmpRR { rd: Reg, rs: Reg },
+    /// `cmp $imm, %rd`
+    CmpRI { rd: Reg, imm: u32 },
+    /// `cmp mem, %rd`
+    CmpRM { rd: Reg, src: Addressing },
+    /// `xchg %ra, %rb` — modelled as an opaque `other` instruction
+    Xchg { ra: Reg, rb: Reg },
+    /// `push %rs`
+    Push { rs: Reg },
+    /// `push $imm`
+    PushI { imm: u32 },
+    /// `pop %rd`
+    Pop { rd: Reg },
+    /// `jmp label`
+    Jmp { target: Label },
+    /// `jcc label`
+    Jcc { cond: Cond, target: Label },
+    /// `jmp *%r`
+    JmpIndReg { r: Reg },
+    /// `jmp *mem`
+    JmpIndMem { src: Addressing },
+    /// `call label`
+    Call { target: Label },
+    /// `call *%r`
+    CallIndReg { r: Reg },
+    /// `ret`
+    Ret,
+    /// high-level annotation record (wrapper-library event)
+    Annot(Annotation),
+    /// stop execution
+    Halt,
+}
+
+/// Errors raised while assembling a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`ProgramBuilder::bind`].
+    UnboundLabel(u32),
+    /// A label was bound twice.
+    RedefinedLabel(u32),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label L{l} referenced but never bound"),
+            AsmError::RedefinedLabel(l) => write!(f, "label L{l} bound more than once"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled, label-resolved program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) base_pc: u32,
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) label_targets: Vec<usize>,
+}
+
+/// Bytes of code occupied by each instruction in the synthetic encoding.
+/// IA32 encodings vary from 1 to 15 bytes; a fixed 4-byte pitch keeps pc
+/// arithmetic simple without affecting any monitored behaviour.
+pub const INSTR_BYTES: u32 = 4;
+
+impl Program {
+    /// The pc of the first instruction.
+    pub fn base_pc(&self) -> u32 {
+        self.base_pc
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The pc of instruction `idx`.
+    pub fn pc_of(&self, idx: usize) -> u32 {
+        self.base_pc + (idx as u32) * INSTR_BYTES
+    }
+
+    /// The instruction index for `pc`, if `pc` falls inside the program.
+    pub fn index_of_pc(&self, pc: u32) -> Option<usize> {
+        if pc < self.base_pc {
+            return None;
+        }
+        let off = pc - self.base_pc;
+        if off % INSTR_BYTES != 0 {
+            return None;
+        }
+        let idx = (off / INSTR_BYTES) as usize;
+        (idx < self.instrs.len()).then_some(idx)
+    }
+
+    /// Instruction at index `idx`.
+    pub fn instr(&self, idx: usize) -> &Instr {
+        &self.instrs[idx]
+    }
+
+    /// Resolves a label to its instruction index.
+    pub fn resolve(&self, l: Label) -> usize {
+        self.label_targets[l.0 as usize]
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use igm_isa::{asm::ProgramBuilder, Reg};
+///
+/// let mut p = ProgramBuilder::new(0x0804_8000);
+/// let top = p.label();
+/// p.mov_ri(Reg::Eax, 3);
+/// p.bind(top);
+/// p.alu_ri(igm_isa::asm::SelfOp::SubI(1), Reg::Eax);
+/// p.cmp_ri(Reg::Eax, 0);
+/// p.jcc(igm_isa::asm::Cond::Ne, top);
+/// p.halt();
+/// let prog = p.build();
+/// assert_eq!(prog.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    base_pc: u32,
+    instrs: Vec<Instr>,
+    bound: HashMap<u32, usize>,
+    next_label: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose first instruction sits at `base_pc`.
+    pub fn new(base_pc: u32) -> ProgramBuilder {
+        ProgramBuilder { base_pc, instrs: Vec::new(), bound: HashMap::new(), next_label: 0 }
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (programming error in the caller).
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.bound.insert(label.0, self.instrs.len());
+        assert!(prev.is_none(), "label L{} bound twice", label.0);
+    }
+
+    /// Emits a raw instruction; prefer the named helpers below.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    // --- data movement -----------------------------------------------------
+
+    /// `mov $imm, %rd`
+    pub fn mov_ri(&mut self, rd: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::MovRI { rd, imm })
+    }
+
+    /// `mov %rs, %rd`
+    pub fn mov_rr(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::MovRR { rd, rs })
+    }
+
+    /// `mov mem, %rd`
+    pub fn load(&mut self, rd: Reg, src: Addressing) -> &mut Self {
+        self.emit(Instr::Load { rd, src })
+    }
+
+    /// `mov %rs, mem`
+    pub fn store(&mut self, dst: Addressing, rs: Reg) -> &mut Self {
+        self.emit(Instr::Store { dst, rs })
+    }
+
+    /// `mov $imm, mem`
+    pub fn store_imm(&mut self, dst: Addressing, imm: u32) -> &mut Self {
+        self.emit(Instr::StoreI { dst, imm })
+    }
+
+    /// one `movs` element (copy `[esi] -> [edi]`, advance both)
+    pub fn movs(&mut self, size: MemSize) -> &mut Self {
+        self.emit(Instr::Movs { size })
+    }
+
+    // --- ALU ----------------------------------------------------------------
+
+    /// `op %rs, %rd`
+    pub fn alu_rr(&mut self, op: BinOp, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::AluRR { op, rd, rs })
+    }
+
+    /// `op mem, %rd`
+    pub fn alu_rm(&mut self, op: BinOp, rd: Reg, src: Addressing) -> &mut Self {
+        self.emit(Instr::AluRM { op, rd, src })
+    }
+
+    /// `op %rs, mem`
+    pub fn alu_mr(&mut self, op: BinOp, dst: Addressing, rs: Reg) -> &mut Self {
+        self.emit(Instr::AluMR { op, dst, rs })
+    }
+
+    /// `op $imm, %rd`
+    pub fn alu_ri(&mut self, op: SelfOp, rd: Reg) -> &mut Self {
+        self.emit(Instr::AluRI { op, rd })
+    }
+
+    /// `op $imm, mem`
+    pub fn alu_mi(&mut self, op: SelfOp, dst: Addressing) -> &mut Self {
+        self.emit(Instr::AluMI { op, dst })
+    }
+
+    // --- compares -----------------------------------------------------------
+
+    /// `cmp %rs, %rd`
+    pub fn cmp_rr(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::CmpRR { rd, rs })
+    }
+
+    /// `cmp $imm, %rd`
+    pub fn cmp_ri(&mut self, rd: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::CmpRI { rd, imm })
+    }
+
+    /// `cmp mem, %rd`
+    pub fn cmp_rm(&mut self, rd: Reg, src: Addressing) -> &mut Self {
+        self.emit(Instr::CmpRM { rd, src })
+    }
+
+    // --- misc ----------------------------------------------------------------
+
+    /// `xchg %ra, %rb` (opaque `other` instruction)
+    pub fn xchg(&mut self, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Instr::Xchg { ra, rb })
+    }
+
+    /// `push %rs`
+    pub fn push(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Instr::Push { rs })
+    }
+
+    /// `push $imm`
+    pub fn push_imm(&mut self, imm: u32) -> &mut Self {
+        self.emit(Instr::PushI { imm })
+    }
+
+    /// `pop %rd`
+    pub fn pop(&mut self, rd: Reg) -> &mut Self {
+        self.emit(Instr::Pop { rd })
+    }
+
+    // --- control flow ---------------------------------------------------------
+
+    /// `jmp label`
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.emit(Instr::Jmp { target })
+    }
+
+    /// `jcc label`
+    pub fn jcc(&mut self, cond: Cond, target: Label) -> &mut Self {
+        self.emit(Instr::Jcc { cond, target })
+    }
+
+    /// `jmp *%r`
+    pub fn jmp_ind_reg(&mut self, r: Reg) -> &mut Self {
+        self.emit(Instr::JmpIndReg { r })
+    }
+
+    /// `jmp *mem`
+    pub fn jmp_ind_mem(&mut self, src: Addressing) -> &mut Self {
+        self.emit(Instr::JmpIndMem { src })
+    }
+
+    /// `call label`
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.emit(Instr::Call { target })
+    }
+
+    /// `call *%r`
+    pub fn call_ind_reg(&mut self, r: Reg) -> &mut Self {
+        self.emit(Instr::CallIndReg { r })
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Ret)
+    }
+
+    /// Emits a high-level annotation record.
+    pub fn annot(&mut self, a: Annotation) -> &mut Self {
+        self.emit(Instr::Annot(a))
+    }
+
+    /// Stops the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn try_build(&self) -> Result<Program, AsmError> {
+        let mut label_targets = vec![usize::MAX; self.next_label as usize];
+        for (l, idx) in &self.bound {
+            label_targets[*l as usize] = *idx;
+        }
+        for i in &self.instrs {
+            let used = match i {
+                Instr::Jmp { target }
+                | Instr::Jcc { target, .. }
+                | Instr::Call { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(l) = used {
+                if label_targets[l.0 as usize] == usize::MAX {
+                    return Err(AsmError::UnboundLabel(l.0));
+                }
+            }
+        }
+        Ok(Program {
+            base_pc: self.base_pc,
+            instrs: self.instrs.clone(),
+            label_targets,
+        })
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels; use [`ProgramBuilder::try_build`] to handle
+    /// the error.
+    pub fn build(&self) -> Program {
+        self.try_build().expect("all referenced labels bound")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_and_selfop_semantics() {
+        assert_eq!(BinOp::Add.apply(3, 4), 7);
+        assert_eq!(BinOp::Sub.apply(3, 4), u32::MAX);
+        assert_eq!(BinOp::Xor.apply(0xff, 0x0f), 0xf0);
+        assert_eq!(SelfOp::Shr(8).apply(0x1234_5678), 0x0012_3456);
+        assert_eq!(SelfOp::Not.apply(0), u32::MAX);
+        assert_eq!(SelfOp::Neg.apply(1), u32::MAX);
+    }
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        // -1 < 1 signed, but 0xffff_ffff > 1 unsigned.
+        assert!(Cond::Lt.eval(u32::MAX, 1));
+        assert!(!Cond::B.eval(u32::MAX, 1));
+        assert!(Cond::Ae.eval(u32::MAX, 1));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Le.eval(5, 5) && Cond::Ge.eval(5, 5));
+        assert!(Cond::Gt.eval(6, 5));
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let mut b = ProgramBuilder::new(0x1000);
+        let l = b.label();
+        b.mov_ri(Reg::Eax, 1);
+        b.bind(l);
+        b.jmp(l);
+        let p = b.build();
+        assert_eq!(p.resolve(l), 1);
+        assert_eq!(p.pc_of(1), 0x1004);
+        assert_eq!(p.index_of_pc(0x1004), Some(1));
+        assert_eq!(p.index_of_pc(0x1003), None);
+        assert_eq!(p.index_of_pc(0x0fff), None);
+        assert_eq!(p.index_of_pc(0x1008), None);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new(0);
+        let l = b.label();
+        b.jmp(l);
+        assert_eq!(b.try_build().unwrap_err(), AsmError::UnboundLabel(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new(0);
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn addressing_regs_iterates_base_then_index() {
+        let a = Addressing::base_index(Reg::Ebx, Reg::Esi, 4, -8, MemSize::B4);
+        let regs: Vec<Reg> = a.regs().collect();
+        assert_eq!(regs, vec![Reg::Ebx, Reg::Esi]);
+        assert_eq!(a.disp, (-8i32) as u32);
+    }
+}

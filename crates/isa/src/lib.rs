@@ -1,0 +1,137 @@
+//! IA32-flavoured ISA model for instruction-grain program monitoring.
+//!
+//! This crate provides the machine-level vocabulary shared by the rest of the
+//! `igm` workspace:
+//!
+//! * [`Reg`] — the eight IA32 general-purpose registers.
+//! * [`OpClass`] — the twelve propagation-relevant instruction classes of the
+//!   paper's Figure 5 (`imm_to_reg` … `other`), plus control-flow classes.
+//! * [`TraceEntry`] / [`TraceOp`] — one retired-instruction record as captured
+//!   by a log-based architecture, including high-level [`Annotation`] records
+//!   (malloc/free, lock/unlock, system calls, input reads) inserted by wrapper
+//!   libraries.
+//! * [`Program`] / [`asm::ProgramBuilder`] — a tiny assembler for writing test
+//!   programs.
+//! * [`Machine`] — a functional interpreter that executes a [`Program`] and
+//!   emits the corresponding retirement trace, playing the role of the
+//!   monitored application core.
+//!
+//! The trace format is deliberately *resolved*: memory operands carry concrete
+//! virtual addresses, because that is exactly what the LBA log-capture
+//! hardware records and what the lifeguards and accelerators consume.
+//!
+//! # Example
+//!
+//! ```
+//! use igm_isa::{asm::ProgramBuilder, Machine, Reg};
+//!
+//! let mut p = ProgramBuilder::new(0x0804_8000);
+//! p.mov_ri(Reg::Eax, 7);
+//! p.mov_rr(Reg::Ecx, Reg::Eax);
+//! p.halt();
+//! let mut m = Machine::new(p.build());
+//! let trace = m.run_to_completion().expect("program halts");
+//! assert_eq!(m.reg(Reg::Ecx), 7);
+//! assert_eq!(trace.len(), 2); // `halt` emits no record
+//! ```
+
+pub mod asm;
+pub mod machine;
+pub mod trace;
+
+pub use asm::{Program, ProgramBuilder};
+pub use machine::{ExecError, Machine};
+pub use trace::{
+    Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, RegSet, TraceEntry, TraceOp,
+};
+
+use std::fmt;
+
+/// One of the eight IA32 general-purpose registers.
+///
+/// Sub-register views (`al`, `ah`, `ax`, …) are folded into their containing
+/// 32-bit register; see `DESIGN.md` for the rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+/// Number of general-purpose registers tracked by the framework.
+pub const NUM_REGS: usize = 8;
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; NUM_REGS] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// The register's dense index in `0..NUM_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGS`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Reg {
+        Reg::ALL[idx]
+    }
+
+    /// The conventional IA32 mnemonic (e.g. `"eax"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn reg_display_uses_att_syntax() {
+        assert_eq!(Reg::Eax.to_string(), "%eax");
+        assert_eq!(Reg::Edi.to_string(), "%edi");
+    }
+}

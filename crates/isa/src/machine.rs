@@ -1,0 +1,796 @@
+//! A functional interpreter for [`Program`]s that emits retirement traces.
+//!
+//! The machine plays the role of the *monitored application core* in the
+//! log-based architecture: it executes instructions over a byte-granular
+//! sparse memory and eight 32-bit registers, and appends one [`TraceEntry`]
+//! per retired instruction (two for `call`, which both stores the return
+//! address and transfers control).
+//!
+//! The machine is *permissive by design*: loads from unmapped memory return
+//! zero and stores allocate pages on demand. Catching memory bugs is the
+//! lifeguards' job, not the substrate's — a buggy program must be able to
+//! keep running so the monitoring machinery can observe it.
+
+use crate::asm::{Addressing, Instr, Program};
+use crate::trace::{Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, RegSet, TraceEntry, TraceOp};
+use crate::{Reg, NUM_REGS};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-granular 32-bit memory.
+///
+/// Unwritten locations read as zero.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Reads `size` bytes little-endian, zero-extended to 32 bits.
+    pub fn read(&self, addr: u32, size: MemSize) -> u32 {
+        let mut v = 0u32;
+        for i in 0..size.bytes() {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u32) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `v` little-endian.
+    pub fn write(&mut self, addr: u32, size: MemSize, v: u32) {
+        for i in 0..size.bytes() {
+            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Number of 4 KiB pages currently materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An indirect control transfer targeted an address outside the program
+    /// (or not instruction-aligned) — typically the visible effect of a
+    /// successful control-flow hijack.
+    WildJump { pc: u32, target: u32 },
+    /// The configured step limit was exceeded (runaway loop).
+    StepLimit { limit: u64 },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WildJump { pc, target } => {
+                write!(f, "wild jump at pc {pc:#010x} to {target:#010x}")
+            }
+            ExecError::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The machine retired one instruction and can continue.
+    Continue,
+    /// The machine executed `halt` (or had already halted).
+    Halted,
+}
+
+/// The functional application core.
+#[derive(Debug)]
+pub struct Machine {
+    program: Program,
+    regs: [u32; NUM_REGS],
+    /// Index of the next instruction to execute, or `None` once halted.
+    next: Option<usize>,
+    memory: Memory,
+    /// Values of the last flag-setting comparison `(lhs, rhs)`.
+    flags: (u32, u32),
+    /// Register that sourced the last flag-setting operation, for MemCheck's
+    /// conditional-test-input checks.
+    flag_src: Option<Reg>,
+    /// Bytes delivered by `ReadInput` annotations, front first.
+    input: VecDeque<u8>,
+    trace: Vec<TraceEntry>,
+    steps: u64,
+    step_limit: u64,
+}
+
+/// Default runaway-loop guard.
+pub const DEFAULT_STEP_LIMIT: u64 = 10_000_000;
+
+impl Machine {
+    /// Creates a machine positioned at the first instruction of `program`,
+    /// with all registers zero and empty memory.
+    pub fn new(program: Program) -> Machine {
+        Machine {
+            program,
+            regs: [0; NUM_REGS],
+            next: Some(0),
+            memory: Memory::new(),
+            flags: (0, 0),
+            flag_src: None,
+            input: VecDeque::new(),
+            trace: Vec::new(),
+            steps: 0,
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Replaces the runaway-loop guard (default [`DEFAULT_STEP_LIMIT`]).
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Queues bytes to be delivered by subsequent `ReadInput` annotations.
+    /// If the queue underruns, the filler byte `0xaa` is used.
+    pub fn feed_input(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes.iter().copied());
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Sets a register (useful for establishing the initial stack pointer).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Immutable view of memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable view of memory (e.g. to pre-populate data sections).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Consumes the accumulated trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.steps
+    }
+
+    fn ea(&self, a: &Addressing) -> u32 {
+        let mut addr = a.disp;
+        if let Some(b) = a.base {
+            addr = addr.wrapping_add(self.reg(b));
+        }
+        if let Some(i) = a.index {
+            addr = addr.wrapping_add(self.reg(i).wrapping_mul(a.scale as u32));
+        }
+        addr
+    }
+
+    fn memref(&self, a: &Addressing) -> MemRef {
+        MemRef::new(self.ea(a), a.size)
+    }
+
+    fn push_entry(&mut self, pc: u32, op: TraceOp, addr_regs: RegSet) {
+        self.trace.push(TraceEntry { pc, op, addr_regs });
+    }
+
+    fn jump_to(&mut self, pc: u32, target: u32) -> Result<(), ExecError> {
+        match self.program.index_of_pc(target) {
+            Some(idx) => {
+                self.next = Some(idx);
+                Ok(())
+            }
+            None => {
+                self.next = None;
+                Err(ExecError::WildJump { pc, target })
+            }
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::WildJump`] when an indirect transfer leaves the
+    /// program, and [`ExecError::StepLimit`] when the step guard trips. The
+    /// trace accumulated up to (and including) the faulting instruction
+    /// remains available through [`Machine::trace`].
+    pub fn step(&mut self) -> Result<Step, ExecError> {
+        let Some(idx) = self.next else {
+            return Ok(Step::Halted);
+        };
+        if self.steps >= self.step_limit {
+            return Err(ExecError::StepLimit { limit: self.step_limit });
+        }
+        self.steps += 1;
+        let pc = self.program.pc_of(idx);
+        let instr = *self.program.instr(idx);
+        // Fallthrough by default; control flow overrides below.
+        self.next = Some(idx + 1);
+        if idx + 1 >= self.program.len() {
+            self.next = None; // running off the end halts
+        }
+
+        match instr {
+            Instr::MovRI { rd, imm } => {
+                self.regs[rd.index()] = imm;
+                self.push_entry(pc, TraceOp::Op(OpClass::ImmToReg { rd }), RegSet::EMPTY);
+            }
+            Instr::MovRR { rd, rs } => {
+                self.regs[rd.index()] = self.reg(rs);
+                self.push_entry(pc, TraceOp::Op(OpClass::RegToReg { rs, rd }), RegSet::EMPTY);
+            }
+            Instr::Load { rd, src } => {
+                let m = self.memref(&src);
+                self.regs[rd.index()] = self.memory.read(m.addr, m.size);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::MemToReg { src: m, rd }),
+                    RegSet::from_regs(src.regs()),
+                );
+            }
+            Instr::Store { dst, rs } => {
+                let m = self.memref(&dst);
+                self.memory.write(m.addr, m.size, self.reg(rs));
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::RegToMem { rs, dst: m }),
+                    RegSet::from_regs(dst.regs()),
+                );
+            }
+            Instr::StoreI { dst, imm } => {
+                let m = self.memref(&dst);
+                self.memory.write(m.addr, m.size, imm);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ImmToMem { dst: m }),
+                    RegSet::from_regs(dst.regs()),
+                );
+            }
+            Instr::Movs { size } => {
+                let src = MemRef::new(self.reg(Reg::Esi), size);
+                let dst = MemRef::new(self.reg(Reg::Edi), size);
+                let v = self.memory.read(src.addr, size);
+                self.memory.write(dst.addr, size, v);
+                self.regs[Reg::Esi.index()] = src.addr.wrapping_add(size.bytes());
+                self.regs[Reg::Edi.index()] = dst.addr.wrapping_add(size.bytes());
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::MemToMem { src, dst }),
+                    RegSet::from_regs([Reg::Esi, Reg::Edi]),
+                );
+            }
+            Instr::AluRR { op, rd, rs } => {
+                let v = op.apply(self.reg(rd), self.reg(rs));
+                self.regs[rd.index()] = v;
+                self.flags = (v, 0);
+                self.flag_src = Some(rd);
+                self.push_entry(pc, TraceOp::Op(OpClass::DestRegOpReg { rs, rd }), RegSet::EMPTY);
+            }
+            Instr::AluRM { op, rd, src } => {
+                let m = self.memref(&src);
+                let v = op.apply(self.reg(rd), self.memory.read(m.addr, m.size));
+                self.regs[rd.index()] = v;
+                self.flags = (v, 0);
+                self.flag_src = Some(rd);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::DestRegOpMem { src: m, rd }),
+                    RegSet::from_regs(src.regs()),
+                );
+            }
+            Instr::AluMR { op, dst, rs } => {
+                let m = self.memref(&dst);
+                let v = op.apply(self.memory.read(m.addr, m.size), self.reg(rs));
+                self.memory.write(m.addr, m.size, v);
+                self.flags = (v, 0);
+                self.flag_src = None;
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::DestMemOpReg { rs, dst: m }),
+                    RegSet::from_regs(dst.regs()),
+                );
+            }
+            Instr::AluRI { op, rd } => {
+                let v = op.apply(self.reg(rd));
+                self.regs[rd.index()] = v;
+                self.flags = (v, 0);
+                self.flag_src = Some(rd);
+                self.push_entry(pc, TraceOp::Op(OpClass::RegSelf { rd }), RegSet::EMPTY);
+            }
+            Instr::AluMI { op, dst } => {
+                let m = self.memref(&dst);
+                let v = op.apply(self.memory.read(m.addr, m.size));
+                self.memory.write(m.addr, m.size, v);
+                self.flags = (v, 0);
+                self.flag_src = None;
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::MemSelf { dst: m }),
+                    RegSet::from_regs(dst.regs()),
+                );
+            }
+            Instr::CmpRR { rd, rs } => {
+                self.flags = (self.reg(rd), self.reg(rs));
+                self.flag_src = Some(rd);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ReadOnly {
+                        src: None,
+                        reads: RegSet::from_regs([rd, rs]),
+                    }),
+                    RegSet::EMPTY,
+                );
+            }
+            Instr::CmpRI { rd, imm } => {
+                self.flags = (self.reg(rd), imm);
+                self.flag_src = Some(rd);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ReadOnly { src: None, reads: RegSet::from_regs([rd]) }),
+                    RegSet::EMPTY,
+                );
+            }
+            Instr::CmpRM { rd, src } => {
+                let m = self.memref(&src);
+                self.flags = (self.reg(rd), self.memory.read(m.addr, m.size));
+                self.flag_src = Some(rd);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ReadOnly {
+                        src: Some(m),
+                        reads: RegSet::from_regs([rd]),
+                    }),
+                    RegSet::from_regs(src.regs()),
+                );
+            }
+            Instr::Xchg { ra, rb } => {
+                self.regs.swap(ra.index(), rb.index());
+                let set = RegSet::from_regs([ra, rb]);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::Other {
+                        reads: set,
+                        writes: set,
+                        mem_read: None,
+                        mem_write: None,
+                    }),
+                    RegSet::EMPTY,
+                );
+            }
+            Instr::Push { rs } => {
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                self.regs[Reg::Esp.index()] = sp;
+                let dst = MemRef::word(sp);
+                self.memory.write(sp, MemSize::B4, self.reg(rs));
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::RegToMem { rs, dst }),
+                    RegSet::from_regs([Reg::Esp]),
+                );
+            }
+            Instr::PushI { imm } => {
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                self.regs[Reg::Esp.index()] = sp;
+                let dst = MemRef::word(sp);
+                self.memory.write(sp, MemSize::B4, imm);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ImmToMem { dst }),
+                    RegSet::from_regs([Reg::Esp]),
+                );
+            }
+            Instr::Pop { rd } => {
+                let sp = self.reg(Reg::Esp);
+                let src = MemRef::word(sp);
+                self.regs[rd.index()] = self.memory.read(sp, MemSize::B4);
+                self.regs[Reg::Esp.index()] = sp.wrapping_add(4);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::MemToReg { src, rd }),
+                    RegSet::from_regs([Reg::Esp]),
+                );
+            }
+            Instr::Jmp { target } => {
+                self.next = Some(self.program.resolve(target));
+                self.push_entry(pc, TraceOp::Ctrl(CtrlOp::Direct), RegSet::EMPTY);
+            }
+            Instr::Jcc { cond, target } => {
+                if cond.eval(self.flags.0, self.flags.1) {
+                    self.next = Some(self.program.resolve(target));
+                }
+                self.push_entry(
+                    pc,
+                    TraceOp::Ctrl(CtrlOp::CondBranch { input: self.flag_src }),
+                    RegSet::EMPTY,
+                );
+            }
+            Instr::JmpIndReg { r } => {
+                let target = self.reg(r);
+                self.push_entry(
+                    pc,
+                    TraceOp::Ctrl(CtrlOp::Indirect { target: JumpTarget::Reg(r) }),
+                    RegSet::EMPTY,
+                );
+                self.jump_to(pc, target)?;
+            }
+            Instr::JmpIndMem { src } => {
+                let m = self.memref(&src);
+                let target = self.memory.read(m.addr, m.size);
+                self.push_entry(
+                    pc,
+                    TraceOp::Ctrl(CtrlOp::Indirect { target: JumpTarget::Mem(m) }),
+                    RegSet::from_regs(src.regs()),
+                );
+                self.jump_to(pc, target)?;
+            }
+            Instr::Call { target } => {
+                let ret_pc = self.program.pc_of(idx) + crate::asm::INSTR_BYTES;
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                self.regs[Reg::Esp.index()] = sp;
+                self.memory.write(sp, MemSize::B4, ret_pc);
+                // The return-address store and the transfer are one retired
+                // instruction but two trace records (see module docs).
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ImmToMem { dst: MemRef::word(sp) }),
+                    RegSet::from_regs([Reg::Esp]),
+                );
+                self.push_entry(pc, TraceOp::Ctrl(CtrlOp::Direct), RegSet::EMPTY);
+                self.next = Some(self.program.resolve(target));
+            }
+            Instr::CallIndReg { r } => {
+                let ret_pc = self.program.pc_of(idx) + crate::asm::INSTR_BYTES;
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                self.regs[Reg::Esp.index()] = sp;
+                self.memory.write(sp, MemSize::B4, ret_pc);
+                self.push_entry(
+                    pc,
+                    TraceOp::Op(OpClass::ImmToMem { dst: MemRef::word(sp) }),
+                    RegSet::from_regs([Reg::Esp]),
+                );
+                let target = self.reg(r);
+                self.push_entry(
+                    pc,
+                    TraceOp::Ctrl(CtrlOp::Indirect { target: JumpTarget::Reg(r) }),
+                    RegSet::EMPTY,
+                );
+                self.jump_to(pc, target)?;
+            }
+            Instr::Ret => {
+                let sp = self.reg(Reg::Esp);
+                let slot = MemRef::word(sp);
+                let target = self.memory.read(sp, MemSize::B4);
+                self.regs[Reg::Esp.index()] = sp.wrapping_add(4);
+                self.push_entry(
+                    pc,
+                    TraceOp::Ctrl(CtrlOp::Ret { slot }),
+                    RegSet::from_regs([Reg::Esp]),
+                );
+                self.jump_to(pc, target)?;
+            }
+            Instr::Annot(a) => {
+                if let Annotation::ReadInput { base, len } = a {
+                    for i in 0..len {
+                        let b = self.input.pop_front().unwrap_or(0xaa);
+                        self.memory.write_u8(base.wrapping_add(i), b);
+                    }
+                }
+                self.push_entry(pc, TraceOp::Annot(a), RegSet::EMPTY);
+            }
+            Instr::Halt => {
+                self.next = None;
+                return Ok(Step::Halted);
+            }
+        }
+
+        Ok(if self.next.is_some() { Step::Continue } else { Step::Halted })
+    }
+
+    /// Runs until `halt`, the program end, or an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecError`]; the partial trace stays available
+    /// through [`Machine::trace`].
+    pub fn run(&mut self) -> Result<(), ExecError> {
+        loop {
+            match self.step()? {
+                Step::Continue => {}
+                Step::Halted => return Ok(()),
+            }
+        }
+    }
+
+    /// Runs to completion and hands back the full trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecError`].
+    pub fn run_to_completion(&mut self) -> Result<Vec<TraceEntry>, ExecError> {
+        self.run()?;
+        Ok(self.take_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Addressing, BinOp, Cond, ProgramBuilder, SelfOp};
+
+    fn word(addr: u32) -> Addressing {
+        Addressing::abs(addr, MemSize::B4)
+    }
+
+    #[test]
+    fn memory_round_trip_and_default_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(0x1234, MemSize::B4), 0);
+        m.write(0x1234, MemSize::B4, 0xdead_beef);
+        assert_eq!(m.read(0x1234, MemSize::B4), 0xdead_beef);
+        assert_eq!(m.read_u8(0x1234), 0xef); // little endian
+        assert_eq!(m.read(0x1236, MemSize::B2), 0xdead);
+        m.write(0x1235, MemSize::B1, 0x00);
+        assert_eq!(m.read(0x1234, MemSize::B4), 0xdead_00ef);
+    }
+
+    #[test]
+    fn memory_cross_page_access() {
+        let mut m = Memory::new();
+        m.write(0x0fff, MemSize::B4, 0x0403_0201);
+        assert_eq!(m.read_u8(0x0fff), 0x01);
+        assert_eq!(m.read_u8(0x1000), 0x02);
+        assert_eq!(m.read(0x0fff, MemSize::B4), 0x0403_0201);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.mov_ri(Reg::Eax, 10);
+        b.mov_ri(Reg::Ecx, 32);
+        b.alu_rr(BinOp::Add, Reg::Eax, Reg::Ecx);
+        b.alu_ri(SelfOp::Shl(1), Reg::Eax);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        let trace = m.run_to_completion().unwrap();
+        assert_eq!(m.reg(Reg::Eax), 84);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[2].op, TraceOp::Op(OpClass::DestRegOpReg { rs: Reg::Ecx, rd: Reg::Eax }));
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_through_memory() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.mov_ri(Reg::Eax, 0x55aa);
+        b.store(word(0x9000), Reg::Eax);
+        b.load(Reg::Edx, word(0x9000));
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Edx), 0x55aa);
+        let reads: Vec<_> = m.trace().iter().filter_map(|e| e.mem_read()).collect();
+        let writes: Vec<_> = m.trace().iter().filter_map(|e| e.mem_write()).collect();
+        assert_eq!(reads, vec![MemRef::word(0x9000)]);
+        assert_eq!(writes, vec![MemRef::word(0x9000)]);
+    }
+
+    #[test]
+    fn small_loads_zero_extend() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_ri(Reg::Eax, 0xffff_ffff);
+        b.store(word(0x9000), Reg::Eax);
+        b.load(Reg::Ecx, Addressing::abs(0x9000, MemSize::B1));
+        b.load(Reg::Edx, Addressing::abs(0x9000, MemSize::B2));
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Ecx), 0xff);
+        assert_eq!(m.reg(Reg::Edx), 0xffff);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // sum 1..=5 via a countdown loop
+        let mut b = ProgramBuilder::new(0x2000);
+        let top = b.label();
+        b.mov_ri(Reg::Eax, 0); // sum
+        b.mov_ri(Reg::Ecx, 5); // i
+        b.bind(top);
+        b.alu_rr(BinOp::Add, Reg::Eax, Reg::Ecx);
+        b.alu_ri(SelfOp::SubI(1), Reg::Ecx);
+        b.cmp_ri(Reg::Ecx, 0);
+        b.jcc(Cond::Ne, top);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Eax), 15);
+        // 2 setup + 5 iterations * 4 instructions
+        assert_eq!(m.retired(), 2 + 5 * 4 + 1);
+    }
+
+    #[test]
+    fn addressing_with_base_index_scale() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_ri(Reg::Ebx, 0x9000);
+        b.mov_ri(Reg::Esi, 3);
+        b.store_imm(Addressing::base_index(Reg::Ebx, Reg::Esi, 4, 8, MemSize::B4), 42);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.memory().read(0x9000 + 3 * 4 + 8, MemSize::B4), 42);
+        let store = &m.trace()[2];
+        assert!(store.addr_regs.contains(Reg::Ebx));
+        assert!(store.addr_regs.contains(Reg::Esi));
+    }
+
+    #[test]
+    fn push_pop_call_ret() {
+        let mut b = ProgramBuilder::new(0x3000);
+        let func = b.label();
+        let after = b.label();
+        b.mov_ri(Reg::Esp, 0xbfff_0000);
+        b.mov_ri(Reg::Eax, 11);
+        b.push(Reg::Eax);
+        b.call(func);
+        b.pop(Reg::Ebx); // pops the argument back
+        b.jmp(after);
+        b.bind(func);
+        b.mov_ri(Reg::Edx, 99);
+        b.ret();
+        b.bind(after);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Edx), 99);
+        assert_eq!(m.reg(Reg::Ebx), 11);
+        assert_eq!(m.reg(Reg::Esp), 0xbfff_0000);
+        // the call produced both a store record and a ctrl record at one pc
+        let call_pc = 0x3000 + 3 * 4;
+        let at_call: Vec<_> = m.trace().iter().filter(|e| e.pc == call_pc).collect();
+        assert_eq!(at_call.len(), 2);
+    }
+
+    #[test]
+    fn movs_copies_and_advances() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_ri(Reg::Esi, 0x9000);
+        b.mov_ri(Reg::Edi, 0xa000);
+        b.store_imm(word(0x9000), 0x1111);
+        b.store_imm(word(0x9004), 0x2222);
+        b.movs(MemSize::B4);
+        b.movs(MemSize::B4);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.memory().read(0xa000, MemSize::B4), 0x1111);
+        assert_eq!(m.memory().read(0xa004, MemSize::B4), 0x2222);
+        assert_eq!(m.reg(Reg::Esi), 0x9008);
+        assert_eq!(m.reg(Reg::Edi), 0xa008);
+    }
+
+    #[test]
+    fn xchg_swaps_and_traces_other() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_ri(Reg::Eax, 1);
+        b.mov_ri(Reg::Ecx, 2);
+        b.xchg(Reg::Eax, Reg::Ecx);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Eax), 2);
+        assert_eq!(m.reg(Reg::Ecx), 1);
+        assert!(matches!(m.trace()[2].op, TraceOp::Op(OpClass::Other { .. })));
+    }
+
+    #[test]
+    fn wild_indirect_jump_reports_error_but_keeps_trace() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.mov_ri(Reg::Eax, 0xdead_0000);
+        b.jmp_ind_reg(Reg::Eax);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        let err = m.run().unwrap_err();
+        assert_eq!(err, ExecError::WildJump { pc: 0x1004, target: 0xdead_0000 });
+        assert_eq!(m.trace().len(), 2); // mov + the indirect jump record
+    }
+
+    #[test]
+    fn read_input_annotation_writes_input_bytes() {
+        let mut b = ProgramBuilder::new(0);
+        b.annot(Annotation::ReadInput { base: 0x9000, len: 4 });
+        b.load(Reg::Eax, word(0x9000));
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.feed_input(&[0x01, 0x02, 0x03, 0x04]);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Eax), 0x0403_0201);
+    }
+
+    #[test]
+    fn read_input_underrun_uses_filler() {
+        let mut b = ProgramBuilder::new(0);
+        b.annot(Annotation::ReadInput { base: 0x9000, len: 2 });
+        b.load(Reg::Eax, Addressing::abs(0x9000, MemSize::B2));
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::Eax), 0xaaaa);
+    }
+
+    #[test]
+    fn step_limit_guards_runaway_loops() {
+        let mut b = ProgramBuilder::new(0);
+        let top = b.label();
+        b.bind(top);
+        b.jmp(top);
+        let mut m = Machine::new(b.build());
+        m.set_step_limit(100);
+        assert_eq!(m.run().unwrap_err(), ExecError::StepLimit { limit: 100 });
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_ri(Reg::Eax, 1);
+        let mut m = Machine::new(b.build());
+        assert_eq!(m.step().unwrap(), Step::Halted);
+        assert_eq!(m.step().unwrap(), Step::Halted); // idempotent
+    }
+
+    #[test]
+    fn cond_branch_records_flag_source() {
+        let mut b = ProgramBuilder::new(0);
+        let l = b.label();
+        b.mov_ri(Reg::Edx, 1);
+        b.cmp_ri(Reg::Edx, 1);
+        b.jcc(Cond::Eq, l);
+        b.bind(l);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run().unwrap();
+        let branch = m.trace().iter().find_map(|e| match e.op {
+            TraceOp::Ctrl(CtrlOp::CondBranch { input }) => Some(input),
+            _ => None,
+        });
+        assert_eq!(branch, Some(Some(Reg::Edx)));
+    }
+}

@@ -1,0 +1,487 @@
+//! Retirement-trace vocabulary: instruction classes, memory references and
+//! high-level annotation records.
+//!
+//! The instruction classes mirror the paper's Figure 5 exactly; they are the
+//! *original events* fed to the Inheritance Tracking hardware. Control-flow
+//! and annotation records carry the additional information needed by the
+//! checking lifeguards (indirect-jump targets, system-call arguments, heap and
+//! lock management events).
+
+use crate::Reg;
+use std::fmt;
+
+/// Size in bytes of a memory access. The framework models 1-, 2- and 4-byte
+/// accesses, the sizes produced by ordinary IA32 integer code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum MemSize {
+    B1 = 1,
+    B2 = 2,
+    #[default]
+    B4 = 4,
+}
+
+impl MemSize {
+    /// The size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        self as u32
+    }
+
+    /// Builds a size from a byte count.
+    ///
+    /// Returns `None` for counts other than 1, 2 or 4.
+    pub fn from_bytes(b: u32) -> Option<MemSize> {
+        match b {
+            1 => Some(MemSize::B1),
+            2 => Some(MemSize::B2),
+            4 => Some(MemSize::B4),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved memory reference: virtual address plus access size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Virtual address of the first byte accessed.
+    pub addr: u32,
+    /// Access size.
+    pub size: MemSize,
+}
+
+impl MemRef {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(addr: u32, size: MemSize) -> MemRef {
+        MemRef { addr, size }
+    }
+
+    /// A 4-byte reference at `addr`.
+    #[inline]
+    pub fn word(addr: u32) -> MemRef {
+        MemRef::new(addr, MemSize::B4)
+    }
+
+    /// A 1-byte reference at `addr`.
+    #[inline]
+    pub fn byte(addr: u32) -> MemRef {
+        MemRef::new(addr, MemSize::B1)
+    }
+
+    /// Exclusive end address of the access. Saturates at `u32::MAX`.
+    #[inline]
+    pub fn end(self) -> u32 {
+        self.addr.saturating_add(self.size.bytes())
+    }
+
+    /// Whether two references touch at least one common byte.
+    #[inline]
+    pub fn overlaps(self, other: MemRef) -> bool {
+        self.addr < other.end() && other.addr < self.end()
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x};{}]", self.addr, self.size.bytes())
+    }
+}
+
+/// A small set of registers, used to describe which registers an opaque
+/// (`other`) instruction reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(u8);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// The set of all eight registers.
+    pub const ALL: RegSet = RegSet(0xff);
+
+    /// Builds a set from an iterator of registers.
+    pub fn from_regs<I: IntoIterator<Item = Reg>>(regs: I) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in regs {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Adds a register to the set.
+    #[inline]
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Whether the register is in the set.
+    #[inline]
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union of two sets.
+    #[inline]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Iterates over the members in encoding order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..crate::NUM_REGS)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(Reg::from_index)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        RegSet::from_regs(iter)
+    }
+}
+
+/// The data-flow class of a retired instruction — the paper's Figure 5
+/// *original event* vocabulary.
+///
+/// Naming follows the paper: `Dest*Op*` classes are binary computations whose
+/// destination doubles as a source (`op %rs, %rd` ≡ `%rd = %rd op %rs`);
+/// `*Self` classes are unary computations with an immediate second operand
+/// (`op $imm, %rd`); `*To*` classes are copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `mov $imm, %rd`
+    ImmToReg { rd: Reg },
+    /// `mov $imm, mem(daddr)`
+    ImmToMem { dst: MemRef },
+    /// `op $imm, %rd` — e.g. `shr $8, %eax`
+    RegSelf { rd: Reg },
+    /// `op $imm, mem(daddr)` — e.g. `andl $0xff, (%eax)`
+    MemSelf { dst: MemRef },
+    /// `mov %rs, %rd`
+    RegToReg { rs: Reg, rd: Reg },
+    /// `mov %rs, mem(daddr)`
+    RegToMem { rs: Reg, dst: MemRef },
+    /// `mov mem(saddr), %rd`
+    MemToReg { src: MemRef, rd: Reg },
+    /// memory-to-memory copy (`movs`), one element
+    MemToMem { src: MemRef, dst: MemRef },
+    /// `op %rs, %rd`
+    DestRegOpReg { rs: Reg, rd: Reg },
+    /// `op mem(saddr), %rd`
+    DestRegOpMem { src: MemRef, rd: Reg },
+    /// `op %rs, mem(daddr)`
+    DestMemOpReg { rs: Reg, dst: MemRef },
+    /// Flag-setting compare/test instructions (`cmp`, `test`): they read
+    /// registers and possibly memory but write only the condition codes, so
+    /// they have *no* metadata effect. The paper folds these into its
+    /// `reg_self`/`other` rows; giving them their own class avoids spurious
+    /// Inheritance Tracking flushes while remaining sound (see `DESIGN.md`).
+    ReadOnly { src: Option<MemRef>, reads: RegSet },
+    /// Any instruction not covered by the explicit classes (`xchg`, `cpuid`,
+    /// …). Carries conservative read/write register sets and optional memory
+    /// operands so that Inheritance Tracking can flush exactly the affected
+    /// state (paper §4.3, third complication).
+    Other {
+        reads: RegSet,
+        writes: RegSet,
+        mem_read: Option<MemRef>,
+        mem_write: Option<MemRef>,
+    },
+}
+
+impl OpClass {
+    /// The memory reference read by this instruction, if any.
+    pub fn mem_read(&self) -> Option<MemRef> {
+        match *self {
+            OpClass::MemSelf { dst } => Some(dst),
+            OpClass::MemToReg { src, .. }
+            | OpClass::MemToMem { src, .. }
+            | OpClass::DestRegOpMem { src, .. } => Some(src),
+            OpClass::DestMemOpReg { dst, .. } => Some(dst),
+            OpClass::ReadOnly { src, .. } => src,
+            OpClass::Other { mem_read, .. } => mem_read,
+            _ => None,
+        }
+    }
+
+    /// The memory reference written by this instruction, if any.
+    pub fn mem_write(&self) -> Option<MemRef> {
+        match *self {
+            OpClass::ImmToMem { dst }
+            | OpClass::MemSelf { dst }
+            | OpClass::RegToMem { dst, .. }
+            | OpClass::MemToMem { dst, .. }
+            | OpClass::DestMemOpReg { dst, .. } => Some(dst),
+            OpClass::Other { mem_write, .. } => mem_write,
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction class can change the *metadata* of a memory
+    /// location under generic propagation semantics. `MemSelf` writes data
+    /// but its metadata result equals its metadata source, so it does not
+    /// count.
+    pub fn writes_mem_metadata(&self) -> bool {
+        match self {
+            OpClass::MemSelf { .. } => false,
+            other => other.mem_write().is_some(),
+        }
+    }
+
+    /// A short mnemonic matching the paper's event names (`mem_to_reg`, …).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpClass::ImmToReg { .. } => "imm_to_reg",
+            OpClass::ImmToMem { .. } => "imm_to_mem",
+            OpClass::RegSelf { .. } => "reg_self",
+            OpClass::MemSelf { .. } => "mem_self",
+            OpClass::RegToReg { .. } => "reg_to_reg",
+            OpClass::RegToMem { .. } => "reg_to_mem",
+            OpClass::MemToReg { .. } => "mem_to_reg",
+            OpClass::MemToMem { .. } => "mem_to_mem",
+            OpClass::DestRegOpReg { .. } => "dest_reg_op_reg",
+            OpClass::DestRegOpMem { .. } => "dest_reg_op_mem",
+            OpClass::DestMemOpReg { .. } => "dest_mem_op_reg",
+            OpClass::ReadOnly { .. } => "read_only",
+            OpClass::Other { .. } => "other",
+        }
+    }
+}
+
+/// Target of an indirect control transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JumpTarget {
+    /// `jmp *%r` — target address held in a register.
+    Reg(Reg),
+    /// `jmp *mem` — target address loaded from memory.
+    Mem(MemRef),
+}
+
+/// Control-flow classes that matter to the checking lifeguards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlOp {
+    /// Direct jump/call; irrelevant to all studied lifeguards but kept for
+    /// trace fidelity (it consumes fetch bandwidth and a log record).
+    Direct,
+    /// Indirect jump or call: TaintCheck verifies the target is untainted.
+    Indirect { target: JumpTarget },
+    /// Conditional branch: MemCheck verifies the tested value (modelled as
+    /// the register whose compare set the flags) is initialized.
+    CondBranch { input: Option<Reg> },
+    /// `ret`: an indirect transfer through the stack slot at `slot`.
+    Ret { slot: MemRef },
+}
+
+/// High-level events inserted into the log by wrapper libraries
+/// (paper §3: "software-inserted annotation records").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// Heap allocation of `[base, base+size)`.
+    Malloc { base: u32, size: u32 },
+    /// Heap release of the block starting at `base`.
+    Free { base: u32 },
+    /// Lock acquire (the lock object's address identifies the lock).
+    Lock { lock: u32 },
+    /// Lock release.
+    Unlock { lock: u32 },
+    /// A `read`/`recv`-style system call placed `len` bytes of *untrusted
+    /// input* at `base`: TaintCheck taints the range, MemCheck marks it
+    /// initialized.
+    ReadInput { base: u32, len: u32 },
+    /// Generic system call with one register argument and an optional memory
+    /// argument range; the monitored application stalls here until the
+    /// lifeguard drains the log (paper §3 fault-containment rule).
+    Syscall { arg_reg: Option<Reg>, arg_mem: Option<MemRef> },
+    /// `printf`-style call: `fmt` points at the format string, which
+    /// TaintCheck requires to be untainted.
+    PrintfFormat { fmt: MemRef },
+    /// Scheduler switch: subsequent records belong to thread `tid`.
+    ThreadSwitch { tid: u32 },
+    /// Thread `tid` exited (LockSet bookkeeping).
+    ThreadExit { tid: u32 },
+}
+
+impl Annotation {
+    /// Whether the monitored application must stall at this record until the
+    /// lifeguard has drained the log buffer (all kernel-entering events).
+    pub fn is_sync_point(&self) -> bool {
+        matches!(
+            self,
+            Annotation::Syscall { .. } | Annotation::ReadInput { .. }
+        )
+    }
+}
+
+/// Payload of one trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// A retired data-flow instruction.
+    Op(OpClass),
+    /// A retired control-flow instruction.
+    Ctrl(CtrlOp),
+    /// A high-level annotation record.
+    Annot(Annotation),
+}
+
+/// One record of the retirement trace: the program counter plus payload.
+///
+/// This is the information content of an LBA log record *before* compression
+/// (paper §3: "program counter, instruction type, input/output operand
+/// identifiers, and any data addresses").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// Program counter of the retired instruction (annotation records reuse
+    /// the pc of the call site that produced them).
+    pub pc: u32,
+    /// The payload.
+    pub op: TraceOp,
+    /// Registers used to compute the instruction's memory operand addresses
+    /// (base/index). MemCheck verifies these are initialized at every memory
+    /// access ("address computation" checks, paper Table 1).
+    pub addr_regs: RegSet,
+}
+
+impl TraceEntry {
+    /// Convenience constructor for a data-flow record.
+    pub fn op(pc: u32, op: OpClass) -> TraceEntry {
+        TraceEntry { pc, op: TraceOp::Op(op), addr_regs: RegSet::EMPTY }
+    }
+
+    /// Convenience constructor for a control-flow record.
+    pub fn ctrl(pc: u32, c: CtrlOp) -> TraceEntry {
+        TraceEntry { pc, op: TraceOp::Ctrl(c), addr_regs: RegSet::EMPTY }
+    }
+
+    /// Convenience constructor for an annotation record.
+    pub fn annot(pc: u32, a: Annotation) -> TraceEntry {
+        TraceEntry { pc, op: TraceOp::Annot(a), addr_regs: RegSet::EMPTY }
+    }
+
+    /// Attaches the address-computation register set.
+    pub fn with_addr_regs(mut self, regs: RegSet) -> TraceEntry {
+        self.addr_regs = regs;
+        self
+    }
+
+    /// The memory reference read by this record, if any.
+    pub fn mem_read(&self) -> Option<MemRef> {
+        match &self.op {
+            TraceOp::Op(o) => o.mem_read(),
+            TraceOp::Ctrl(CtrlOp::Indirect { target: JumpTarget::Mem(m) }) => Some(*m),
+            TraceOp::Ctrl(CtrlOp::Ret { slot }) => Some(*slot),
+            _ => None,
+        }
+    }
+
+    /// The memory reference written by this record, if any.
+    pub fn mem_write(&self) -> Option<MemRef> {
+        match &self.op {
+            TraceOp::Op(o) => o.mem_write(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_overlap_is_symmetric_and_correct() {
+        let a = MemRef::new(100, MemSize::B4); // [100,104)
+        let b = MemRef::new(103, MemSize::B1); // [103,104)
+        let c = MemRef::new(104, MemSize::B4); // [104,108)
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+        assert!(!c.overlaps(a));
+        assert!(!b.overlaps(c));
+    }
+
+    #[test]
+    fn memref_end_saturates() {
+        let m = MemRef::new(u32::MAX - 1, MemSize::B4);
+        assert_eq!(m.end(), u32::MAX);
+    }
+
+    #[test]
+    fn regset_basic_ops() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Reg::Eax);
+        s.insert(Reg::Edi);
+        assert!(s.contains(Reg::Eax));
+        assert!(!s.contains(Reg::Ecx));
+        let collected: Vec<Reg> = s.iter().collect();
+        assert_eq!(collected, vec![Reg::Eax, Reg::Edi]);
+        let u = s.union(RegSet::from_regs([Reg::Ecx]));
+        assert!(u.contains(Reg::Ecx) && u.contains(Reg::Eax) && u.contains(Reg::Edi));
+    }
+
+    #[test]
+    fn opclass_mem_accessors() {
+        let src = MemRef::word(0x1000);
+        let dst = MemRef::word(0x2000);
+        let op = OpClass::MemToMem { src, dst };
+        assert_eq!(op.mem_read(), Some(src));
+        assert_eq!(op.mem_write(), Some(dst));
+        assert!(op.writes_mem_metadata());
+
+        // mem_self writes data but not metadata.
+        let op = OpClass::MemSelf { dst };
+        assert_eq!(op.mem_read(), Some(dst));
+        assert_eq!(op.mem_write(), Some(dst));
+        assert!(!op.writes_mem_metadata());
+
+        let op = OpClass::DestMemOpReg { rs: Reg::Eax, dst };
+        assert!(op.writes_mem_metadata());
+        assert_eq!(op.mem_read(), Some(dst));
+    }
+
+    #[test]
+    fn trace_entry_mem_accessors_cover_ctrl() {
+        let slot = MemRef::word(0xbfff_0000);
+        let e = TraceEntry::ctrl(0x8048000, CtrlOp::Ret { slot });
+        assert_eq!(e.mem_read(), Some(slot));
+        assert_eq!(e.mem_write(), None);
+
+        let e = TraceEntry::ctrl(
+            0x8048004,
+            CtrlOp::Indirect { target: JumpTarget::Mem(slot) },
+        );
+        assert_eq!(e.mem_read(), Some(slot));
+    }
+
+    #[test]
+    fn annotation_sync_points() {
+        assert!(Annotation::Syscall { arg_reg: None, arg_mem: None }.is_sync_point());
+        assert!(Annotation::ReadInput { base: 0, len: 4 }.is_sync_point());
+        assert!(!Annotation::Malloc { base: 0, size: 16 }.is_sync_point());
+        assert!(!Annotation::Lock { lock: 8 }.is_sync_point());
+    }
+
+    #[test]
+    fn mnemonics_match_paper_names() {
+        assert_eq!(OpClass::ImmToReg { rd: Reg::Eax }.mnemonic(), "imm_to_reg");
+        assert_eq!(
+            OpClass::DestRegOpMem { src: MemRef::word(0), rd: Reg::Eax }.mnemonic(),
+            "dest_reg_op_mem"
+        );
+        assert_eq!(
+            OpClass::Other {
+                reads: RegSet::EMPTY,
+                writes: RegSet::EMPTY,
+                mem_read: None,
+                mem_write: None
+            }
+            .mnemonic(),
+            "other"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Log-Based Architecture (LBA) substrate.
+//!
+//! LBA (paper §3) captures a log record for every instruction retired by the
+//! monitored application, compresses it, ships it through a buffer in the
+//! shared on-chip cache, and redelivers it as one or more *events* to the
+//! lifeguard running on another core. This crate provides:
+//!
+//! * [`record`] — the compressed-record size model used for log-buffer
+//!   occupancy accounting.
+//! * [`buffer`] — the bounded producer/consumer [`buffer::LogBuffer`].
+//! * [`event`] — the event vocabulary delivered to lifeguards (propagation
+//!   events, memory-access check events, source-check events, annotations)
+//!   and the record→events extraction ("event mux" in the paper's Figure 1).
+//! * [`etct`] — the event type configuration table, including the Idempotent
+//!   Filter configuration fields the paper adds to it (§5).
+//!
+//! The hardware accelerators themselves (Inheritance Tracking, Idempotent
+//! Filters, Metadata-TLB) live in the `igm-core` crate; they plug in between
+//! event extraction and handler dispatch.
+
+pub mod buffer;
+pub mod etct;
+pub mod event;
+pub mod record;
+
+pub use buffer::LogBuffer;
+pub use etct::{Etct, EtctEntry, FieldSelect, IfEventConfig};
+pub use event::{
+    extract_events, CheckKind, DeliveredEvent, Event, EventType, MetaSource, NUM_EVENT_TYPES,
+};
+pub use record::{compressed_size, ANNOTATION_RECORD_BYTES, INSTR_RECORD_BYTES};

@@ -1,0 +1,320 @@
+//! AddrCheck: every memory access must touch allocated memory (Table 1).
+//!
+//! Metadata is one *accessible* bit per application byte, kept in a
+//! two-level shadow map (1-byte elements covering 8 application bytes).
+//! `malloc`/`free` wrapper annotations flip the bits; every load and store
+//! checks them. Auxiliary malloc/free record lists catch double frees,
+//! invalid frees and leaks.
+//!
+//! Under the Idempotent Filter, loads and stores share one check category
+//! (the check is identical), keyed on address and size; `malloc`, `free`
+//! and system calls invalidate the whole filter (paper §5).
+
+use crate::cost::{CostSink, MetaMap, SOFTWARE_MAP_INSTRS};
+use crate::violation::Violation;
+use crate::{Lifeguard, LifeguardKind};
+use igm_core::AccelConfig;
+use igm_isa::{Annotation, MemRef};
+use igm_lba::{DeliveredEvent, Etct, Event, EventType, IfEventConfig};
+use igm_shadow::layout::ElemSize;
+use igm_shadow::{ShadowLayout, TwoLevelShadow};
+use std::collections::HashMap;
+
+/// Accessible-bit value.
+const ACCESSIBLE: u8 = 1;
+
+/// The AddrCheck lifeguard.
+#[derive(Debug)]
+pub struct AddrCheck {
+    meta: MetaMap,
+    /// Live allocations: base → size (the malloc record list).
+    live: HashMap<u32, u32>,
+    /// Bases seen in a `free` since their last allocation (the free record
+    /// list), for double-free detection.
+    freed: HashMap<u32, u32>,
+    violations: Vec<Violation>,
+    /// Total checks performed (for reports).
+    checks: u64,
+}
+
+impl AddrCheck {
+    /// One accessible bit per byte: 1-byte elements covering 8 application
+    /// bytes, 16-bit level-1 index.
+    pub fn layout() -> ShadowLayout {
+        ShadowLayout::for_coverage(12, 8, ElemSize::B1).expect("constant layout is valid")
+    }
+
+    /// Builds AddrCheck under `cfg` (only the `lma` and `mtlb_entries`
+    /// fields are relevant; IT never applies).
+    pub fn new(cfg: &AccelConfig) -> AddrCheck {
+        let shadow = TwoLevelShadow::new(Self::layout(), 0);
+        AddrCheck {
+            meta: MetaMap::new(shadow, cfg.lma.then_some(cfg.mtlb_entries)),
+            live: HashMap::new(),
+            freed: HashMap::new(),
+            violations: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    /// Number of access checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Reports every still-live block as a leak (call at program exit, as
+    /// the real tool does; synthetic workloads intentionally skip this).
+    pub fn report_leaks(&mut self) {
+        let mut leaks: Vec<_> = self.live.iter().map(|(b, s)| (*b, *s)).collect();
+        leaks.sort_unstable();
+        for (base, size) in leaks {
+            self.violations.push(Violation::Leak { base, size });
+        }
+    }
+
+    fn check_access(&mut self, pc: u32, mref: MemRef, is_write: bool, cost: &mut CostSink) {
+        self.checks += 1;
+        let va = self.meta.map(mref.addr, cost);
+        // Fast path: load the element, compute the in-element bit offset,
+        // extract the per-byte bit field (shift, mask), compare against the
+        // all-accessible pattern for the access size, branch.
+        cost.instr(6);
+        cost.mem(va);
+        // Accesses crossing an element boundary re-map the tail.
+        let last = mref.addr + (mref.size.bytes() - 1);
+        if self.meta.shadow().layout().l1_index(last) != self.meta.shadow().layout().l1_index(mref.addr)
+            || self.meta.shadow().layout().elem_index(last)
+                != self.meta.shadow().layout().elem_index(mref.addr)
+        {
+            let va2 = self.meta.map(last, cost);
+            cost.instr(2);
+            cost.mem(va2);
+        }
+        if !self.meta.shadow().packed_all(mref.addr, mref.size.bytes(), ACCESSIBLE) {
+            self.violations.push(Violation::UnallocatedAccess { pc, mref, is_write });
+        }
+    }
+
+    fn mark_range(&mut self, base: u32, len: u32, v: u8, cost: &mut CostSink) {
+        // The handler memsets the metadata word-at-a-time: one 4-byte store
+        // covers 32 application bytes; each metadata cache line is touched
+        // once.
+        let elems = len.div_ceil(8).max(1);
+        cost.instr(4 + elems.div_ceil(4));
+        let mut a = base;
+        while a < base.saturating_add(len) {
+            let va = self.meta.map(a, cost);
+            cost.mem(va);
+            a = a.saturating_add(512); // one mapped chunk line per 512 app bytes
+        }
+        self.meta.shadow_mut().packed_set_range(base, len, v);
+    }
+}
+
+impl Lifeguard for AddrCheck {
+    fn kind(&self) -> LifeguardKind {
+        LifeguardKind::AddrCheck
+    }
+
+    fn etct(&self) -> Etct {
+        let mut etct = Etct::new();
+        // Loads and stores perform the same check: one CC value.
+        etct.register(EventType::MemRead, IfEventConfig::cacheable_addr(0));
+        etct.register(EventType::MemWrite, IfEventConfig::cacheable_addr(0));
+        // Metadata-changing rare events invalidate the filter.
+        etct.register(EventType::Malloc, IfEventConfig::invalidates_all());
+        etct.register(EventType::Free, IfEventConfig::invalidates_all());
+        etct.register(EventType::Syscall, IfEventConfig::invalidates_all());
+        // Kernel writes into a user buffer: the buffer must be allocated.
+        etct.register_plain(EventType::ReadInput);
+        etct
+    }
+
+    fn handle(&mut self, ev: &DeliveredEvent, cost: &mut CostSink) {
+        match ev.event {
+            Event::MemRead(m) => self.check_access(ev.pc, m, false, cost),
+            Event::MemWrite(m) => self.check_access(ev.pc, m, true, cost),
+            Event::Annot(Annotation::Malloc { base, size }) => {
+                self.mark_range(base, size, ACCESSIBLE, cost);
+                self.live.insert(base, size);
+                self.freed.remove(&base);
+                cost.instr(20); // record-list update
+            }
+            Event::Annot(Annotation::Free { base }) => {
+                cost.instr(20);
+                match self.live.remove(&base) {
+                    Some(size) => {
+                        self.mark_range(base, size, 0, cost);
+                        self.freed.insert(base, size);
+                    }
+                    None => {
+                        if self.freed.contains_key(&base) {
+                            self.violations.push(Violation::DoubleFree { pc: ev.pc, base });
+                        } else {
+                            self.violations.push(Violation::InvalidFree { pc: ev.pc, base });
+                        }
+                    }
+                }
+            }
+            Event::Annot(Annotation::ReadInput { base, len }) => {
+                // The whole buffer must be accessible.
+                let mref = MemRef::word(base);
+                self.checks += 1;
+                let va = self.meta.map(base, cost);
+                cost.instr(3 + len / 512);
+                cost.mem(va);
+                if !self.meta.shadow().packed_all(base, len, ACCESSIBLE) {
+                    self.violations.push(Violation::UnallocatedAccess {
+                        pc: ev.pc,
+                        mref,
+                        is_write: true,
+                    });
+                }
+            }
+            Event::Annot(Annotation::Syscall { .. }) => {
+                cost.instr(5); // bookkeeping only
+            }
+            _ => {
+                // Unreachable under this lifeguard's ETCT.
+                cost.instr(1);
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    fn premark_region(&mut self, base: u32, len: u32) {
+        let mut scratch = CostSink::new();
+        self.mark_range(base, len, ACCESSIBLE, &mut scratch);
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        self.meta.metadata_bytes() + (self.live.len() + self.freed.len()) as u64 * 8
+    }
+}
+
+/// The paper's baseline mapping cost is visible in this module's handlers:
+/// exported for the documentation tests.
+pub const ACCESS_CHECK_FAST_PATH_INSTRS: u32 = SOFTWARE_MAP_INSTRS + 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igm_isa::MemSize;
+
+    fn ev(pc: u32, event: Event) -> DeliveredEvent {
+        DeliveredEvent::new(pc, event)
+    }
+
+    fn run(lg: &mut AddrCheck, event: Event) -> u64 {
+        let mut c = CostSink::new();
+        lg.handle(&ev(0x1000, event), &mut c);
+        c.instrs()
+    }
+
+    #[test]
+    fn access_to_unallocated_memory_is_flagged() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::MemRead(MemRef::word(0x9000)));
+        assert_eq!(lg.violations().len(), 1);
+        assert!(matches!(
+            lg.violations()[0],
+            Violation::UnallocatedAccess { is_write: false, .. }
+        ));
+    }
+
+    #[test]
+    fn malloc_makes_memory_accessible_free_revokes() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0x9000, size: 64 }));
+        run(&mut lg, Event::MemRead(MemRef::word(0x9000)));
+        run(&mut lg, Event::MemWrite(MemRef::word(0x903c)));
+        assert!(lg.violations().is_empty());
+        // Out-of-bounds just past the block.
+        run(&mut lg, Event::MemRead(MemRef::word(0x9040)));
+        assert_eq!(lg.violations().len(), 1);
+        // Use after free.
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0x9000 }));
+        run(&mut lg, Event::MemRead(MemRef::word(0x9000)));
+        assert_eq!(lg.violations().len(), 2);
+    }
+
+    #[test]
+    fn boundary_access_straddling_block_end_is_flagged() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0x9000, size: 62 }));
+        // 4-byte access at 0x903c covers bytes 60..64, one past the block.
+        run(&mut lg, Event::MemRead(MemRef::new(0x903c, MemSize::B4)));
+        assert_eq!(lg.violations().len(), 1);
+    }
+
+    #[test]
+    fn double_free_and_invalid_free() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0x9000, size: 64 }));
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0x9000 }));
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0x9000 }));
+        assert!(matches!(lg.violations()[0], Violation::DoubleFree { base: 0x9000, .. }));
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0xdead_0000 }));
+        assert!(matches!(lg.violations()[1], Violation::InvalidFree { .. }));
+    }
+
+    #[test]
+    fn leaks_reported_on_demand() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0x9000, size: 64 }));
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0xa000, size: 32 }));
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0x9000 }));
+        assert!(lg.violations().is_empty());
+        lg.report_leaks();
+        assert_eq!(lg.violations(), &[Violation::Leak { base: 0xa000, size: 32 }]);
+    }
+
+    #[test]
+    fn premarked_regions_are_accessible_but_not_freeable() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        lg.premark_region(0xbff0_0000, 0x1000);
+        run(&mut lg, Event::MemWrite(MemRef::word(0xbff0_0800)));
+        assert!(lg.violations().is_empty());
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0xbff0_0000 }));
+        assert!(matches!(lg.violations()[0], Violation::InvalidFree { .. }));
+    }
+
+    #[test]
+    fn lma_halves_check_fast_path() {
+        let mut base = AddrCheck::new(&AccelConfig::baseline());
+        base.premark_region(0x9000, 64);
+        let c_base = run(&mut base, Event::MemRead(MemRef::word(0x9000)));
+        assert_eq!(c_base, (SOFTWARE_MAP_INSTRS + 6) as u64);
+
+        let mut fast = AddrCheck::new(&AccelConfig::lma());
+        fast.premark_region(0x9000, 64);
+        run(&mut fast, Event::MemRead(MemRef::word(0x9000))); // cold miss
+        let c_fast = run(&mut fast, Event::MemRead(MemRef::word(0x9000)));
+        assert_eq!(c_fast, 7);
+    }
+
+    #[test]
+    fn readinput_into_unallocated_buffer_is_flagged() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::Annot(Annotation::ReadInput { base: 0x9000, len: 128 }));
+        assert_eq!(lg.violations().len(), 1);
+    }
+
+    #[test]
+    fn etct_shares_cc_for_loads_and_stores() {
+        let lg = AddrCheck::new(&AccelConfig::baseline());
+        let etct = lg.etct();
+        let r = etct.if_config(EventType::MemRead);
+        let w = etct.if_config(EventType::MemWrite);
+        assert!(r.cacheable && w.cacheable);
+        assert_eq!(r.cc, w.cc);
+        assert!(etct.if_config(EventType::Malloc).invalidate_all);
+    }
+}

@@ -1,0 +1,217 @@
+//! The five instruction-grain lifeguards of the paper (Table 1).
+//!
+//! | Lifeguard | Detects | Metadata | IT | IF | M-TLB |
+//! |---|---|---|---|---|---|
+//! | [`AddrCheck`] | accesses to unallocated memory, double/invalid frees, leaks | 1 accessible bit / byte | – | ✓ | ✓ |
+//! | [`MemCheck`] | AddrCheck + uses of uninitialized values | +1 initialized bit / byte, per-register state | ✓ | ✓ | ✓ |
+//! | [`TaintCheck`] | overwrite-based security exploits | 2 taint bits / byte, per-register state | ✓ | – | ✓ |
+//! | [`TaintCheckDetailed`] | same + taint-propagation trail | 8-byte (from, eip) record / word | ✓ | – | ✓ |
+//! | [`LockSet`] | data races (Eraser algorithm) | 32-bit state+lockset record / word | – | ✓ | ✓ |
+//!
+//! Each lifeguard is an ordinary software program running on the lifeguard
+//! core: its handlers do *real* metadata work against `igm-shadow` maps (so
+//! planted bugs are actually detected) while reporting per-event dynamic
+//! instruction counts and metadata memory references through a
+//! [`CostSink`], which is what the timing model consumes. Handler costs are
+//! calibrated against the paper's Figure 7 listing (8 instructions for the
+//! two-level TaintCheck handler, 4 with `LMA`).
+
+pub mod addrcheck;
+pub mod cost;
+pub mod lockset;
+pub mod memcheck;
+pub mod taint;
+pub mod taint_detailed;
+pub mod violation;
+
+pub use addrcheck::AddrCheck;
+pub use cost::{CostSink, MISS_HANDLER_INSTRS, NLBA_INSTRS, SOFTWARE_MAP_INSTRS};
+pub use lockset::LockSet;
+pub use memcheck::MemCheck;
+pub use taint::TaintCheck;
+pub use taint_detailed::TaintCheckDetailed;
+pub use violation::Violation;
+
+use igm_core::{AccelConfig, ItConfig};
+use igm_lba::{DeliveredEvent, Etct};
+use std::fmt;
+
+/// Which lifeguard (the paper's five).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LifeguardKind {
+    AddrCheck,
+    MemCheck,
+    TaintCheck,
+    TaintCheckDetailed,
+    LockSet,
+}
+
+/// Which accelerators apply to a lifeguard (the paper's Figure 2 matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelSupport {
+    /// Inheritance Tracking applies.
+    pub it: bool,
+    /// Idempotent Filters apply.
+    pub idempotent_filter: bool,
+    /// The Metadata-TLB applies (true for every studied lifeguard).
+    pub lma: bool,
+}
+
+impl LifeguardKind {
+    /// All five lifeguards in the paper's presentation order.
+    pub const ALL: [LifeguardKind; 5] = [
+        LifeguardKind::AddrCheck,
+        LifeguardKind::MemCheck,
+        LifeguardKind::TaintCheck,
+        LifeguardKind::TaintCheckDetailed,
+        LifeguardKind::LockSet,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifeguardKind::AddrCheck => "AddrCheck",
+            LifeguardKind::MemCheck => "MemCheck",
+            LifeguardKind::TaintCheck => "TaintCheck",
+            LifeguardKind::TaintCheckDetailed => "TaintCheck w/ detailed tracking",
+            LifeguardKind::LockSet => "LockSet",
+        }
+    }
+
+    /// The Figure 2 applicability row.
+    pub fn accel_support(self) -> AccelSupport {
+        match self {
+            LifeguardKind::AddrCheck => {
+                AccelSupport { it: false, idempotent_filter: true, lma: true }
+            }
+            LifeguardKind::MemCheck => {
+                AccelSupport { it: true, idempotent_filter: true, lma: true }
+            }
+            LifeguardKind::TaintCheck | LifeguardKind::TaintCheckDetailed => {
+                AccelSupport { it: true, idempotent_filter: false, lma: true }
+            }
+            LifeguardKind::LockSet => {
+                AccelSupport { it: false, idempotent_filter: true, lma: true }
+            }
+        }
+    }
+
+    /// The IT policy this lifeguard requires when IT is enabled.
+    pub fn it_config(self) -> Option<ItConfig> {
+        match self {
+            LifeguardKind::MemCheck => Some(ItConfig::memcheck_style()),
+            LifeguardKind::TaintCheck | LifeguardKind::TaintCheckDetailed => {
+                Some(ItConfig::taint_style())
+            }
+            _ => None,
+        }
+    }
+
+    /// Masks a requested configuration by this lifeguard's Figure 2 row and
+    /// substitutes the lifeguard's own IT policy.
+    pub fn mask_config(self, requested: &AccelConfig) -> AccelConfig {
+        let support = self.accel_support();
+        AccelConfig {
+            lma: requested.lma && support.lma,
+            mtlb_entries: requested.mtlb_entries,
+            it: if requested.it.is_some() && support.it { self.it_config() } else { None },
+            if_geometry: if support.idempotent_filter { requested.if_geometry } else { None },
+        }
+    }
+
+    /// Builds the lifeguard under a (pre-masked) configuration.
+    pub fn build(self, cfg: &AccelConfig) -> Box<dyn Lifeguard> {
+        let cfg = self.mask_config(cfg);
+        match self {
+            LifeguardKind::AddrCheck => Box::new(AddrCheck::new(&cfg)),
+            LifeguardKind::MemCheck => Box::new(MemCheck::new(&cfg)),
+            LifeguardKind::TaintCheck => Box::new(TaintCheck::new(&cfg)),
+            LifeguardKind::TaintCheckDetailed => Box::new(TaintCheckDetailed::new(&cfg)),
+            LifeguardKind::LockSet => Box::new(LockSet::new(&cfg)),
+        }
+    }
+}
+
+impl fmt::Display for LifeguardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An instruction-grain lifeguard: event handlers over metadata.
+pub trait Lifeguard {
+    /// Which lifeguard this is.
+    fn kind(&self) -> LifeguardKind;
+
+    /// The event registrations and Idempotent Filter configuration this
+    /// lifeguard loads into the ETCT.
+    fn etct(&self) -> Etct;
+
+    /// Handles one delivered event, accumulating handler cost into `cost`.
+    /// The `nlba` dispatch instruction is charged by the caller.
+    fn handle(&mut self, ev: &DeliveredEvent, cost: &mut CostSink);
+
+    /// Violations reported so far.
+    fn violations(&self) -> &[Violation];
+
+    /// Drains the reported violations.
+    fn take_violations(&mut self) -> Vec<Violation>;
+
+    /// Marks a loader-established region (globals, stack, mmap) as valid
+    /// program state before monitoring starts.
+    fn premark_region(&mut self, base: u32, len: u32);
+
+    /// Switches the lifeguard into synthetic-workload mode (statistical
+    /// traces rather than real programs). Only MemCheck reacts: it treats
+    /// `malloc` as `calloc`, because generated reads are not data-dependent
+    /// on generated writes (see `igm-workload` docs). Default: no-op.
+    fn set_synthetic_workload_mode(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Current metadata footprint in bytes (shadow chunks + auxiliary
+    /// structures), for the space studies.
+    fn metadata_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_matrix() {
+        use LifeguardKind::*;
+        // Every lifeguard benefits from the M-TLB.
+        for k in LifeguardKind::ALL {
+            assert!(k.accel_support().lma, "{k}");
+        }
+        assert!(!AddrCheck.accel_support().it);
+        assert!(AddrCheck.accel_support().idempotent_filter);
+        assert!(MemCheck.accel_support().it && MemCheck.accel_support().idempotent_filter);
+        assert!(TaintCheck.accel_support().it);
+        assert!(!TaintCheck.accel_support().idempotent_filter);
+        assert!(TaintCheckDetailed.accel_support().it);
+        assert!(!LockSet.accel_support().it);
+        assert!(LockSet.accel_support().idempotent_filter);
+    }
+
+    #[test]
+    fn mask_config_respects_support() {
+        let full = AccelConfig::full(ItConfig::taint_style());
+        let m = LifeguardKind::AddrCheck.mask_config(&full);
+        assert!(m.lma && m.it.is_none() && m.if_geometry.is_some());
+        let m = LifeguardKind::TaintCheck.mask_config(&full);
+        assert!(m.lma && m.it.is_some() && m.if_geometry.is_none());
+        let m = LifeguardKind::MemCheck.mask_config(&full);
+        assert!(m.it.unwrap().nonunary_check, "MemCheck uses eager checks");
+    }
+
+    #[test]
+    fn build_constructs_every_lifeguard() {
+        for k in LifeguardKind::ALL {
+            let lg = k.build(&AccelConfig::full(ItConfig::taint_style()));
+            assert_eq!(lg.kind(), k);
+            assert!(lg.etct().registered_count() > 0);
+        }
+    }
+}

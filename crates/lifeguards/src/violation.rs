@@ -1,0 +1,127 @@
+//! Violations reported by the lifeguards.
+
+use igm_isa::MemRef;
+use std::fmt;
+
+/// What a checked value's metadata belonged to, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceDesc {
+    /// A register (by dense index, `igm_isa::Reg::index`).
+    Reg(usize),
+    /// A memory range.
+    Mem(MemRef),
+}
+
+impl fmt::Display for SourceDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceDesc::Reg(i) => write!(f, "register #{i}"),
+            SourceDesc::Mem(m) => write!(f, "memory {m}"),
+        }
+    }
+}
+
+/// A property violation detected by a lifeguard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// AddrCheck/MemCheck: access to unallocated memory.
+    UnallocatedAccess {
+        /// Faulting instruction.
+        pc: u32,
+        /// The access.
+        mref: MemRef,
+        /// Store (true) or load (false).
+        is_write: bool,
+    },
+    /// AddrCheck/MemCheck: `free` of an already-freed block.
+    DoubleFree { pc: u32, base: u32 },
+    /// AddrCheck/MemCheck: `free` of a pointer that was never allocated.
+    InvalidFree { pc: u32, base: u32 },
+    /// AddrCheck/MemCheck: block still allocated at exit.
+    Leak { base: u32, size: u32 },
+    /// MemCheck: an uninitialized value reached a use (pointer dereference,
+    /// conditional test, system call, or — under eager evaluation — any
+    /// non-unary computation).
+    UninitUse { pc: u32, source: SourceDesc },
+    /// TaintCheck: tainted data reached a critical sink.
+    TaintedUse {
+        pc: u32,
+        /// Which sink (jump target, system-call argument, format string).
+        sink: TaintSink,
+        source: SourceDesc,
+    },
+    /// LockSet: no common lock protects this shared location.
+    DataRace { pc: u32, addr: u32, tid: u32 },
+}
+
+/// TaintCheck's critical sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintSink {
+    JumpTarget,
+    SyscallArg,
+    FormatString,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnallocatedAccess { pc, mref, is_write } => write!(
+                f,
+                "{} of unallocated memory {mref} at pc {pc:#010x}",
+                if *is_write { "store" } else { "load" }
+            ),
+            Violation::DoubleFree { pc, base } => {
+                write!(f, "double free of {base:#010x} at pc {pc:#010x}")
+            }
+            Violation::InvalidFree { pc, base } => {
+                write!(f, "invalid free of {base:#010x} at pc {pc:#010x}")
+            }
+            Violation::Leak { base, size } => {
+                write!(f, "leak: {size} bytes at {base:#010x} never freed")
+            }
+            Violation::UninitUse { pc, source } => {
+                write!(f, "use of uninitialized value from {source} at pc {pc:#010x}")
+            }
+            Violation::TaintedUse { pc, sink, source } => write!(
+                f,
+                "tainted data from {source} used as {} at pc {pc:#010x}",
+                match sink {
+                    TaintSink::JumpTarget => "an indirect jump target",
+                    TaintSink::SyscallArg => "a system-call argument",
+                    TaintSink::FormatString => "a format string",
+                }
+            ),
+            Violation::DataRace { pc, addr, tid } => write!(
+                f,
+                "data race: thread {tid} accessed {addr:#010x} with empty lockset at pc {pc:#010x}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igm_isa::MemSize;
+
+    #[test]
+    fn displays_are_informative() {
+        let v = Violation::UnallocatedAccess {
+            pc: 0x8048000,
+            mref: MemRef::new(0x9000, MemSize::B4),
+            is_write: true,
+        };
+        let s = v.to_string();
+        assert!(s.contains("store") && s.contains("0x08048000"));
+
+        let v = Violation::TaintedUse {
+            pc: 4,
+            sink: TaintSink::FormatString,
+            source: SourceDesc::Mem(MemRef::byte(0x40)),
+        };
+        assert!(v.to_string().contains("format string"));
+
+        let v = Violation::DataRace { pc: 0, addr: 0x10, tid: 1 };
+        assert!(v.to_string().contains("race"));
+    }
+}

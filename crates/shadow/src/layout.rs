@@ -1,0 +1,295 @@
+//! Two-level metadata address arithmetic.
+//!
+//! An application address splits into three fields (paper Figure 9):
+//!
+//! ```text
+//!  31                                0
+//! +-----------+-----------+----------+
+//! | level-1   | level-2   | in-elem  |
+//! | index     | index     | offset   |
+//! +-----------+-----------+----------+
+//!   l1_bits     l2_bits     off_bits
+//! ```
+//!
+//! Each level-2 *element* holds `elem_size` bytes of metadata covering
+//! `2^off_bits` application bytes. A level-2 *chunk* holds `2^l2_bits`
+//! elements. The metadata address of an application address `a` within its
+//! chunk is `((a & l2_field_mask) >> off_bits) * elem_size`.
+
+use std::fmt;
+
+/// Metadata element sizes supported by the `lma_config` instruction
+/// (2-bit field in the LMA config register, paper Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ElemSize {
+    B1 = 0,
+    B2 = 1,
+    B4 = 2,
+    B8 = 3,
+}
+
+impl ElemSize {
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// log2 of the size in bytes.
+    #[inline]
+    pub fn log2(self) -> u32 {
+        self as u32
+    }
+
+    /// Builds from a byte count (1, 2, 4 or 8).
+    pub fn from_bytes(b: u32) -> Option<ElemSize> {
+        match b {
+            1 => Some(ElemSize::B1),
+            2 => Some(ElemSize::B2),
+            4 => Some(ElemSize::B4),
+            8 => Some(ElemSize::B8),
+            _ => None,
+        }
+    }
+}
+
+/// Errors constructing a [`ShadowLayout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// `level1_bits + level2_bits` exceeded 32.
+    FieldsTooWide { level1_bits: u8, level2_bits: u8 },
+    /// One of the fields was zero (degenerate layouts are rejected).
+    ZeroField,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::FieldsTooWide { level1_bits, level2_bits } => write!(
+                f,
+                "level1 ({level1_bits}) + level2 ({level2_bits}) bits exceed the 32-bit address"
+            ),
+            LayoutError::ZeroField => write!(f, "level1/level2 bit fields must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// The two-level shadow-memory geometry: exactly the information held in the
+/// LMA config register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShadowLayout {
+    level1_bits: u8,
+    level2_bits: u8,
+    elem_size: ElemSize,
+}
+
+impl ShadowLayout {
+    /// Creates a layout from the raw field widths.
+    ///
+    /// # Errors
+    ///
+    /// Rejects layouts whose index fields exceed 32 bits or are zero.
+    pub fn new(level1_bits: u8, level2_bits: u8, elem_size: ElemSize) -> Result<ShadowLayout, LayoutError> {
+        if level1_bits == 0 || level2_bits == 0 {
+            return Err(LayoutError::ZeroField);
+        }
+        if (level1_bits as u32) + (level2_bits as u32) > 32 {
+            return Err(LayoutError::FieldsTooWide { level1_bits, level2_bits });
+        }
+        Ok(ShadowLayout { level1_bits, level2_bits, elem_size })
+    }
+
+    /// Creates a layout from the *coverage* view: how many application bytes
+    /// one metadata element represents (`app_bytes_per_elem`, a power of two)
+    /// and the element size, given the level-1 width. The level-2 width is
+    /// derived so the three fields tile the 32-bit address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] for inconsistent widths.
+    pub fn for_coverage(
+        level1_bits: u8,
+        app_bytes_per_elem: u32,
+        elem_size: ElemSize,
+    ) -> Result<ShadowLayout, LayoutError> {
+        assert!(
+            app_bytes_per_elem.is_power_of_two(),
+            "app_bytes_per_elem must be a power of two"
+        );
+        let off = app_bytes_per_elem.trailing_zeros() as u8;
+        let total = 32u8.checked_sub(level1_bits + off).ok_or(LayoutError::ZeroField)?;
+        ShadowLayout::new(level1_bits, total, elem_size)
+    }
+
+    /// The TaintCheck layout of the paper's Figure 7: 16-bit level-1 index,
+    /// 14-bit level-2 index, 2-bit in-byte offset, 1-byte elements (2-bit
+    /// taint per application byte).
+    pub fn taintcheck_fig7() -> ShadowLayout {
+        ShadowLayout::new(16, 14, ElemSize::B1).expect("constant layout is valid")
+    }
+
+    /// Level-1 index width in bits.
+    #[inline]
+    pub fn level1_bits(&self) -> u8 {
+        self.level1_bits
+    }
+
+    /// Level-2 index width in bits.
+    #[inline]
+    pub fn level2_bits(&self) -> u8 {
+        self.level2_bits
+    }
+
+    /// In-element offset width in bits.
+    #[inline]
+    pub fn offset_bits(&self) -> u8 {
+        32 - self.level1_bits - self.level2_bits
+    }
+
+    /// Metadata element size.
+    #[inline]
+    pub fn elem_size(&self) -> ElemSize {
+        self.elem_size
+    }
+
+    /// Application bytes covered by one metadata element.
+    #[inline]
+    pub fn app_bytes_per_elem(&self) -> u32 {
+        1 << self.offset_bits()
+    }
+
+    /// Metadata bits per application byte
+    /// (`elem_size * 8 / app_bytes_per_elem`); zero if the element is
+    /// smaller than a bit per byte.
+    #[inline]
+    pub fn bits_per_app_byte(&self) -> u32 {
+        (self.elem_size.bytes() * 8) >> self.offset_bits()
+    }
+
+    /// Number of level-1 entries.
+    #[inline]
+    pub fn level1_entries(&self) -> u32 {
+        1 << self.level1_bits
+    }
+
+    /// Size of one level-2 chunk in metadata bytes.
+    #[inline]
+    pub fn chunk_bytes(&self) -> u32 {
+        1 << (self.level2_bits as u32 + self.elem_size.log2())
+    }
+
+    /// Application bytes covered by one level-2 chunk.
+    #[inline]
+    pub fn chunk_app_span(&self) -> u64 {
+        1u64 << (32 - self.level1_bits as u32)
+    }
+
+    /// Level-1 index of an application address.
+    #[inline]
+    pub fn l1_index(&self, app_addr: u32) -> u32 {
+        app_addr >> (32 - self.level1_bits as u32)
+    }
+
+    /// Element index of an application address within its chunk.
+    #[inline]
+    pub fn elem_index(&self, app_addr: u32) -> u32 {
+        let off = self.offset_bits() as u32;
+        (app_addr >> off) & ((1u32 << self.level2_bits) - 1)
+    }
+
+    /// Byte offset of the element within its chunk — this plus the chunk
+    /// base address is what both the software walk and the hardware `lma`
+    /// compute.
+    #[inline]
+    pub fn elem_offset_in_chunk(&self, app_addr: u32) -> u32 {
+        self.elem_index(app_addr) << self.elem_size.log2()
+    }
+
+    /// In-element byte offset of an application byte, for layouts with
+    /// multiple application bytes per element byte this is the *bit* packing
+    /// handled by [`crate::TwoLevelShadow::packed_get`].
+    #[inline]
+    pub fn offset_in_elem(&self, app_addr: u32) -> u32 {
+        app_addr & (self.app_bytes_per_elem() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_layout_fields() {
+        let l = ShadowLayout::taintcheck_fig7();
+        assert_eq!(l.level1_bits(), 16);
+        assert_eq!(l.level2_bits(), 14);
+        assert_eq!(l.offset_bits(), 2);
+        assert_eq!(l.app_bytes_per_elem(), 4);
+        assert_eq!(l.bits_per_app_byte(), 2);
+        assert_eq!(l.chunk_bytes(), 16 * 1024);
+        assert_eq!(l.chunk_app_span(), 64 * 1024);
+    }
+
+    #[test]
+    fn fig9_worked_example() {
+        // Paper Figure 9: app address 0xb3fb703a with 16/14/2 split and
+        // 1-byte elements maps to chunk offset (0x703a & 0xfffc) >> 2.
+        let l = ShadowLayout::taintcheck_fig7();
+        let addr = 0xb3fb_703a;
+        assert_eq!(l.l1_index(addr), 0xb3fb);
+        assert_eq!(l.elem_offset_in_chunk(addr), 0x1c0e);
+        // With the chunk allocated at 0x08046000 the metadata address is
+        // 0x08047c0e, as in the figure.
+        assert_eq!(0x0804_6000 + l.elem_offset_in_chunk(addr), 0x0804_7c0e);
+    }
+
+    #[test]
+    fn coverage_constructor_matches_manual() {
+        // AddrCheck: 1 accessible bit per byte => 1-byte elements covering 8
+        // application bytes.
+        let l = ShadowLayout::for_coverage(16, 8, ElemSize::B1).unwrap();
+        assert_eq!(l.offset_bits(), 3);
+        assert_eq!(l.level2_bits(), 13);
+        assert_eq!(l.bits_per_app_byte(), 1);
+
+        // Detailed TaintCheck: 8-byte elements per 4-byte word.
+        let l = ShadowLayout::for_coverage(16, 4, ElemSize::B8).unwrap();
+        assert_eq!(l.level2_bits(), 14);
+        assert_eq!(l.chunk_bytes(), 128 * 1024);
+        assert_eq!(l.bits_per_app_byte(), 16);
+    }
+
+    #[test]
+    fn invalid_layouts_rejected() {
+        assert!(matches!(
+            ShadowLayout::new(20, 14, ElemSize::B1),
+            Err(LayoutError::FieldsTooWide { .. })
+        ));
+        assert!(matches!(ShadowLayout::new(0, 14, ElemSize::B1), Err(LayoutError::ZeroField)));
+    }
+
+    #[test]
+    fn elem_index_wraps_within_chunk() {
+        let l = ShadowLayout::taintcheck_fig7();
+        // Consecutive words map to consecutive elements.
+        assert_eq!(l.elem_index(0x0001_0000), 0);
+        assert_eq!(l.elem_index(0x0001_0004), 1);
+        assert_eq!(l.elem_index(0x0001_0005), 1); // same word
+        assert_eq!(l.elem_index(0x0001_fffc), (1 << 14) - 1);
+        // Next address rolls into the next chunk, element 0.
+        assert_eq!(l.elem_index(0x0002_0000), 0);
+        assert_eq!(l.l1_index(0x0002_0000), 2);
+    }
+
+    #[test]
+    fn elem_size_round_trip() {
+        for b in [1u32, 2, 4, 8] {
+            assert_eq!(ElemSize::from_bytes(b).unwrap().bytes(), b);
+        }
+        assert_eq!(ElemSize::from_bytes(3), None);
+        assert_eq!(ElemSize::B8.log2(), 3);
+    }
+}

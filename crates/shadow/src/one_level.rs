@@ -1,0 +1,170 @@
+//! The one-level shadow memory (paper Figure 6, left).
+//!
+//! A single conceptual region translates application addresses by
+//! scale-and-offset: `meta_va = BASE + (app_addr >> scale) `. The paper
+//! discusses why this design is limited — it is only viable when metadata is
+//! denser than data, wastes address space for sparse applications, and
+//! clashes with the lifeguard's own memory when both share an address space
+//! (§6.1) — and therefore adopts the two-level design as baseline. The
+//! one-level design is provided for completeness and for the documentation
+//! benchmarks comparing translation costs.
+//!
+//! The backing store is sparse (page-hashed) so tests can exercise the full
+//! 32-bit range without allocating 512 MB.
+
+use std::collections::HashMap;
+
+/// Base of the one-level shadow region in simulated lifeguard space.
+pub const ONE_LEVEL_BASE: u32 = 0x4000_0000;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A one-level, scale-and-offset shadow map with 1/2/4/8 metadata bits per
+/// application byte.
+#[derive(Debug, Clone)]
+pub struct OneLevelShadow {
+    bits_per_app_byte: u32,
+    default_byte: u8,
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl OneLevelShadow {
+    /// Creates a map with `bits_per_app_byte` metadata bits per application
+    /// byte (1, 2, 4 or 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported densities: the one-level design is only viable
+    /// when metadata consume less space than data (paper §6.1), so more than
+    /// 8 bits per byte is rejected.
+    pub fn new(bits_per_app_byte: u32, default_byte: u8) -> OneLevelShadow {
+        assert!(
+            matches!(bits_per_app_byte, 1 | 2 | 4 | 8),
+            "one-level shadow supports 1/2/4/8 bits per application byte"
+        );
+        OneLevelShadow { bits_per_app_byte, default_byte, pages: HashMap::new() }
+    }
+
+    /// Metadata bits per application byte.
+    pub fn bits_per_app_byte(&self) -> u32 {
+        self.bits_per_app_byte
+    }
+
+    /// Metadata virtual address of the byte holding `app_addr`'s metadata:
+    /// the scale-and-offset translation (one shift, one add — the cheap
+    /// mapping the one-level design buys).
+    pub fn meta_va(&self, app_addr: u32) -> u32 {
+        let app_bytes_per_meta_byte = 8 / self.bits_per_app_byte;
+        ONE_LEVEL_BASE + app_addr / app_bytes_per_meta_byte
+    }
+
+    fn geometry(&self, app_addr: u32) -> (u32, u32, u8) {
+        let per_byte = 8 / self.bits_per_app_byte;
+        let byte_index = app_addr / per_byte;
+        let shift = (app_addr % per_byte) * self.bits_per_app_byte;
+        let mask = ((1u16 << self.bits_per_app_byte) - 1) as u8;
+        (byte_index, shift, mask)
+    }
+
+    fn store_byte(&self, index: u32) -> u8 {
+        match self.pages.get(&(index >> PAGE_SHIFT)) {
+            Some(p) => p[(index as usize) & (PAGE_SIZE - 1)],
+            None => self.default_byte,
+        }
+    }
+
+    /// Reads the packed metadata value for `app_addr`.
+    pub fn get(&self, app_addr: u32) -> u8 {
+        let (index, shift, mask) = self.geometry(app_addr);
+        (self.store_byte(index) >> shift) & mask
+    }
+
+    /// Writes the packed metadata value for `app_addr`.
+    pub fn set(&mut self, app_addr: u32, v: u8) {
+        let (index, shift, mask) = self.geometry(app_addr);
+        let default = self.default_byte;
+        let page = self
+            .pages
+            .entry(index >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([default; PAGE_SIZE]));
+        let b = &mut page[(index as usize) & (PAGE_SIZE - 1)];
+        *b = (*b & !(mask << shift)) | ((v & mask) << shift);
+    }
+
+    /// Sets every application byte in `[start, start+len)` to `v`.
+    pub fn set_range(&mut self, start: u32, len: u32, v: u8) {
+        for i in 0..len {
+            self.set(start.wrapping_add(i), v);
+        }
+    }
+
+    /// Total shadow bytes the one-level design reserves for a full 32-bit
+    /// application space at this density — the space-consumption argument of
+    /// paper §6.1.
+    pub fn reserved_bytes(&self) -> u64 {
+        (1u64 << 32) * self.bits_per_app_byte as u64 / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_bit_round_trip() {
+        let mut s = OneLevelShadow::new(1, 0);
+        s.set(0x9007, 1);
+        assert_eq!(s.get(0x9007), 1);
+        assert_eq!(s.get(0x9006), 0);
+    }
+
+    #[test]
+    fn two_bit_round_trip_at_extremes() {
+        let mut s = OneLevelShadow::new(2, 0);
+        s.set(0, 0b10);
+        s.set(u32::MAX, 0b01);
+        assert_eq!(s.get(0), 0b10);
+        assert_eq!(s.get(u32::MAX), 0b01);
+    }
+
+    #[test]
+    fn meta_va_is_scale_and_offset() {
+        let s = OneLevelShadow::new(2, 0);
+        // 2 bits/byte -> 4 app bytes per metadata byte.
+        assert_eq!(s.meta_va(0), ONE_LEVEL_BASE);
+        assert_eq!(s.meta_va(4), ONE_LEVEL_BASE + 1);
+        assert_eq!(s.meta_va(7), ONE_LEVEL_BASE + 1);
+        let s8 = OneLevelShadow::new(8, 0);
+        assert_eq!(s8.meta_va(100), ONE_LEVEL_BASE + 100);
+    }
+
+    #[test]
+    fn default_byte_applies() {
+        let s = OneLevelShadow::new(2, 0xff);
+        assert_eq!(s.get(12345), 0b11);
+    }
+
+    #[test]
+    fn reserved_bytes_shows_space_cost() {
+        assert_eq!(OneLevelShadow::new(1, 0).reserved_bytes(), 512 << 20);
+        assert_eq!(OneLevelShadow::new(8, 0).reserved_bytes(), 4 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "1/2/4/8 bits")]
+    fn rejects_dense_metadata() {
+        let _ = OneLevelShadow::new(16, 0);
+    }
+
+    #[test]
+    fn set_range_covers_interval() {
+        let mut s = OneLevelShadow::new(1, 0);
+        s.set_range(10, 8, 1);
+        assert_eq!(s.get(9), 0);
+        for a in 10..18 {
+            assert_eq!(s.get(a), 1);
+        }
+        assert_eq!(s.get(18), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-register metadata ("*initialized* state per register", "*tainted*
+//! state per register" — paper Table 1).
+//!
+//! Register metadata is a small software array in lifeguard space; like the
+//! shadow maps it exposes stable metadata virtual addresses for the timing
+//! model.
+
+/// Base of the register-metadata array in simulated lifeguard space.
+pub const REG_META_BASE: u32 = 0x0fff_f000;
+
+/// Metadata values for the eight general-purpose registers.
+///
+/// The register index convention matches `igm_isa::Reg::index`, but the type
+/// is generic and index-based so this crate stays ISA-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegMeta<T> {
+    vals: [T; 8],
+}
+
+impl<T: Copy + Default> Default for RegMeta<T> {
+    fn default() -> RegMeta<T> {
+        RegMeta::new(T::default())
+    }
+}
+
+impl<T: Copy> RegMeta<T> {
+    /// Creates the array with every register set to `init`.
+    pub fn new(init: T) -> RegMeta<T> {
+        RegMeta { vals: [init; 8] }
+    }
+
+    /// Metadata value of register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    pub fn get(&self, idx: usize) -> T {
+        self.vals[idx]
+    }
+
+    /// Sets the metadata value of register `idx`.
+    pub fn set(&mut self, idx: usize, v: T) {
+        self.vals[idx] = v;
+    }
+
+    /// Resets every register to `v`.
+    pub fn fill(&mut self, v: T) {
+        self.vals = [v; 8];
+    }
+
+    /// Metadata virtual address of register `idx`'s slot, for cache
+    /// modelling of handler accesses.
+    pub fn va(&self, idx: usize) -> u32 {
+        assert!(idx < 8);
+        REG_META_BASE + (idx * std::mem::size_of::<T>()) as u32
+    }
+
+    /// Iterates over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.vals.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_fill() {
+        let mut m: RegMeta<bool> = RegMeta::default();
+        assert!(!m.get(0));
+        m.set(3, true);
+        assert!(m.get(3));
+        m.fill(true);
+        assert!(m.iter().all(|(_, v)| v));
+    }
+
+    #[test]
+    fn vas_are_contiguous_slots() {
+        let m: RegMeta<u32> = RegMeta::new(0);
+        assert_eq!(m.va(0), REG_META_BASE);
+        assert_eq!(m.va(1), REG_META_BASE + 4);
+        let m8: RegMeta<u64> = RegMeta::new(0);
+        assert_eq!(m8.va(2), REG_META_BASE + 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn va_bounds_checked() {
+        let m: RegMeta<u8> = RegMeta::new(0);
+        let _ = m.va(8);
+    }
+}

@@ -1,0 +1,338 @@
+//! The two-level shadow memory (paper Figure 6, right).
+//!
+//! A level-1 table indexed by the high bits of the application address holds
+//! pointers to lazily-allocated level-2 chunks of metadata elements. Every
+//! structure has a stable *metadata virtual address* in the simulated
+//! lifeguard address space so the timing model can replay lifeguard memory
+//! traffic: the level-1 table lives at [`crate::LEVEL1_TABLE_BASE`] and
+//! chunks are bump-allocated from [`crate::CHUNK_REGION_BASE`].
+
+use crate::layout::ShadowLayout;
+use crate::{CHUNK_REGION_BASE, LEVEL1_TABLE_BASE};
+
+#[derive(Debug, Clone)]
+struct Chunk {
+    base_va: u32,
+    data: Box<[u8]>,
+}
+
+/// A two-level shadow map.
+///
+/// # Example
+///
+/// ```
+/// use igm_shadow::{ShadowLayout, TwoLevelShadow};
+/// use igm_shadow::layout::ElemSize;
+///
+/// // TaintCheck: 2 taint bits per application byte.
+/// let mut shadow = TwoLevelShadow::new(ShadowLayout::taintcheck_fig7(), 0);
+/// shadow.packed_set(0xb3fb_703a, 0b11);
+/// assert_eq!(shadow.packed_get(0xb3fb_703a), 0b11);
+/// assert_eq!(shadow.packed_get(0xb3fb_703b), 0b00); // neighbour untouched
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelShadow {
+    layout: ShadowLayout,
+    default_byte: u8,
+    chunks: Vec<Option<Chunk>>,
+    next_chunk_va: u32,
+}
+
+impl TwoLevelShadow {
+    /// Creates an empty shadow map; unallocated metadata reads as
+    /// `default_byte` repeated.
+    pub fn new(layout: ShadowLayout, default_byte: u8) -> TwoLevelShadow {
+        TwoLevelShadow {
+            layout,
+            default_byte,
+            chunks: vec![None; layout.level1_entries() as usize],
+            next_chunk_va: CHUNK_REGION_BASE,
+        }
+    }
+
+    /// The geometry of this map.
+    pub fn layout(&self) -> &ShadowLayout {
+        &self.layout
+    }
+
+    /// Metadata virtual address of the level-1 table slot consulted when
+    /// software-translating `app_addr` (the memory reference charged to the
+    /// two-level walk).
+    pub fn l1_entry_va(&self, app_addr: u32) -> u32 {
+        LEVEL1_TABLE_BASE + self.layout.l1_index(app_addr) * 4
+    }
+
+    /// Base metadata virtual address of the chunk covering `app_addr`,
+    /// allocating the chunk on first touch. This is the value an M-TLB miss
+    /// handler obtains from the level-1 table and inserts with `lma_fill`.
+    pub fn chunk_base_va(&mut self, app_addr: u32) -> u32 {
+        self.ensure_chunk(app_addr).base_va
+    }
+
+    /// Base metadata virtual address of the chunk covering `app_addr`, or
+    /// `None` if it has never been touched.
+    pub fn chunk_base_va_if_present(&self, app_addr: u32) -> Option<u32> {
+        self.chunks[self.layout.l1_index(app_addr) as usize]
+            .as_ref()
+            .map(|c| c.base_va)
+    }
+
+    /// Metadata virtual address of the element covering `app_addr`
+    /// (allocates the chunk on first touch). Equals the result of the
+    /// hardware `lma` instruction.
+    pub fn elem_va(&mut self, app_addr: u32) -> u32 {
+        self.chunk_base_va(app_addr) + self.layout.elem_offset_in_chunk(app_addr)
+    }
+
+    fn ensure_chunk(&mut self, app_addr: u32) -> &mut Chunk {
+        let idx = self.layout.l1_index(app_addr) as usize;
+        if self.chunks[idx].is_none() {
+            let bytes = self.layout.chunk_bytes() as usize;
+            let chunk = Chunk {
+                base_va: self.next_chunk_va,
+                data: vec![self.default_byte; bytes].into_boxed_slice(),
+            };
+            // Chunks are laid out back-to-back in lifeguard space.
+            self.next_chunk_va = self.next_chunk_va.wrapping_add(self.layout.chunk_bytes());
+            self.chunks[idx] = Some(chunk);
+        }
+        self.chunks[idx].as_mut().expect("just ensured")
+    }
+
+    /// Borrows the metadata element covering `app_addr`, if its chunk is
+    /// allocated.
+    pub fn elem(&self, app_addr: u32) -> Option<&[u8]> {
+        let chunk = self.chunks[self.layout.l1_index(app_addr) as usize].as_ref()?;
+        let off = self.layout.elem_offset_in_chunk(app_addr) as usize;
+        Some(&chunk.data[off..off + self.layout.elem_size().bytes() as usize])
+    }
+
+    /// Mutably borrows (allocating on demand) the element covering
+    /// `app_addr`.
+    pub fn elem_mut(&mut self, app_addr: u32) -> &mut [u8] {
+        let off = self.layout.elem_offset_in_chunk(app_addr) as usize;
+        let size = self.layout.elem_size().bytes() as usize;
+        let chunk = self.ensure_chunk(app_addr);
+        &mut chunk.data[off..off + size]
+    }
+
+    /// Reads the element covering `app_addr` as a little-endian integer,
+    /// zero-extended to 64 bits. Unallocated chunks read as the default
+    /// byte repeated.
+    pub fn elem_u64(&self, app_addr: u32) -> u64 {
+        match self.elem(app_addr) {
+            Some(bytes) => {
+                let mut v = 0u64;
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+                v
+            }
+            None => {
+                let mut v = 0u64;
+                for i in 0..self.layout.elem_size().bytes() {
+                    v |= (self.default_byte as u64) << (8 * i);
+                }
+                v
+            }
+        }
+    }
+
+    /// Writes the element covering `app_addr` from a little-endian integer.
+    pub fn set_elem_u64(&mut self, app_addr: u32, v: u64) {
+        for (i, b) in self.elem_mut(app_addr).iter_mut().enumerate() {
+            *b = (v >> (8 * i)) as u8;
+        }
+    }
+
+    /// Reads the element covering `app_addr` as a `u32` (convenience for
+    /// 4-byte elements, e.g. LockSet records).
+    pub fn elem_u32(&self, app_addr: u32) -> u32 {
+        self.elem_u64(app_addr) as u32
+    }
+
+    /// Writes the element covering `app_addr` from a `u32`.
+    pub fn set_elem_u32(&mut self, app_addr: u32, v: u32) {
+        self.set_elem_u64(app_addr, v as u64);
+    }
+
+    fn packed_geometry(&self, app_addr: u32) -> (u32, u32, u8) {
+        let bits = self.layout.bits_per_app_byte();
+        debug_assert!(
+            matches!(bits, 1 | 2 | 4 | 8),
+            "packed accessors require 1/2/4/8 metadata bits per application byte"
+        );
+        let bit_off = self.layout.offset_in_elem(app_addr) * bits;
+        let byte = bit_off / 8;
+        let shift = bit_off % 8;
+        let mask = ((1u16 << bits) - 1) as u8;
+        (byte, shift, mask)
+    }
+
+    /// Reads the per-application-byte packed metadata value for `app_addr`
+    /// (layouts with 1, 2, 4 or 8 metadata bits per application byte).
+    pub fn packed_get(&self, app_addr: u32) -> u8 {
+        let (byte, shift, mask) = self.packed_geometry(app_addr);
+        let elem_byte = match self.elem(app_addr) {
+            Some(bytes) => bytes[byte as usize],
+            None => self.default_byte,
+        };
+        (elem_byte >> shift) & mask
+    }
+
+    /// Writes the per-application-byte packed metadata value for `app_addr`.
+    pub fn packed_set(&mut self, app_addr: u32, v: u8) {
+        let (byte, shift, mask) = self.packed_geometry(app_addr);
+        let elem = self.elem_mut(app_addr);
+        let b = &mut elem[byte as usize];
+        *b = (*b & !(mask << shift)) | ((v & mask) << shift);
+    }
+
+    /// Sets the packed metadata of every application byte in
+    /// `[start, start+len)` to `v`.
+    pub fn packed_set_range(&mut self, start: u32, len: u32, v: u8) {
+        for i in 0..len {
+            self.packed_set(start.wrapping_add(i), v);
+        }
+    }
+
+    /// Whether every application byte in `[start, start+len)` has packed
+    /// metadata equal to `v`.
+    pub fn packed_all(&self, start: u32, len: u32, v: u8) -> bool {
+        (0..len).all(|i| self.packed_get(start.wrapping_add(i)) == v)
+    }
+
+    /// Whether any application byte in `[start, start+len)` has packed
+    /// metadata equal to `v`.
+    pub fn packed_any(&self, start: u32, len: u32, v: u8) -> bool {
+        (0..len).any(|i| self.packed_get(start.wrapping_add(i)) == v)
+    }
+
+    /// Number of level-2 chunks currently allocated.
+    pub fn allocated_chunks(&self) -> u32 {
+        self.chunks.iter().filter(|c| c.is_some()).count() as u32
+    }
+
+    /// Total metadata bytes currently allocated (chunks only; the level-1
+    /// table adds `4 * level1_entries()` bytes).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.allocated_chunks() as u64 * self.layout.chunk_bytes() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ElemSize;
+
+    fn taint_shadow() -> TwoLevelShadow {
+        TwoLevelShadow::new(ShadowLayout::taintcheck_fig7(), 0)
+    }
+
+    #[test]
+    fn packed_round_trip_neighbouring_bytes() {
+        let mut s = taint_shadow();
+        // Four app bytes share one element byte (2 bits each).
+        for i in 0..4u32 {
+            s.packed_set(0x1000_0000 + i, (i as u8) & 0b11);
+        }
+        for i in 0..4u32 {
+            assert_eq!(s.packed_get(0x1000_0000 + i), (i as u8) & 0b11);
+        }
+        // They all landed in a single element byte.
+        assert_eq!(s.elem(0x1000_0000).unwrap()[0], 0b11_10_01_00);
+    }
+
+    #[test]
+    fn default_byte_visible_before_allocation() {
+        let s = TwoLevelShadow::new(ShadowLayout::taintcheck_fig7(), 0xff);
+        assert_eq!(s.packed_get(0xdead_beef), 0b11);
+        assert_eq!(s.allocated_chunks(), 0);
+        assert_eq!(s.elem_u64(0xdead_beef), 0xff);
+    }
+
+    #[test]
+    fn chunk_allocation_is_lazy_and_stable() {
+        let mut s = taint_shadow();
+        assert_eq!(s.allocated_chunks(), 0);
+        let va1 = s.elem_va(0x0804_8000);
+        assert_eq!(s.allocated_chunks(), 1);
+        let va2 = s.elem_va(0x0804_8004);
+        assert_eq!(va2, va1 + 1); // next word's element is the next byte
+        let va3 = s.elem_va(0xbfff_0000); // far away -> second chunk
+        assert_eq!(s.allocated_chunks(), 2);
+        assert_ne!(s.layout().l1_index(0x0804_8000), s.layout().l1_index(0xbfff_0000));
+        // Re-translation is stable.
+        assert_eq!(s.elem_va(0x0804_8000), va1);
+        assert_eq!(s.elem_va(0xbfff_0000), va3);
+    }
+
+    #[test]
+    fn l1_entry_va_is_table_slot() {
+        let s = taint_shadow();
+        let addr = 0xb3fb_703a;
+        assert_eq!(s.l1_entry_va(addr), crate::LEVEL1_TABLE_BASE + 0xb3fb * 4);
+    }
+
+    #[test]
+    fn elem_va_matches_fig9_arithmetic() {
+        let mut s = taint_shadow();
+        let addr = 0xb3fb_703a;
+        let chunk = s.chunk_base_va(addr);
+        assert_eq!(s.elem_va(addr), chunk + 0x1c0e);
+    }
+
+    #[test]
+    fn range_helpers() {
+        let mut s = taint_shadow();
+        s.packed_set_range(0x9000, 16, 0b01);
+        assert!(s.packed_all(0x9000, 16, 0b01));
+        assert!(!s.packed_all(0x8fff, 17, 0b01));
+        assert!(s.packed_any(0x8ff0, 17, 0b01));
+        assert!(!s.packed_any(0x8ff0, 16, 0b01));
+    }
+
+    #[test]
+    fn u32_element_round_trip() {
+        // LockSet-style: 4-byte records per 4-byte word.
+        let layout = ShadowLayout::for_coverage(16, 4, ElemSize::B4).unwrap();
+        let mut s = TwoLevelShadow::new(layout, 0);
+        s.set_elem_u32(0x9004, 0xdead_beef);
+        assert_eq!(s.elem_u32(0x9004), 0xdead_beef);
+        assert_eq!(s.elem_u32(0x9005), 0xdead_beef); // same word
+        assert_eq!(s.elem_u32(0x9008), 0); // next word
+    }
+
+    #[test]
+    fn u64_element_round_trip() {
+        // Detailed-TaintCheck-style: 8-byte records per 4-byte word.
+        let layout = ShadowLayout::for_coverage(16, 4, ElemSize::B8).unwrap();
+        let mut s = TwoLevelShadow::new(layout, 0);
+        s.set_elem_u64(0x9000, 0x1122_3344_5566_7788);
+        assert_eq!(s.elem_u64(0x9000), 0x1122_3344_5566_7788);
+        let bytes = s.elem(0x9000).unwrap();
+        assert_eq!(bytes[0], 0x88); // little-endian
+        assert_eq!(bytes[7], 0x11);
+    }
+
+    #[test]
+    fn one_bit_per_byte_layout() {
+        // AddrCheck: 1 bit per app byte, 8 app bytes per element byte.
+        let layout = ShadowLayout::for_coverage(16, 8, ElemSize::B1).unwrap();
+        let mut s = TwoLevelShadow::new(layout, 0);
+        s.packed_set(0x9003, 1);
+        assert_eq!(s.packed_get(0x9003), 1);
+        assert_eq!(s.packed_get(0x9002), 0);
+        assert_eq!(s.packed_get(0x9004), 0);
+        assert_eq!(s.elem(0x9000).unwrap()[0], 0b0000_1000);
+    }
+
+    #[test]
+    fn metadata_accounting() {
+        let mut s = taint_shadow();
+        s.packed_set(0, 1);
+        s.packed_set(0xffff_ffff, 1);
+        assert_eq!(s.allocated_chunks(), 2);
+        assert_eq!(s.metadata_bytes(), 2 * 16 * 1024);
+    }
+}

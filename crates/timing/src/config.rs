@@ -1,0 +1,83 @@
+//! Whole-system configuration (paper Table 2).
+
+use crate::cache::CacheConfig;
+
+/// The simulated dual-core LBA system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Private instruction L1 (per core).
+    pub l1i: CacheConfig,
+    /// Private data L1 (per core).
+    pub l1d: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u32,
+    /// Log buffer capacity in bytes.
+    pub log_buffer_bytes: u32,
+}
+
+impl SystemConfig {
+    /// The paper's simulation setup (Table 2): 16 KB 2-way L1s, 512 KB
+    /// 8-way shared L2 (10-cycle), 200-cycle memory, 64 KB log buffer.
+    pub fn isca08() -> SystemConfig {
+        SystemConfig {
+            l1i: CacheConfig::isca08_l1(),
+            l1d: CacheConfig::isca08_l1(),
+            l2: CacheConfig::isca08_l2(),
+            mem_latency: 200,
+            log_buffer_bytes: 64 * 1024,
+        }
+    }
+
+    /// Renders the Table 2 parameter block for experiment headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "Private L1I {}KB {}-way {}B {}cyc | Private L1D {}KB {}-way {}B {}cyc | \
+             Shared L2 {}KB {}-way {}B {}cyc | Mem {}cyc | Log buffer {}KB",
+            self.l1i.size_bytes / 1024,
+            self.l1i.ways,
+            self.l1i.line_bytes,
+            self.l1i.latency,
+            self.l1d.size_bytes / 1024,
+            self.l1d.ways,
+            self.l1d.line_bytes,
+            self.l1d.latency,
+            self.l2.size_bytes / 1024,
+            self.l2.ways,
+            self.l2.line_bytes,
+            self.l2.latency,
+            self.mem_latency,
+            self.log_buffer_bytes / 1024,
+        )
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig::isca08()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isca08_matches_table2() {
+        let c = SystemConfig::isca08();
+        assert_eq!(c.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.l1d.ways, 2);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.l2.latency, 10);
+        assert_eq!(c.mem_latency, 200);
+        assert_eq!(c.log_buffer_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn describe_mentions_key_parameters() {
+        let d = SystemConfig::isca08().describe();
+        assert!(d.contains("512KB") && d.contains("200cyc") && d.contains("64KB"));
+    }
+}

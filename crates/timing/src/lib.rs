@@ -1,0 +1,24 @@
+//! Cycle-level timing substrate (paper Table 2).
+//!
+//! Models the dual-core LBA system: two in-order scalar cores with private
+//! 16 KB L1 caches and a shared 512 KB L2, a 200-cycle main memory, and the
+//! 64 KB in-L2 log buffer coupling the application (producer) core to the
+//! lifeguard (consumer) core. The co-simulation ([`CoSim`]) computes, per
+//! log record, when the producer retires it and when the consumer finishes
+//! its handlers, respecting buffer capacity (full → producer stalls; empty
+//! → consumer idles) and the system-call drain rule (the application stalls
+//! at kernel entries until the lifeguard catches up — LBA's fault-
+//! containment requirement, §3).
+//!
+//! The *slowdown* reported by every experiment is monitored producer finish
+//! time divided by the same trace's stand-alone finish time, which is what
+//! the paper's Figures 10–11 plot.
+
+pub mod cache;
+pub mod config;
+pub mod cosim;
+pub mod params;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use config::SystemConfig;
+pub use cosim::{CoSim, TimingReport};

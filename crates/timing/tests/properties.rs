@@ -1,0 +1,110 @@
+//! Property-based tests of the co-simulation's queueing behaviour: the
+//! bounded log buffer and the drain rules must respect causality and
+//! monotonicity for arbitrary workloads.
+
+use igm_isa::{Annotation, MemRef, OpClass, Reg, TraceEntry};
+use igm_timing::{CoSim, SystemConfig, TimingReport};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Rec {
+    addr_sel: u32,
+    delivered: u32,
+    instrs: u64,
+    is_syscall: bool,
+}
+
+fn arb_rec() -> impl Strategy<Value = Rec> {
+    (0u32..64, 0u32..4, 0u64..24, proptest::bool::weighted(0.01)).prop_map(
+        |(addr_sel, delivered, instrs, is_syscall)| Rec {
+            addr_sel,
+            delivered,
+            instrs: if delivered == 0 { 0 } else { instrs },
+            is_syscall,
+        },
+    )
+}
+
+fn run(recs: &[Rec], buffer_bytes: u32, work_scale: u64) -> TimingReport {
+    let mut cfg = SystemConfig::isca08();
+    cfg.log_buffer_bytes = buffer_bytes;
+    let mut sim = CoSim::new(cfg);
+    for (i, r) in recs.iter().enumerate() {
+        let entry = if r.is_syscall {
+            TraceEntry::annot(0x1000, Annotation::Syscall { arg_reg: None, arg_mem: None })
+        } else {
+            TraceEntry::op(
+                0x1000 + (i as u32 % 32) * 4,
+                OpClass::MemToReg { src: MemRef::word(0x9000 + r.addr_sel * 4), rd: Reg::Eax },
+            )
+        };
+        sim.step_record(&entry, r.delivered, r.instrs * work_scale, &[]);
+    }
+    sim.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monitoring never makes the application *faster*: the monitored
+    /// timeline includes everything the stand-alone timeline does, plus
+    /// log-capture overhead and stalls.
+    #[test]
+    fn monitoring_never_speeds_up_the_application(
+        recs in proptest::collection::vec(arb_rec(), 1..300)
+    ) {
+        let r = run(&recs, 64 * 1024, 1);
+        prop_assert!(r.monitored_cycles >= r.app_alone_cycles);
+    }
+
+    /// Causality at completion: the application's finish waits for the
+    /// lifeguard's final drain, so the monitored time dominates the
+    /// consumer time.
+    #[test]
+    fn final_drain_orders_timelines(
+        recs in proptest::collection::vec(arb_rec(), 1..300)
+    ) {
+        let r = run(&recs, 64 * 1024, 1);
+        prop_assert!(r.monitored_cycles >= r.consumer_cycles);
+        prop_assert_eq!(r.records, recs.len() as u64);
+    }
+
+    /// Monotonicity in handler work: scaling every handler's instruction
+    /// count up cannot reduce the monitored time.
+    #[test]
+    fn more_handler_work_never_helps(
+        recs in proptest::collection::vec(arb_rec(), 1..200)
+    ) {
+        let light = run(&recs, 64 * 1024, 1);
+        let heavy = run(&recs, 64 * 1024, 4);
+        prop_assert!(heavy.monitored_cycles >= light.monitored_cycles);
+        prop_assert!(heavy.handler_instrs >= light.handler_instrs);
+    }
+
+    /// Capacity bound: shrinking the log buffer can only add backpressure,
+    /// never remove it.
+    #[test]
+    fn smaller_buffer_never_helps(
+        recs in proptest::collection::vec(arb_rec(), 1..200)
+    ) {
+        let small = run(&recs, 256, 3);
+        let large = run(&recs, 64 * 1024, 3);
+        prop_assert!(small.monitored_cycles >= large.monitored_cycles,
+            "small {} vs large {}", small.monitored_cycles, large.monitored_cycles);
+    }
+
+    /// With zero consumer work the consumer always keeps up: producer
+    /// stalls can only come from the (slower) syscall drains, not the
+    /// buffer.
+    #[test]
+    fn idle_consumer_never_backpressures(
+        recs in proptest::collection::vec(arb_rec(), 1..300)
+    ) {
+        let idle: Vec<Rec> = recs.iter()
+            .map(|r| Rec { delivered: 0, instrs: 0, ..r.clone() })
+            .collect();
+        let r = run(&idle, 64 * 1024, 1);
+        prop_assert_eq!(r.producer_stall_cycles, 0);
+        prop_assert_eq!(r.delivered_events, 0);
+    }
+}

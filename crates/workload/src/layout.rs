@@ -1,0 +1,31 @@
+//! The synthetic application's address-space layout.
+//!
+//! Mirrors a typical IA32 Linux process (paper Figure 6, left margin): code
+//! low, globals above it, heap growing up, a large mmap region, stack
+//! growing down from just below the 3 GB boundary. Occupying both extremes
+//! is what makes the one-level shadow design impractical and gives the
+//! flexible level-1 sizing of Figure 14(b) realistic work to do.
+
+/// Base of the code segment.
+pub const CODE_BASE: u32 = 0x0804_8000;
+/// Base of the global data segment.
+pub const GLOBALS_BASE: u32 = 0x0810_0000;
+/// Base of the heap.
+pub const HEAP_BASE: u32 = 0x0900_0000;
+/// Base of the mmap region used for very large working sets (mcf-style).
+pub const MMAP_BASE: u32 = 0x4000_0000;
+/// Initial stack pointer (stack grows down).
+pub const STACK_TOP: u32 = 0xbfff_f000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_ordered_and_disjoint() {
+        assert!(CODE_BASE < GLOBALS_BASE);
+        assert!(GLOBALS_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < MMAP_BASE);
+        assert!(MMAP_BASE < STACK_TOP);
+    }
+}

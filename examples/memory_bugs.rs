@@ -1,0 +1,81 @@
+//! A tour of memory bugs caught by AddrCheck and MemCheck: out-of-bounds
+//! access, use-after-free, double free, use of an uninitialized value, and
+//! a leak.
+//!
+//! ```sh
+//! cargo run --example memory_bugs
+//! ```
+
+use igm::accel::AccelConfig;
+use igm::isa::asm::{Addressing, Cond, ProgramBuilder};
+use igm::isa::{Annotation, Machine, MemSize, Reg};
+use igm::lifeguards::{AddrCheck, Lifeguard, MemCheck};
+use igm::sim::Monitor;
+
+const BLOCK_A: u32 = 0x0900_0000;
+const BLOCK_B: u32 = 0x0900_1000;
+const STACK_TOP: u32 = 0xbfff_f000;
+
+fn buggy_program() -> igm::isa::Program {
+    let mut p = ProgramBuilder::new(0x0804_8000);
+    let out = p.label();
+    p.mov_ri(Reg::Esp, STACK_TOP);
+
+    // p = malloc(32)
+    p.annot(Annotation::Malloc { base: BLOCK_A, size: 32 });
+    // p[0] = 7 — fine.
+    p.store_imm(Addressing::abs(BLOCK_A, MemSize::B4), 7);
+    // p[8] = 9 — one word past the end! (bug 1: out of bounds)
+    p.store_imm(Addressing::abs(BLOCK_A + 32, MemSize::B4), 9);
+    // free(p)
+    p.annot(Annotation::Free { base: BLOCK_A });
+    // *p — bug 2: use after free.
+    p.load(Reg::Eax, Addressing::abs(BLOCK_A, MemSize::B4));
+    // free(p) again — bug 3: double free.
+    p.annot(Annotation::Free { base: BLOCK_A });
+
+    // q = malloc(16), never written, never freed.
+    p.annot(Annotation::Malloc { base: BLOCK_B, size: 16 });
+    // if (*q) ... — bug 4: branching on an uninitialized value.
+    p.load(Reg::Ecx, Addressing::abs(BLOCK_B, MemSize::B4));
+    p.cmp_ri(Reg::Ecx, 0);
+    p.jcc(Cond::Eq, out);
+    p.bind(out);
+    p.halt();
+    // q is still allocated at exit — bug 5: leak.
+    p.build()
+}
+
+fn main() {
+    let mut machine = Machine::new(buggy_program());
+    machine.run().expect("the buggy program itself runs to completion");
+    let trace: Vec<_> = machine.take_trace();
+
+    let accel = AccelConfig::lma_if(); // AddrCheck/MemCheck's Figure 2 row
+    println!("=== AddrCheck ===");
+    let mut ac = Monitor::new(AddrCheck::new(&accel), &accel);
+    ac.lifeguard_mut().premark_region(STACK_TOP - 0x1000, 0x1000);
+    ac.observe_all(trace.iter().copied());
+    ac.lifeguard_mut().report_leaks();
+    for v in ac.violations() {
+        println!("  {v}");
+    }
+    // Out-of-bounds store, use-after-free load, double free, leak.
+    assert_eq!(ac.violations().len(), 4);
+
+    println!("\n=== MemCheck ===");
+    let mut mc = Monitor::new(MemCheck::new(&accel), &accel);
+    mc.lifeguard_mut().premark_region(STACK_TOP - 0x1000, 0x1000);
+    mc.observe_all(trace.iter().copied());
+    for v in mc.violations() {
+        println!("  {v}");
+    }
+    // MemCheck sees everything AddrCheck sees (minus the on-demand leak
+    // report) *plus* the uninitialized branch input.
+    assert!(mc
+        .violations()
+        .iter()
+        .any(|v| matches!(v, igm::lifeguards::Violation::UninitUse { .. })));
+
+    println!("\nAll five planted bugs were caught.");
+}

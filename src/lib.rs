@@ -1,0 +1,49 @@
+//! # igm — instruction-grain monitoring, hardware-accelerated
+//!
+//! A full reproduction of *"Flexible Hardware Acceleration for
+//! Instruction-Grain Program Monitoring"* (Chen et al., ISCA 2008): the
+//! Log-Based Architecture (LBA) lifeguard platform, the three proposed
+//! hardware accelerators — **Inheritance Tracking**, **Idempotent Filters**
+//! and the **Metadata-TLB** — five instruction-grain lifeguards, a timing
+//! model, synthetic SPEC-like workloads, and the paper's full design-space
+//! profiling study.
+//!
+//! This facade crate re-exports the workspace's sub-crates under stable
+//! module names; see each module's documentation for details:
+//!
+//! * [`isa`] — ISA model, assembler and functional machine.
+//! * [`lba`] — log records, log buffer, events and the event-type
+//!   configuration table (ETCT).
+//! * [`shadow`] — one- and two-level shadow memory (lifeguard metadata).
+//! * [`accel`] — the paper's contribution: IT, IF, M-TLB and the dispatch
+//!   pipeline.
+//! * [`lifeguards`] — AddrCheck, MemCheck, TaintCheck (± detailed tracking)
+//!   and LockSet.
+//! * [`workload`] — deterministic synthetic benchmark trace generators.
+//! * [`timing`] — cache hierarchy and dual-core co-simulation.
+//! * [`sim`] — the top-level simulator API.
+//! * [`profiling`] — design-space sweeps (the paper's PIN study).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use igm::sim::{SimConfig, Simulator};
+//! use igm::lifeguards::LifeguardKind;
+//! use igm::workload::Benchmark;
+//!
+//! // Simulate TaintCheck monitoring a gzip-like workload with all three
+//! // accelerators enabled, and report the slowdown.
+//! let cfg = SimConfig::optimized(LifeguardKind::TaintCheck);
+//! let report = Simulator::new(cfg).run_benchmark(Benchmark::Gzip, 100_000);
+//! assert!(report.slowdown() >= 1.0);
+//! ```
+
+pub use igm_core as accel;
+pub use igm_isa as isa;
+pub use igm_lba as lba;
+pub use igm_lifeguards as lifeguards;
+pub use igm_profiling as profiling;
+pub use igm_shadow as shadow;
+pub use igm_sim as sim;
+pub use igm_timing as timing;
+pub use igm_workload as workload;
