@@ -41,10 +41,8 @@ fn bench_inheritance_tracker(c: &mut Criterion) {
 
 fn bench_idempotent_filter(c: &mut Criterion) {
     let mut g = c.benchmark_group("idempotent_filter");
-    let accesses: Vec<Event> = Benchmark::Crafty
-        .trace(20_000)
-        .filter_map(|e| e.mem_read().map(Event::MemRead))
-        .collect();
+    let accesses: Vec<Event> =
+        Benchmark::Crafty.trace(20_000).filter_map(|e| e.mem_read().map(Event::MemRead)).collect();
     let cfg = IfEventConfig::cacheable_addr(0);
     g.throughput(Throughput::Elements(accesses.len() as u64));
     for geom in [IfGeometry::isca08(), IfGeometry::set_associative(32, 4)] {
@@ -63,10 +61,8 @@ fn bench_idempotent_filter(c: &mut Criterion) {
 fn bench_mtlb(c: &mut Criterion) {
     let mut g = c.benchmark_group("metadata_tlb");
     let layout = ShadowLayout::taintcheck_fig7();
-    let addrs: Vec<u32> = Benchmark::Gzip
-        .trace(20_000)
-        .filter_map(|e| e.mem_read().map(|m| m.addr))
-        .collect();
+    let addrs: Vec<u32> =
+        Benchmark::Gzip.trace(20_000).filter_map(|e| e.mem_read().map(|m| m.addr)).collect();
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("lma_or_fill_64e", |b| {
         b.iter(|| {

@@ -56,7 +56,10 @@ fn main() {
     }
 
     println!("\n=== Ablation 2: cost of write-after-read conflict detection ===");
-    println!("{:<10} {:>14} {:>14} {:>10}", "benchmark", "delivered(on)", "delivered(off)", "conflicts");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "benchmark", "delivered(on)", "delivered(off)", "conflicts"
+    );
     for b in [Benchmark::Gcc, Benchmark::Parser, Benchmark::Gzip] {
         let (on, conflicts) = it_conflict_events(b, n, true);
         let (off, _) = it_conflict_events(b, n, false);

@@ -45,9 +45,7 @@ fn main() {
     let omin = residuals.iter().cloned().fold(f64::MAX, f64::min);
     let omax = residuals.iter().cloned().fold(0.0, f64::max);
     println!("=== §7.2 headline ===");
-    println!(
-        "Overhead reduction over LBA baseline: {rmin:.1}-{rmax:.1}x  (paper: 2-3x)"
-    );
+    println!("Overhead reduction over LBA baseline: {rmin:.1}-{rmax:.1}x  (paper: 2-3x)");
     println!(
         "Residual overhead, all lifeguards but MemCheck: {:.0}%-{:.0}%  (paper: 2%-51%)",
         omin * 100.0,

@@ -65,9 +65,9 @@ fn main() {
         };
 
         // IT column.
-        let it_band: Option<Vec<f64>> = kind.it_config().map(|itc| {
-            Benchmark::ALL.iter().map(|b| it_reduction(b.trace(n), itc)).collect()
-        });
+        let it_band: Option<Vec<f64>> = kind
+            .it_config()
+            .map(|itc| Benchmark::ALL.iter().map(|b| it_reduction(b.trace(n), itc)).collect());
         let _ = ItConfig::taint_style();
 
         // IF column.
@@ -93,7 +93,5 @@ fn main() {
             if_band.map(|v| band(&v)).unwrap_or_else(|| "-".into()),
         );
     }
-    println!(
-        "\n(paper: LMA 16.7%-49.3%; IT 24.9%-74.4%; IF 38.2%-77.8%, by lifeguard)"
-    );
+    println!("\n(paper: LMA 16.7%-49.3%; IT 24.9%-74.4%; IF 38.2%-77.8%, by lifeguard)");
 }

@@ -69,5 +69,7 @@ fn main() {
             flex[2] * 100.0,
         );
     }
-    println!("\n(paper: fixed-20 misses up to 8.4%; flexible (10-15 bits chosen) mostly negligible)");
+    println!(
+        "\n(paper: fixed-20 misses up to 8.4%; flexible (10-15 bits chosen) mostly negligible)"
+    );
 }

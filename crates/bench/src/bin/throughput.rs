@@ -1,0 +1,100 @@
+//! Runtime throughput scaling: records/sec through the `MonitorPool` for
+//! 1, 2, 4 and 8 workers × {AddrCheck, TaintCheck}, eight concurrent tenant
+//! sessions each. Emits `BENCH_throughput.json` so future changes have a
+//! perf trajectory to compare against.
+//!
+//! ```sh
+//! cargo run --release -p igm-bench --bin throughput   # N=50000 by default
+//! N=200000 cargo run --release -p igm-bench --bin throughput
+//! ```
+
+use igm_lifeguards::LifeguardKind;
+use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
+use igm_workload::Benchmark;
+use std::time::Instant;
+
+const TENANTS: [Benchmark; 8] = [
+    Benchmark::Bzip2,
+    Benchmark::Crafty,
+    Benchmark::Gap,
+    Benchmark::Gcc,
+    Benchmark::Gzip,
+    Benchmark::Mcf,
+    Benchmark::Twolf,
+    Benchmark::Vpr,
+];
+
+/// Records per tenant per run (`N` env var, default 50k).
+fn run_scale() -> u64 {
+    std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(50_000)
+}
+
+/// Streams all eight tenants through a pool of `workers` shards; returns
+/// aggregate records/sec.
+fn run_once(kind: LifeguardKind, workers: usize, n: u64) -> f64 {
+    // Pre-generate the traces so trace synthesis is not part of the
+    // measured window.
+    let traces: Vec<(Benchmark, Vec<_>)> =
+        TENANTS.iter().map(|b| (*b, b.trace(n).collect())).collect();
+    let pool = MonitorPool::new(PoolConfig::with_workers(workers));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .into_iter()
+            .map(|(bench, trace)| {
+                let session = pool.open_session(
+                    SessionConfig::new(bench.name(), kind)
+                        .synthetic()
+                        .premark(&bench.profile().premark_regions()),
+                );
+                scope.spawn(move || {
+                    session.stream(trace).expect("pool alive");
+                    session.finish()
+                })
+            })
+            .collect();
+        for h in handles {
+            let report = h.join().expect("tenant completes");
+            assert!(report.violations.is_empty(), "clean workloads only");
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = TENANTS.len() as u64 * n;
+    pool.shutdown();
+    total as f64 / elapsed
+}
+
+fn main() {
+    let n = run_scale();
+    let lifeguards = [LifeguardKind::AddrCheck, LifeguardKind::TaintCheck];
+    let worker_counts = [1usize, 2, 4, 8];
+
+    println!(
+        "runtime throughput: {} tenants x {} records, workers x lifeguard\n",
+        TENANTS.len(),
+        n
+    );
+    println!("{:<12} {:>8} {:>16}", "lifeguard", "workers", "records/s");
+    let mut entries = Vec::new();
+    for kind in lifeguards {
+        for workers in worker_counts {
+            let rps = run_once(kind, workers, n);
+            println!("{:<12} {:>8} {:>16.0}", kind.name(), workers, rps);
+            entries.push(format!(
+                "    {{\"lifeguard\": \"{}\", \"workers\": {}, \"records_per_sec\": {:.0}}}",
+                kind.name(),
+                workers,
+                rps
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        TENANTS.len(),
+        n,
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("\nwrote BENCH_throughput.json");
+}

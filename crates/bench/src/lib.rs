@@ -37,10 +37,7 @@ pub fn run_suite(cfg: &SimConfig, n: u64) -> Vec<SimReport> {
             .map(|b| Simulator::new(cfg.clone()).run_mt_benchmark(*b, n))
             .collect()
     } else {
-        Benchmark::ALL
-            .iter()
-            .map(|b| Simulator::new(cfg.clone()).run_benchmark(*b, n))
-            .collect()
+        Benchmark::ALL.iter().map(|b| Simulator::new(cfg.clone()).run_benchmark(*b, n)).collect()
     }
 }
 

@@ -63,7 +63,11 @@ impl AccelConfig {
 
     /// LMA + Idempotent Filter (the paper's simulated 32-entry filter).
     pub fn lma_if() -> AccelConfig {
-        AccelConfig { lma: true, if_geometry: Some(IfGeometry::isca08()), ..AccelConfig::baseline() }
+        AccelConfig {
+            lma: true,
+            if_geometry: Some(IfGeometry::isca08()),
+            ..AccelConfig::baseline()
+        }
     }
 
     /// All three techniques.

@@ -82,7 +82,12 @@ impl Default for DispatchStats {
 /// assert!(seen.is_empty());
 /// assert_eq!(p.stats().records, 1);
 /// ```
-#[derive(Debug)]
+///
+/// The pipeline is `Clone + Send`: the streaming runtime (`igm-runtime`)
+/// instantiates one pipeline per lifeguard shard and moves it onto a worker
+/// thread; cloning snapshots the accelerator state for epoch-parallel
+/// checking.
+#[derive(Debug, Clone)]
 pub struct DispatchPipeline {
     etct: Etct,
     it: Option<InheritanceTracker>,
@@ -198,6 +203,32 @@ mod tests {
     use igm_isa::{Annotation, MemRef, OpClass, Reg};
     use igm_lba::{EventType, IfEventConfig};
 
+    /// The streaming runtime moves pipelines and accelerator units across
+    /// worker threads and clones them per shard; keep that statically true.
+    #[test]
+    fn pipeline_and_accelerators_are_send_and_clone() {
+        fn assert_send_clone<T: Send + Clone>() {}
+        assert_send_clone::<DispatchPipeline>();
+        assert_send_clone::<InheritanceTracker>();
+        assert_send_clone::<IdempotentFilter>();
+        assert_send_clone::<crate::MetadataTlb>();
+    }
+
+    #[test]
+    fn cloned_pipeline_diverges_independently() {
+        let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::lma_if());
+        let load =
+            TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        p.dispatch_collect(&load);
+        let mut q = p.clone();
+        assert_eq!(q.stats().records, 1);
+        // The clone's IF inherits the warm entry (the load is filtered)...
+        assert_eq!(q.dispatch_collect(&load).len(), 0);
+        // ...but the original's counters are unaffected by the clone's run.
+        assert_eq!(p.stats().records, 1);
+        assert_eq!(q.stats().records, 2);
+    }
+
     fn taint_etct() -> Etct {
         let mut etct = Etct::new();
         etct.register_all([
@@ -230,12 +261,16 @@ mod tests {
     #[test]
     fn baseline_delivers_registered_events_untouched() {
         let mut p = DispatchPipeline::new(taint_etct(), &AccelConfig::baseline());
-        let load = TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        let load =
+            TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
         let out = p.dispatch_collect(&load);
         // MemRead is unregistered for TaintCheck; the propagation event is
         // delivered.
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].event, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
+        assert_eq!(
+            out[0].event,
+            Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax })
+        );
         assert_eq!(p.stats().unregistered_dropped, 1);
     }
 
@@ -265,10 +300,8 @@ mod tests {
             DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
         let a = MemRef::word(0xa0);
         p.dispatch_collect(&TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
-        let out = p.dispatch_collect(&TraceEntry::annot(
-            2,
-            Annotation::Malloc { base: 0x9000, size: 64 },
-        ));
+        let out = p
+            .dispatch_collect(&TraceEntry::annot(2, Annotation::Malloc { base: 0x9000, size: 64 }));
         // Flush events (one per register) precede the annotation.
         assert_eq!(out.len(), 9);
         assert!(matches!(out[8].event, Event::Annot(Annotation::Malloc { .. })));
@@ -289,7 +322,8 @@ mod tests {
     #[test]
     fn if_filters_redundant_accesses_and_invalidates_on_malloc() {
         let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::lma_if());
-        let load = TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        let load =
+            TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
         assert_eq!(p.dispatch_collect(&load).len(), 1);
         assert_eq!(p.dispatch_collect(&load).len(), 0); // filtered
         assert_eq!(p.stats().if_filtered, 1);
@@ -315,8 +349,10 @@ mod tests {
     #[test]
     fn delivered_by_type_accounting() {
         let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::baseline());
-        let load = TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
-        let store = TraceEntry::op(0x14, OpClass::RegToMem { rs: Reg::Eax, dst: MemRef::word(0x9004) });
+        let load =
+            TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
+        let store =
+            TraceEntry::op(0x14, OpClass::RegToMem { rs: Reg::Eax, dst: MemRef::word(0x9004) });
         p.dispatch_collect(&load);
         p.dispatch_collect(&store);
         let s = p.stats();

@@ -54,7 +54,11 @@ impl IfGeometry {
     }
 
     fn resolved_ways(&self) -> usize {
-        if self.ways == 0 { self.entries } else { self.ways }
+        if self.ways == 0 {
+            self.entries
+        } else {
+            self.ways
+        }
     }
 
     fn sets(&self) -> usize {
@@ -239,13 +243,11 @@ impl IdempotentFilter {
         let tick = self.tick;
         let set = &mut self.sets[si];
         // Hit?
-        for way in set.iter_mut() {
-            if let Some(line) = way {
-                if line.key == key {
-                    line.last_used = tick;
-                    self.stats.hits += 1;
-                    return IfOutcome::Filtered;
-                }
+        for line in set.iter_mut().flatten() {
+            if line.key == key {
+                line.last_used = tick;
+                self.stats.hits += 1;
+                return IfOutcome::Filtered;
             }
         }
         // Miss: insert with LRU replacement.
@@ -374,8 +376,8 @@ mod tests {
             }
         }
         assert_eq!(delivered, 64); // cold pass: everything delivered
-        // Second identical pass: a direct-mapped 4-entry filter cannot hold
-        // 64 distinct lines, so most still deliver.
+                                   // Second identical pass: a direct-mapped 4-entry filter cannot hold
+                                   // 64 distinct lines, so most still deliver.
         let mut filtered = 0;
         for i in 0..64u32 {
             if f.process(0, &read(i * 4), &cfg_addr(0)) == IfOutcome::Filtered {

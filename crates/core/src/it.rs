@@ -129,9 +129,7 @@ fn aligned_bitmaps(m: MemRef) -> [(u32, u8); 2] {
 fn bitmaps_overlap(a: MemRef, b: MemRef) -> bool {
     let pa = aligned_bitmaps(a);
     let pb = aligned_bitmaps(b);
-    pa.iter().any(|(wa, ba)| {
-        *ba != 0 && pb.iter().any(|(wb, bb)| wa == wb && (ba & bb) != 0)
-    })
+    pa.iter().any(|(wa, ba)| *ba != 0 && pb.iter().any(|(wb, bb)| wa == wb && (ba & bb) != 0))
 }
 
 /// The unary Inheritance Tracking hardware (Figure 5).
@@ -330,9 +328,7 @@ impl InheritanceTracker {
                 // changing the state we dispatch on.
                 self.resolve_conflicts(pc, dst, out);
                 match self.state(rs) {
-                    ItState::Clean => {
-                        self.deliver(pc, Event::Prop(OpClass::ImmToMem { dst }), out)
-                    }
+                    ItState::Clean => self.deliver(pc, Event::Prop(OpClass::ImmToMem { dst }), out),
                     ItState::Addr(a) => {
                         self.deliver(pc, Event::Prop(OpClass::MemToMem { src: a, dst }), out)
                     }
@@ -524,21 +520,15 @@ mod tests {
         let a = MemRef::new(0xa2, MemSize::B4);
         run(&mut it, 1, Event::Prop(OpClass::MemToReg { src: a, rd: Reg::Eax }));
         // A 1-byte store at 0xa5 overlaps (bytes a2..a6).
-        let evs = run(
-            &mut it,
-            2,
-            Event::Prop(OpClass::ImmToMem { dst: MemRef::new(0xa5, MemSize::B1) }),
-        );
+        let evs =
+            run(&mut it, 2, Event::Prop(OpClass::ImmToMem { dst: MemRef::new(0xa5, MemSize::B1) }));
         assert_eq!(evs.len(), 2);
         assert_eq!(it.stats().conflict_events, 1);
         // A 1-byte store at 0xa6 does not overlap.
         let mut it = InheritanceTracker::new(ItConfig::taint_style());
         run(&mut it, 1, Event::Prop(OpClass::MemToReg { src: a, rd: Reg::Eax }));
-        let evs = run(
-            &mut it,
-            2,
-            Event::Prop(OpClass::ImmToMem { dst: MemRef::new(0xa6, MemSize::B1) }),
-        );
+        let evs =
+            run(&mut it, 2, Event::Prop(OpClass::ImmToMem { dst: MemRef::new(0xa6, MemSize::B1) }));
         assert_eq!(evs.len(), 1);
         assert_eq!(it.state(Reg::Eax), ItState::Addr(a));
     }
@@ -568,7 +558,8 @@ mod tests {
         run(&mut it, 1, Event::Prop(OpClass::MemToReg { src: a, rd: Reg::Eax }));
         // add %ecx, %eax with clean %ecx: generic propagation leaves %eax's
         // metadata = metadata(A); the optimization keeps the inheritance.
-        let evs = run(&mut it, 2, Event::Prop(OpClass::DestRegOpReg { rs: Reg::Ecx, rd: Reg::Eax }));
+        let evs =
+            run(&mut it, 2, Event::Prop(OpClass::DestRegOpReg { rs: Reg::Ecx, rd: Reg::Eax }));
         assert!(evs.is_empty());
         assert_eq!(it.state(Reg::Eax), ItState::Addr(a));
     }

@@ -169,11 +169,7 @@ impl MetadataTlb {
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
         } else {
-            let victim = self
-                .entries
-                .iter_mut()
-                .min_by_key(|e| e.last_used)
-                .expect("capacity > 0");
+            let victim = self.entries.iter_mut().min_by_key(|e| e.last_used).expect("capacity > 0");
             *victim = entry;
         }
     }

@@ -167,13 +167,14 @@ fn arb_op() -> impl Strategy<Value = OpClass> {
         (arb_reg(), arb_reg()).prop_map(|(rs, rd)| OpClass::DestRegOpReg { rs, rd }),
         (arb_memref(), arb_reg()).prop_map(|(src, rd)| OpClass::DestRegOpMem { src, rd }),
         (arb_reg(), arb_memref()).prop_map(|(rs, dst)| OpClass::DestMemOpReg { rs, dst }),
-        (arb_reg(), arb_reg(), proptest::option::of(arb_memref()))
-            .prop_map(|(a, b, mw)| OpClass::Other {
+        (arb_reg(), arb_reg(), proptest::option::of(arb_memref())).prop_map(|(a, b, mw)| {
+            OpClass::Other {
                 reads: RegSet::from_regs([a]),
                 writes: RegSet::from_regs([a, b]),
                 mem_read: None,
                 mem_write: mw,
-            }),
+            }
+        }),
     ]
 }
 

@@ -267,7 +267,7 @@ impl Program {
             return None;
         }
         let off = pc - self.base_pc;
-        if off % INSTR_BYTES != 0 {
+        if !off.is_multiple_of(INSTR_BYTES) {
             return None;
         }
         let idx = (off / INSTR_BYTES) as usize;
@@ -498,9 +498,9 @@ impl ProgramBuilder {
         }
         for i in &self.instrs {
             let used = match i {
-                Instr::Jmp { target }
-                | Instr::Jcc { target, .. }
-                | Instr::Call { target } => Some(*target),
+                Instr::Jmp { target } | Instr::Jcc { target, .. } | Instr::Call { target } => {
+                    Some(*target)
+                }
                 _ => None,
             };
             if let Some(l) = used {
@@ -509,11 +509,7 @@ impl ProgramBuilder {
                 }
             }
         }
-        Ok(Program {
-            base_pc: self.base_pc,
-            instrs: self.instrs.clone(),
-            label_targets,
-        })
+        Ok(Program { base_pc: self.base_pc, instrs: self.instrs.clone(), label_targets })
     }
 
     /// Resolves labels and produces the final [`Program`].

@@ -69,16 +69,8 @@ pub const NUM_REGS: usize = 8;
 
 impl Reg {
     /// All registers, in encoding order.
-    pub const ALL: [Reg; NUM_REGS] = [
-        Reg::Eax,
-        Reg::Ecx,
-        Reg::Edx,
-        Reg::Ebx,
-        Reg::Esp,
-        Reg::Ebp,
-        Reg::Esi,
-        Reg::Edi,
-    ];
+    pub const ALL: [Reg; NUM_REGS] =
+        [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esp, Reg::Ebp, Reg::Esi, Reg::Edi];
 
     /// The register's dense index in `0..NUM_REGS`.
     #[inline]

@@ -12,7 +12,9 @@
 //! keep running so the monitoring machinery can observe it.
 
 use crate::asm::{Addressing, Instr, Program};
-use crate::trace::{Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, RegSet, TraceEntry, TraceOp};
+use crate::trace::{
+    Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, RegSet, TraceEntry, TraceOp,
+};
 use crate::{Reg, NUM_REGS};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -44,10 +46,8 @@ impl Memory {
 
     /// Writes one byte, allocating the page on demand.
     pub fn write_u8(&mut self, addr: u32, v: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page =
+            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr as usize) & (PAGE_SIZE - 1)] = v;
     }
 
@@ -375,10 +375,7 @@ impl Machine {
                 self.flag_src = Some(rd);
                 self.push_entry(
                     pc,
-                    TraceOp::Op(OpClass::ReadOnly {
-                        src: Some(m),
-                        reads: RegSet::from_regs([rd]),
-                    }),
+                    TraceOp::Op(OpClass::ReadOnly { src: Some(m), reads: RegSet::from_regs([rd]) }),
                     RegSet::from_regs(src.regs()),
                 );
             }

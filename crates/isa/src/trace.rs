@@ -134,9 +134,7 @@ impl RegSet {
 
     /// Iterates over the members in encoding order.
     pub fn iter(self) -> impl Iterator<Item = Reg> {
-        (0..crate::NUM_REGS)
-            .filter(move |i| self.0 & (1 << i) != 0)
-            .map(Reg::from_index)
+        (0..crate::NUM_REGS).filter(move |i| self.0 & (1 << i) != 0).map(Reg::from_index)
     }
 }
 
@@ -187,12 +185,7 @@ pub enum OpClass {
     /// …). Carries conservative read/write register sets and optional memory
     /// operands so that Inheritance Tracking can flush exactly the affected
     /// state (paper §4.3, third complication).
-    Other {
-        reads: RegSet,
-        writes: RegSet,
-        mem_read: Option<MemRef>,
-        mem_write: Option<MemRef>,
-    },
+    Other { reads: RegSet, writes: RegSet, mem_read: Option<MemRef>, mem_write: Option<MemRef> },
 }
 
 impl OpClass {
@@ -311,10 +304,7 @@ impl Annotation {
     /// Whether the monitored application must stall at this record until the
     /// lifeguard has drained the log buffer (all kernel-entering events).
     pub fn is_sync_point(&self) -> bool {
-        matches!(
-            self,
-            Annotation::Syscall { .. } | Annotation::ReadInput { .. }
-        )
+        matches!(self, Annotation::Syscall { .. } | Annotation::ReadInput { .. })
     }
 }
 
@@ -451,10 +441,7 @@ mod tests {
         assert_eq!(e.mem_read(), Some(slot));
         assert_eq!(e.mem_write(), None);
 
-        let e = TraceEntry::ctrl(
-            0x8048004,
-            CtrlOp::Indirect { target: JumpTarget::Mem(slot) },
-        );
+        let e = TraceEntry::ctrl(0x8048004, CtrlOp::Indirect { target: JumpTarget::Mem(slot) });
         assert_eq!(e.mem_read(), Some(slot));
     }
 

@@ -32,7 +32,8 @@ pub struct FieldSelect {
 impl FieldSelect {
     /// Key on the data address and size (the AddrCheck/MemCheck/LockSet
     /// configuration).
-    pub const ADDR_SIZE: FieldSelect = FieldSelect { addr: true, size: true, pc: false, reg: false };
+    pub const ADDR_SIZE: FieldSelect =
+        FieldSelect { addr: true, size: true, pc: false, reg: false };
     /// Key on the register identifier only.
     pub const REG: FieldSelect = FieldSelect { addr: false, size: false, pc: false, reg: true };
     /// No fields selected.

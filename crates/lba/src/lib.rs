@@ -28,4 +28,6 @@ pub use etct::{Etct, EtctEntry, FieldSelect, IfEventConfig};
 pub use event::{
     extract_events, CheckKind, DeliveredEvent, Event, EventType, MetaSource, NUM_EVENT_TYPES,
 };
-pub use record::{compressed_size, ANNOTATION_RECORD_BYTES, INSTR_RECORD_BYTES};
+pub use record::{
+    batch_bytes, chunks, compressed_size, Chunks, ANNOTATION_RECORD_BYTES, INSTR_RECORD_BYTES,
+};

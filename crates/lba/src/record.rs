@@ -25,10 +25,110 @@ pub fn compressed_size(entry: &TraceEntry) -> u32 {
     }
 }
 
+/// Groups a record stream into size-bounded batches for block transport.
+///
+/// Each yielded batch occupies at most `max_bytes` of compressed-record
+/// space ([`compressed_size`]), except that a single record larger than
+/// `max_bytes` is yielded alone (so the iterator always makes progress).
+/// This is the producer-side "chunk extraction" used by the streaming
+/// runtime (`igm-runtime`): the application core fills a cache-line-sized
+/// batch locally and publishes it to the log channel in one operation,
+/// amortizing synchronization over many records.
+///
+/// # Example
+///
+/// ```
+/// use igm_isa::{OpClass, Reg, TraceEntry};
+/// use igm_lba::record::chunks;
+///
+/// let rec = TraceEntry::op(0x1000, OpClass::ImmToReg { rd: Reg::Eax });
+/// let batches: Vec<Vec<TraceEntry>> = chunks([rec; 10], 4).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2 one-byte records
+/// assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 10);
+/// ```
+pub fn chunks<I>(records: I, max_bytes: u32) -> Chunks<I::IntoIter>
+where
+    I: IntoIterator<Item = TraceEntry>,
+{
+    assert!(max_bytes > 0, "chunk size must be positive");
+    Chunks { inner: records.into_iter(), max_bytes, pending: None }
+}
+
+/// Iterator returned by [`chunks`].
+#[derive(Debug, Clone)]
+pub struct Chunks<I> {
+    inner: I,
+    max_bytes: u32,
+    /// A record that did not fit the previous batch.
+    pending: Option<TraceEntry>,
+}
+
+impl<I: Iterator<Item = TraceEntry>> Iterator for Chunks<I> {
+    type Item = Vec<TraceEntry>;
+
+    fn next(&mut self) -> Option<Vec<TraceEntry>> {
+        let mut batch = Vec::new();
+        let mut used = 0u32;
+        if let Some(first) = self.pending.take() {
+            used += compressed_size(&first);
+            batch.push(first);
+        }
+        for entry in self.inner.by_ref() {
+            let sz = compressed_size(&entry);
+            if !batch.is_empty() && used + sz > self.max_bytes {
+                self.pending = Some(entry);
+                return Some(batch);
+            }
+            used += sz;
+            batch.push(entry);
+            if used >= self.max_bytes {
+                return Some(batch);
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+/// Total compressed size of a batch of records, in bytes.
+pub fn batch_bytes(records: &[TraceEntry]) -> u32 {
+    records.iter().map(compressed_size).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use igm_isa::{Annotation, MemRef, OpClass, Reg};
+
+    #[test]
+    fn chunks_respect_byte_bound_and_preserve_order() {
+        let mut recs = Vec::new();
+        for pc in 0..100u32 {
+            recs.push(TraceEntry::op(pc, OpClass::ImmToReg { rd: Reg::Eax }));
+            if pc % 7 == 0 {
+                recs.push(TraceEntry::annot(pc, Annotation::Free { base: pc }));
+            }
+        }
+        let batches: Vec<_> = chunks(recs.iter().copied(), 16).collect();
+        for b in &batches {
+            assert!(!b.is_empty());
+            assert!(batch_bytes(b) <= 16 || b.len() == 1, "oversized multi-record batch");
+        }
+        let flat: Vec<_> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, recs, "chunking must not lose, duplicate or reorder");
+    }
+
+    #[test]
+    fn oversized_record_is_yielded_alone() {
+        let big = TraceEntry::annot(1, Annotation::Malloc { base: 0x9000, size: 64 });
+        let small = TraceEntry::op(2, OpClass::ImmToReg { rd: Reg::Eax });
+        let batches: Vec<_> = chunks([small, big, small], 4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[1], vec![big]);
+    }
 
     #[test]
     fn instruction_records_are_one_byte() {

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 const ACCESSIBLE: u8 = 1;
 
 /// The AddrCheck lifeguard.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AddrCheck {
     meta: MetaMap,
     /// Live allocations: base → size (the malloc record list).
@@ -82,7 +82,8 @@ impl AddrCheck {
         cost.mem(va);
         // Accesses crossing an element boundary re-map the tail.
         let last = mref.addr + (mref.size.bytes() - 1);
-        if self.meta.shadow().layout().l1_index(last) != self.meta.shadow().layout().l1_index(mref.addr)
+        if self.meta.shadow().layout().l1_index(last)
+            != self.meta.shadow().layout().l1_index(mref.addr)
             || self.meta.shadow().layout().elem_index(last)
                 != self.meta.shadow().layout().elem_index(mref.addr)
         {
@@ -197,6 +198,9 @@ impl Lifeguard for AddrCheck {
     fn metadata_bytes(&self) -> u64 {
         self.meta.metadata_bytes() + (self.live.len() + self.freed.len()) as u64 * 8
     }
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        Some(crate::ShardableLifeguard::snapshot_shard(self))
+    }
 }
 
 /// The paper's baseline mapping cost is visible in this module's handlers:
@@ -223,10 +227,7 @@ mod tests {
         let mut lg = AddrCheck::new(&AccelConfig::baseline());
         run(&mut lg, Event::MemRead(MemRef::word(0x9000)));
         assert_eq!(lg.violations().len(), 1);
-        assert!(matches!(
-            lg.violations()[0],
-            Violation::UnallocatedAccess { is_write: false, .. }
-        ));
+        assert!(matches!(lg.violations()[0], Violation::UnallocatedAccess { is_write: false, .. }));
     }
 
     #[test]

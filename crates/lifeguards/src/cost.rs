@@ -74,7 +74,7 @@ impl CostSink {
 ///
 /// Every lifeguard owns one `MetaMap` per shadow structure; `map` is the
 /// first thing almost every handler does (paper §2.1, metadata mapping).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MetaMap {
     shadow: TwoLevelShadow,
     mtlb: Option<MetadataTlb>,

@@ -120,7 +120,10 @@ impl LifeguardKind {
     }
 
     /// Builds the lifeguard under a (pre-masked) configuration.
-    pub fn build(self, cfg: &AccelConfig) -> Box<dyn Lifeguard> {
+    ///
+    /// The box is `Send`: the streaming runtime (`igm-runtime`) moves built
+    /// lifeguards onto its worker threads.
+    pub fn build(self, cfg: &AccelConfig) -> Box<dyn Lifeguard + Send> {
         let cfg = self.mask_config(cfg);
         match self {
             LifeguardKind::AddrCheck => Box::new(AddrCheck::new(&cfg)),
@@ -130,6 +133,41 @@ impl LifeguardKind {
             LifeguardKind::LockSet => Box::new(LockSet::new(&cfg)),
         }
     }
+
+    /// The epoch-parallel capability row (the runtime's analogue of the
+    /// Figure 2 applicability matrix): a lifeguard supports epoch-parallel
+    /// checking iff its *checking* handlers never write metadata, so a
+    /// sequential update-only spine reproduces the exact shadow-state
+    /// evolution while checks replay on parallel workers.
+    ///
+    /// * AddrCheck / TaintCheck (± detailed) — checks only read the shadow
+    ///   map and report; epoch-parallel applies.
+    /// * MemCheck — loads *set* initialized bits (reads are part of the
+    ///   update stream); metadata does not commute with check elision.
+    /// * LockSet — every shared access refines the word's candidate lockset;
+    ///   same problem.
+    ///
+    /// Non-supporting lifeguards fall back to sequential-consistency
+    /// monitoring on a single worker (see `igm-runtime`'s epoch module).
+    pub fn epoch_support(self) -> EpochSupport {
+        match self {
+            LifeguardKind::AddrCheck
+            | LifeguardKind::TaintCheck
+            | LifeguardKind::TaintCheckDetailed => EpochSupport { parallel_checks: true },
+            LifeguardKind::MemCheck | LifeguardKind::LockSet => {
+                EpochSupport { parallel_checks: false }
+            }
+        }
+    }
+}
+
+/// Whether a lifeguard's metadata discipline admits epoch-parallel checking
+/// (see [`LifeguardKind::epoch_support`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSupport {
+    /// Checking handlers are metadata-pure: checks may run on parallel
+    /// workers against snapshotted shadow state.
+    pub parallel_checks: bool,
 }
 
 impl fmt::Display for LifeguardKind {
@@ -172,7 +210,29 @@ pub trait Lifeguard {
     /// Current metadata footprint in bytes (shadow chunks + auxiliary
     /// structures), for the space studies.
     fn metadata_bytes(&self) -> u64;
+
+    /// Snapshots the lifeguard's full state (shadow memory, register
+    /// metadata, allocation records) into an independent shard, or `None`
+    /// when the lifeguard is not shardable. Used by the epoch-parallel
+    /// runtime: each epoch worker checks against a snapshot of the shadow
+    /// state at its epoch boundary. Default: not shardable.
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        None
+    }
 }
+
+/// Shadow/state shard construction for epoch-parallel monitoring: any
+/// `Clone + Send` lifeguard is shardable, its snapshot being an ordinary
+/// clone of the shadow structures. Concrete lifeguards implement
+/// [`Lifeguard::try_snapshot`] through this helper.
+pub trait ShardableLifeguard: Lifeguard + Clone + Send + Sized + 'static {
+    /// Clones the lifeguard state into an independent boxed shard.
+    fn snapshot_shard(&self) -> Box<dyn Lifeguard + Send> {
+        Box::new(self.clone())
+    }
+}
+
+impl<T: Lifeguard + Clone + Send + Sized + 'static> ShardableLifeguard for T {}
 
 #[cfg(test)]
 mod tests {

@@ -53,7 +53,7 @@ fn payload_of(rec: u32) -> u32 {
 const LOCKSET_AUX_BASE: u32 = 0x0e00_0000;
 
 /// Interned locksets with memoized intersection.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LocksetRegistry {
     sets: Vec<Vec<u32>>,
     index: HashMap<Vec<u32>, u32>,
@@ -130,6 +130,9 @@ impl LocksetRegistry {
     }
 
     /// Number of distinct locksets interned.
+    // `is_empty` here is per-set (takes an index); the registry-level
+    // predicate is `is_empty_registry`.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.sets.len()
     }
@@ -141,7 +144,7 @@ impl LocksetRegistry {
 }
 
 /// The LockSet lifeguard.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LockSet {
     meta: MetaMap,
     registry: LocksetRegistry,
@@ -376,6 +379,9 @@ impl Lifeguard for LockSet {
         self.meta.metadata_bytes()
             + self.registry.sets.iter().map(|s| 8 + 4 * s.len() as u64).sum::<u64>()
     }
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        Some(crate::ShardableLifeguard::snapshot_shard(self))
+    }
 }
 
 #[cfg(test)]
@@ -530,10 +536,7 @@ mod tests {
     fn etct_separates_load_and_store_categories() {
         let lg = LockSet::new(&AccelConfig::baseline());
         let etct = lg.etct();
-        assert_ne!(
-            etct.if_config(EventType::MemRead).cc,
-            etct.if_config(EventType::MemWrite).cc
-        );
+        assert_ne!(etct.if_config(EventType::MemRead).cc, etct.if_config(EventType::MemWrite).cc);
         for et in [EventType::Lock, EventType::Unlock, EventType::ThreadSwitch] {
             assert!(etct.if_config(et).invalidate_all, "{et:?}");
         }

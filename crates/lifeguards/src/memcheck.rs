@@ -36,7 +36,7 @@ const I_BIT: u8 = 0b10;
 const AI: u8 = 0b11;
 
 /// The MemCheck lifeguard.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemCheck {
     meta: MetaMap,
     /// Per-register initialized mask: bit i set = byte i initialized.
@@ -60,7 +60,10 @@ impl MemCheck {
     /// Builds MemCheck under `cfg`.
     pub fn new(cfg: &AccelConfig) -> MemCheck {
         MemCheck {
-            meta: MetaMap::new(TwoLevelShadow::new(Self::layout(), 0), cfg.lma.then_some(cfg.mtlb_entries)),
+            meta: MetaMap::new(
+                TwoLevelShadow::new(Self::layout(), 0),
+                cfg.lma.then_some(cfg.mtlb_entries),
+            ),
             regs: RegMeta::new(0xf), // registers are defined at program start
             live: HashMap::new(),
             freed: HashMap::new(),
@@ -84,7 +87,8 @@ impl MemCheck {
     }
 
     fn range_all(&self, m: MemRef, bit: u8) -> bool {
-        (0..m.size.bytes()).all(|i| self.meta.shadow().packed_get(m.addr.wrapping_add(i)) & bit != 0)
+        (0..m.size.bytes())
+            .all(|i| self.meta.shadow().packed_get(m.addr.wrapping_add(i)) & bit != 0)
     }
 
     fn set_bits_range(&mut self, base: u32, len: u32, set: u8, clear: u8) {
@@ -358,6 +362,9 @@ impl Lifeguard for MemCheck {
     fn metadata_bytes(&self) -> u64 {
         self.meta.metadata_bytes() + (self.live.len() + self.freed.len()) as u64 * 8 + 8
     }
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        Some(crate::ShardableLifeguard::snapshot_shard(self))
+    }
 }
 
 /// Marks the heap's initialized bits without touching accessibility —
@@ -394,10 +401,10 @@ mod tests {
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
         assert!(lg.violations().is_empty());
         // Using %eax as a branch input is an error.
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert_eq!(lg.violations().len(), 1);
         assert!(matches!(lg.violations()[0], Violation::UninitUse { .. }));
     }
@@ -408,10 +415,10 @@ mod tests {
         malloc(&mut lg, 0x9000, 64);
         run(&mut lg, Event::Prop(OpClass::ImmToMem { dst: MemRef::word(0x9000) }));
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert!(lg.violations().is_empty());
     }
 
@@ -422,26 +429,26 @@ mod tests {
         malloc(&mut lg, 0xa000, 64);
         // Initialize source, copy mem->mem, then load+use: clean.
         run(&mut lg, Event::Prop(OpClass::ImmToMem { dst: MemRef::word(0x9000) }));
-        run(&mut lg, Event::Prop(OpClass::MemToMem {
-            src: MemRef::word(0x9000),
-            dst: MemRef::word(0xa000),
-        }));
+        run(
+            &mut lg,
+            Event::Prop(OpClass::MemToMem { src: MemRef::word(0x9000), dst: MemRef::word(0xa000) }),
+        );
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0xa000), rd: Reg::Ecx }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::AddrCompute,
-            source: MetaSource::Reg(Reg::Ecx),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::AddrCompute, source: MetaSource::Reg(Reg::Ecx) },
+        );
         assert!(lg.violations().is_empty());
         // Copy from an uninitialized word propagates the uninit state.
-        run(&mut lg, Event::Prop(OpClass::MemToMem {
-            src: MemRef::word(0x9010),
-            dst: MemRef::word(0xa010),
-        }));
+        run(
+            &mut lg,
+            Event::Prop(OpClass::MemToMem { src: MemRef::word(0x9010), dst: MemRef::word(0xa010) }),
+        );
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0xa010), rd: Reg::Edx }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::AddrCompute,
-            source: MetaSource::Reg(Reg::Edx),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::AddrCompute, source: MetaSource::Reg(Reg::Edx) },
+        );
         assert_eq!(lg.violations().len(), 1);
     }
 
@@ -451,10 +458,10 @@ mod tests {
         malloc(&mut lg, 0x9000, 64);
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
         run(&mut lg, Event::Prop(OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Edx),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Edx) },
+        );
         assert_eq!(lg.violations().len(), 1);
     }
 
@@ -464,10 +471,13 @@ mod tests {
         // memory source.
         let mut lg = MemCheck::new(&AccelConfig::baseline());
         malloc(&mut lg, 0x9000, 64);
-        run(&mut lg, Event::Check {
-            kind: CheckKind::NonUnaryInput,
-            source: MetaSource::Mem(MemRef::word(0x9000)),
-        });
+        run(
+            &mut lg,
+            Event::Check {
+                kind: CheckKind::NonUnaryInput,
+                source: MetaSource::Mem(MemRef::word(0x9000)),
+            },
+        );
         assert_eq!(lg.violations().len(), 1);
         assert!(matches!(
             lg.violations()[0],
@@ -481,10 +491,13 @@ mod tests {
         malloc(&mut lg, 0x9000, 64);
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
         for _ in 0..3 {
-            run(&mut lg, Event::Check {
-                kind: CheckKind::CondBranchInput,
-                source: MetaSource::Reg(Reg::Eax),
-            });
+            run(
+                &mut lg,
+                Event::Check {
+                    kind: CheckKind::CondBranchInput,
+                    source: MetaSource::Reg(Reg::Eax),
+                },
+            );
         }
         assert_eq!(lg.violations().len(), 1, "report must not cascade");
     }
@@ -496,24 +509,21 @@ mod tests {
         // Initialize one byte only.
         run(&mut lg, Event::Prop(OpClass::ImmToMem { dst: MemRef::byte(0x9000) }));
         // A 1-byte load zero-extends: fully defined register.
-        run(&mut lg, Event::Prop(OpClass::MemToReg {
-            src: MemRef::byte(0x9000),
-            rd: Reg::Eax,
-        }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::byte(0x9000), rd: Reg::Eax }));
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert!(lg.violations().is_empty());
         // A 4-byte load of the same word picks up 3 undefined bytes.
-        run(&mut lg, Event::Prop(OpClass::MemToReg {
-            src: MemRef::new(0x9000, MemSize::B4),
-            rd: Reg::Ecx,
-        }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Ecx),
-        });
+        run(
+            &mut lg,
+            Event::Prop(OpClass::MemToReg { src: MemRef::new(0x9000, MemSize::B4), rd: Reg::Ecx }),
+        );
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Ecx) },
+        );
         assert_eq!(lg.violations().len(), 1);
     }
 
@@ -532,10 +542,10 @@ mod tests {
         run(&mut lg, Event::Annot(Annotation::Free { base: 0x9000 }));
         malloc(&mut lg, 0x9000, 64);
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert_eq!(lg.violations().len(), 1, "recycled memory is uninitialized again");
     }
 
@@ -545,10 +555,10 @@ mod tests {
         malloc(&mut lg, 0x9000, 128);
         run(&mut lg, Event::Annot(Annotation::ReadInput { base: 0x9000, len: 128 }));
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9040), rd: Reg::Eax }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::SyscallArg,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::SyscallArg, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert!(lg.violations().is_empty());
     }
 
@@ -558,10 +568,10 @@ mod tests {
         lg.set_assume_calloc(true);
         malloc(&mut lg, 0x9000, 64);
         run(&mut lg, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
-        run(&mut lg, Event::Check {
-            kind: CheckKind::CondBranchInput,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(
+            &mut lg,
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert!(lg.violations().is_empty());
     }
 

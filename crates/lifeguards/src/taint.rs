@@ -31,7 +31,7 @@ const TAINTED: u8 = 0b11;
 const CLEAN: u8 = 0b00;
 
 /// The TaintCheck lifeguard.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TaintCheck {
     meta: MetaMap,
     /// Per-register taint mask: bit i = byte i tainted.
@@ -301,6 +301,9 @@ impl Lifeguard for TaintCheck {
     fn metadata_bytes(&self) -> u64 {
         self.meta.metadata_bytes() + 8
     }
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        Some(crate::ShardableLifeguard::snapshot_shard(self))
+    }
 }
 
 #[cfg(test)]
@@ -343,10 +346,11 @@ mod tests {
     fn generic_binary_op_ors_taint() {
         let mut lg = TaintCheck::new(&AccelConfig::baseline());
         taint_input(&mut lg, 0x9000, 4);
-        run(&mut lg, 1, Event::Prop(OpClass::DestRegOpMem {
-            src: MemRef::word(0x9000),
-            rd: Reg::Edx,
-        }));
+        run(
+            &mut lg,
+            1,
+            Event::Prop(OpClass::DestRegOpMem { src: MemRef::word(0x9000), rd: Reg::Edx }),
+        );
         assert!(lg.reg_tainted(Reg::Edx));
         run(&mut lg, 2, Event::Prop(OpClass::DestRegOpReg { rs: Reg::Edx, rd: Reg::Ebx }));
         assert!(lg.reg_tainted(Reg::Ebx));
@@ -357,10 +361,11 @@ mod tests {
         let mut lg = TaintCheck::new(&AccelConfig::baseline());
         taint_input(&mut lg, 0x9000, 4);
         run(&mut lg, 1, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
-        run(&mut lg, 2, Event::Check {
-            kind: CheckKind::JumpTarget,
-            source: MetaSource::Reg(Reg::Eax),
-        });
+        run(
+            &mut lg,
+            2,
+            Event::Check { kind: CheckKind::JumpTarget, source: MetaSource::Reg(Reg::Eax) },
+        );
         assert_eq!(lg.violations().len(), 1);
         assert!(matches!(
             lg.violations()[0],
@@ -371,14 +376,19 @@ mod tests {
     #[test]
     fn clean_jump_target_is_silent() {
         let mut lg = TaintCheck::new(&AccelConfig::baseline());
-        run(&mut lg, 1, Event::Check {
-            kind: CheckKind::JumpTarget,
-            source: MetaSource::Reg(Reg::Eax),
-        });
-        run(&mut lg, 2, Event::Check {
-            kind: CheckKind::FormatString,
-            source: MetaSource::Mem(MemRef::word(0x8100_0000)),
-        });
+        run(
+            &mut lg,
+            1,
+            Event::Check { kind: CheckKind::JumpTarget, source: MetaSource::Reg(Reg::Eax) },
+        );
+        run(
+            &mut lg,
+            2,
+            Event::Check {
+                kind: CheckKind::FormatString,
+                source: MetaSource::Mem(MemRef::word(0x8100_0000)),
+            },
+        );
         assert!(lg.violations().is_empty());
     }
 
@@ -386,10 +396,14 @@ mod tests {
     fn format_string_sink() {
         let mut lg = TaintCheck::new(&AccelConfig::baseline());
         taint_input(&mut lg, 0x9000, 16);
-        run(&mut lg, 3, Event::Check {
-            kind: CheckKind::FormatString,
-            source: MetaSource::Mem(MemRef::byte(0x9004)),
-        });
+        run(
+            &mut lg,
+            3,
+            Event::Check {
+                kind: CheckKind::FormatString,
+                source: MetaSource::Mem(MemRef::byte(0x9004)),
+            },
+        );
         assert!(matches!(
             lg.violations()[0],
             Violation::TaintedUse { sink: TaintSink::FormatString, .. }
@@ -400,7 +414,7 @@ mod tests {
     fn byte_granular_taint_and_zero_extension() {
         let mut lg = TaintCheck::new(&AccelConfig::baseline());
         taint_input(&mut lg, 0x9001, 1); // only byte 1 of the word
-        // 1-byte load of the clean byte 0: clean.
+                                         // 1-byte load of the clean byte 0: clean.
         run(&mut lg, 1, Event::Prop(OpClass::MemToReg { src: MemRef::byte(0x9000), rd: Reg::Eax }));
         assert!(!lg.reg_tainted(Reg::Eax));
         // 4-byte load picks up the tainted byte.
@@ -418,12 +432,16 @@ mod tests {
         taint_input(&mut lg, 0x9000, 4);
         run(&mut lg, 1, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }));
         let set = igm_isa::RegSet::from_regs([Reg::Eax, Reg::Ecx]);
-        run(&mut lg, 2, Event::Prop(OpClass::Other {
-            reads: set,
-            writes: set,
-            mem_read: None,
-            mem_write: None,
-        }));
+        run(
+            &mut lg,
+            2,
+            Event::Prop(OpClass::Other {
+                reads: set,
+                writes: set,
+                mem_read: None,
+                mem_write: None,
+            }),
+        );
         assert!(lg.reg_tainted(Reg::Ecx), "xchg must propagate taint");
     }
 

@@ -51,7 +51,7 @@ impl TaintRecord {
 }
 
 /// The detailed-tracking TaintCheck lifeguard.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TaintCheckDetailed {
     meta: MetaMap,
     /// Per-register record (packed), zero = clean.
@@ -257,7 +257,11 @@ impl TaintCheckDetailed {
                     dst_rec
                 } else {
                     let r = self.reg_record(rs);
-                    if r.is_tainted() { TaintRecord { from: r.from, eip: pc } } else { TaintRecord::CLEAN }
+                    if r.is_tainted() {
+                        TaintRecord { from: r.from, eip: pc }
+                    } else {
+                        TaintRecord::CLEAN
+                    }
                 };
                 self.write_mem_record(dst, rec);
             }
@@ -388,6 +392,9 @@ impl Lifeguard for TaintCheckDetailed {
     fn metadata_bytes(&self) -> u64 {
         self.meta.metadata_bytes() + 64
     }
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        Some(crate::ShardableLifeguard::snapshot_shard(self))
+    }
 }
 
 #[cfg(test)]
@@ -405,18 +412,21 @@ mod tests {
         // Input at 0x9000, copied 0x9000 -> %eax (pc 0x10) -> 0xa000
         // (pc 0x20) -> 0xb000 via mem_to_mem (pc 0x30).
         run(&mut lg, 1, Event::Annot(Annotation::ReadInput { base: 0x9000, len: 4 }));
-        run(&mut lg, 0x10, Event::Prop(OpClass::MemToReg {
-            src: MemRef::word(0x9000),
-            rd: Reg::Eax,
-        }));
-        run(&mut lg, 0x20, Event::Prop(OpClass::RegToMem {
-            rs: Reg::Eax,
-            dst: MemRef::word(0xa000),
-        }));
-        run(&mut lg, 0x30, Event::Prop(OpClass::MemToMem {
-            src: MemRef::word(0xa000),
-            dst: MemRef::word(0xb000),
-        }));
+        run(
+            &mut lg,
+            0x10,
+            Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }),
+        );
+        run(
+            &mut lg,
+            0x20,
+            Event::Prop(OpClass::RegToMem { rs: Reg::Eax, dst: MemRef::word(0xa000) }),
+        );
+        run(
+            &mut lg,
+            0x30,
+            Event::Prop(OpClass::MemToMem { src: MemRef::word(0xa000), dst: MemRef::word(0xb000) }),
+        );
         assert!(lg.mem_tainted(MemRef::word(0xb000)));
         let trail = lg.taint_trail(0xb000, 8);
         assert_eq!(
@@ -438,14 +448,16 @@ mod tests {
         let mut lg = TaintCheckDetailed::new(&AccelConfig::baseline());
         run(&mut lg, 1, Event::Annot(Annotation::ReadInput { base: 0x9000, len: 8 }));
         // Copy 0x9000 -> 0x9004 and back, forming a cycle.
-        run(&mut lg, 2, Event::Prop(OpClass::MemToMem {
-            src: MemRef::word(0x9000),
-            dst: MemRef::word(0x9004),
-        }));
-        run(&mut lg, 3, Event::Prop(OpClass::MemToMem {
-            src: MemRef::word(0x9004),
-            dst: MemRef::word(0x9000),
-        }));
+        run(
+            &mut lg,
+            2,
+            Event::Prop(OpClass::MemToMem { src: MemRef::word(0x9000), dst: MemRef::word(0x9004) }),
+        );
+        run(
+            &mut lg,
+            3,
+            Event::Prop(OpClass::MemToMem { src: MemRef::word(0x9004), dst: MemRef::word(0x9000) }),
+        );
         let trail = lg.taint_trail(0x9000, 100);
         assert!(trail.len() <= 3, "cycle guard must terminate: {trail:?}");
     }
@@ -454,14 +466,12 @@ mod tests {
     fn sink_detection_matches_plain_taintcheck() {
         let mut lg = TaintCheckDetailed::new(&AccelConfig::baseline());
         run(&mut lg, 1, Event::Annot(Annotation::ReadInput { base: 0x9000, len: 4 }));
-        run(&mut lg, 2, Event::Prop(OpClass::MemToReg {
-            src: MemRef::word(0x9000),
-            rd: Reg::Edi,
-        }));
-        run(&mut lg, 3, Event::Check {
-            kind: CheckKind::JumpTarget,
-            source: MetaSource::Reg(Reg::Edi),
-        });
+        run(&mut lg, 2, Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Edi }));
+        run(
+            &mut lg,
+            3,
+            Event::Check { kind: CheckKind::JumpTarget, source: MetaSource::Reg(Reg::Edi) },
+        );
         assert_eq!(lg.violations().len(), 1);
     }
 

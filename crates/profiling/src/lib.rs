@@ -26,8 +26,8 @@ use igm_core::{
 use igm_isa::TraceEntry;
 use igm_lba::{extract_events, DeliveredEvent, Event, IfEventConfig};
 use igm_lifeguards::{CostSink, LifeguardKind};
-use igm_shadow::{choose_level1_bits, footprint_pages, ShadowLayout, SizingPolicy, TwoLevelShadow};
 use igm_shadow::layout::ElemSize;
+use igm_shadow::{choose_level1_bits, footprint_pages, ShadowLayout, SizingPolicy, TwoLevelShadow};
 use std::collections::BTreeSet;
 
 /// Fraction of propagation events absorbed by Inheritance Tracking for a
@@ -47,7 +47,8 @@ pub fn it_reduction(trace: impl IntoIterator<Item = TraceEntry>, cfg: ItConfig) 
             match dev.event {
                 Event::Prop(op) => {
                     use igm_isa::OpClass::*;
-                    let registered = !matches!(op, RegSelf { .. } | MemSelf { .. } | ReadOnly { .. });
+                    let registered =
+                        !matches!(op, RegSelf { .. } | MemSelf { .. } | ReadOnly { .. });
                     if registered {
                         baseline += 1;
                     }
@@ -165,8 +166,8 @@ pub fn mtlb_miss_rate(
     level1_bits: u8,
     entries: usize,
 ) -> f64 {
-    let layout = ShadowLayout::for_coverage(level1_bits, 4, ElemSize::B4)
-        .expect("sweep layouts are valid");
+    let layout =
+        ShadowLayout::for_coverage(level1_bits, 4, ElemSize::B4).expect("sweep layouts are valid");
     let mut tlb = MetadataTlb::new(entries);
     tlb.lma_config(layout);
     let mut shadow = TwoLevelShadow::new(layout, 0);
@@ -182,11 +183,7 @@ pub fn mtlb_miss_rate(
 /// sizing).
 pub fn trace_footprint(trace: impl IntoIterator<Item = TraceEntry>) -> BTreeSet<u32> {
     footprint_pages(
-        trace
-            .into_iter()
-            .flat_map(|e| [e.mem_read(), e.mem_write()])
-            .flatten()
-            .map(|m| m.addr),
+        trace.into_iter().flat_map(|e| [e.mem_read(), e.mem_write()]).flatten().map(|m| m.addr),
     )
 }
 
@@ -251,10 +248,7 @@ mod tests {
         // Figure 13(a): 35.8%-82.0% across SPEC.
         for b in [Benchmark::Crafty, Benchmark::Gzip, Benchmark::Gcc] {
             let r = it_reduction(b.trace(N), ItConfig::taint_style());
-            assert!(
-                (0.25..=0.95).contains(&r),
-                "{b}: IT reduction {r:.2} outside plausible band"
-            );
+            assert!((0.25..=0.95).contains(&r), "{b}: IT reduction {r:.2} outside plausible band");
         }
     }
 
@@ -322,11 +316,7 @@ mod tests {
         // Figure 12: 16.7%-49.3% across lifeguards/benchmarks.
         let b = Benchmark::Gzip;
         let premark = b.profile().premark_regions();
-        let r = lma_instr_reduction(
-            LifeguardKind::AddrCheck,
-            || Box::new(b.trace(N)),
-            &premark,
-        );
+        let r = lma_instr_reduction(LifeguardKind::AddrCheck, || Box::new(b.trace(N)), &premark);
         assert!((0.15..=0.60).contains(&r), "AddrCheck LMA reduction {r:.2}");
     }
 }

@@ -1,0 +1,254 @@
+//! Epoch-chunked parallel monitoring of a single hot application.
+//!
+//! The trace is cut into fixed-size *epochs*. A sequential **spine** applies
+//! only the metadata-*updating* events (propagation and annotations) to a
+//! lifeguard instance, snapshotting the full shadow state at every epoch
+//! boundary via [`igm_lifeguards::Lifeguard::try_snapshot`]. Each epoch is
+//! then **checked** on a pool worker: the worker replays the epoch's full
+//! event stream — updates *and* checks — against the boundary snapshot, so
+//! every check observes exactly the shadow state the sequential monitor
+//! would have shown it. Epoch results merge back in epoch order, yielding a
+//! violation sequence identical to sequential monitoring.
+//!
+//! This split is sound only when checking handlers never write metadata —
+//! then eliding checks from the spine cannot perturb the shadow-state
+//! evolution. That is the runtime's per-lifeguard capability mask (the
+//! analogue of the paper's Figure 2 applicability matrix,
+//! [`LifeguardKind::epoch_support`]): AddrCheck and both TaintChecks
+//! qualify; MemCheck (loads set initialized bits) and LockSet (every access
+//! refines a candidate lockset) do not and **fall back to sequential
+//! consistency** — the whole trace runs as one sequential pass on the
+//! caller's thread (not a worker, whose tenant sessions it would starve).
+//!
+//! The per-core accelerators (IT, IF) are hardware units whose state spans
+//! epoch boundaries on a single consumer core; the epoch-parallel software
+//! path masks them off (keeping `LMA`/M-TLB, which is a pure translation
+//! cache). Epoch throughput therefore trades accelerator filtering for
+//! parallel width.
+
+use crate::pool::{EpochJob, MonitorPool, SessionConfig};
+use igm_core::{AccelConfig, DispatchPipeline};
+use igm_isa::TraceEntry;
+use igm_lba::Event;
+use igm_lifeguards::{CostSink, LifeguardKind, Violation};
+use std::sync::mpsc;
+
+/// Default records per epoch.
+pub const DEFAULT_EPOCH_RECORDS: usize = 8_192;
+
+/// Outcome of an epoch-parallel (or fallen-back sequential) run.
+#[derive(Debug)]
+pub struct EpochReport {
+    /// Which lifeguard ran.
+    pub lifeguard: LifeguardKind,
+    /// Whether the parallel path ran (`false`: sequential fallback).
+    pub parallel: bool,
+    /// Number of epochs executed (1 for the fallback).
+    pub epochs: usize,
+    /// Records monitored.
+    pub records: u64,
+    /// Events delivered to handlers across all epoch jobs.
+    pub delivered: u64,
+    /// Violations in sequential trace order.
+    pub violations: Vec<Violation>,
+}
+
+/// Is `ev` a checking event (metadata-pure for epoch-capable lifeguards)?
+fn is_check_event(ev: &Event) -> bool {
+    matches!(ev, Event::Check { .. } | Event::MemRead(_) | Event::MemWrite(_))
+}
+
+/// Runs `trace` under `cfg.lifeguard`, checking epochs of `epoch_records`
+/// records in parallel on `pool`'s workers when the lifeguard's capability
+/// row permits, and sequentially on the calling thread otherwise.
+///
+/// The session's accelerator request is masked down to translation-only
+/// (no IT/IF) in both paths, so parallel and fallback results are directly
+/// comparable and independent of cross-epoch accelerator state.
+pub fn monitor_epoch_parallel(
+    pool: &MonitorPool,
+    cfg: &SessionConfig,
+    trace: impl IntoIterator<Item = TraceEntry>,
+    epoch_records: usize,
+) -> EpochReport {
+    assert!(epoch_records > 0, "epochs must hold at least one record");
+    let accel =
+        AccelConfig { it: None, if_geometry: None, ..cfg.lifeguard.mask_config(&cfg.accel) };
+    let cfg = SessionConfig { accel, ..cfg.clone() };
+    if cfg.lifeguard.epoch_support().parallel_checks {
+        run_parallel(pool, &cfg, trace, epoch_records)
+    } else {
+        run_fallback(&cfg, trace)
+    }
+}
+
+/// Sequential-consistency fallback: one sequential monitoring pass.
+fn run_fallback(cfg: &SessionConfig, trace: impl IntoIterator<Item = TraceEntry>) -> EpochReport {
+    // Runs on the caller's thread (which blocks for the result anyway)
+    // rather than a pool worker: an unbounded sequential job on a worker
+    // would starve every tenant session pinned to it.
+    let mut lifeguard = cfg.build_lifeguard();
+    let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &cfg.accel);
+    let mut cost = CostSink::new();
+    let mut records = 0u64;
+    for entry in trace {
+        records += 1;
+        pipeline.dispatch(&entry, |dev| {
+            cost.clear();
+            lifeguard.handle(&dev, &mut cost);
+        });
+    }
+    EpochReport {
+        lifeguard: cfg.lifeguard,
+        parallel: false,
+        epochs: 1,
+        records,
+        delivered: pipeline.stats().delivered,
+        violations: lifeguard.take_violations(),
+    }
+}
+
+fn run_parallel(
+    pool: &MonitorPool,
+    cfg: &SessionConfig,
+    trace: impl IntoIterator<Item = TraceEntry>,
+    epoch_records: usize,
+) -> EpochReport {
+    let mut spine = cfg.build_lifeguard();
+    let mut spine_pipe = DispatchPipeline::new(spine.etct(), &cfg.accel);
+    let mut cost = CostSink::new();
+    let (tx, rx) = mpsc::channel();
+
+    // The update-only spine is much cheaper per record than the full
+    // replay the workers do, so without backpressure it would clone and
+    // queue nearly the whole trace as in-flight epochs. Bound outstanding
+    // jobs (each holding an epoch's record buffer) to a small multiple of
+    // the worker count, collecting results as we go.
+    let max_in_flight = 2 * pool.workers() + 1;
+    let mut in_flight = 0usize;
+    let mut results: Vec<crate::pool::EpochResult> = Vec::new();
+    let collect_one = |results: &mut Vec<crate::pool::EpochResult>| {
+        // A worker that panicked drops its job's sender without replying;
+        // fail loudly instead of hanging on a result that never comes.
+        let r = rx
+            .recv_timeout(std::time::Duration::from_secs(300))
+            .expect("an epoch worker failed or stalled (see stderr); aborting merge");
+        results.push(r);
+    };
+
+    let mut epochs = 0usize;
+    let mut records = 0u64;
+    let mut buf: Vec<TraceEntry> = Vec::with_capacity(epoch_records);
+    for entry in trace {
+        buf.push(entry);
+        records += 1;
+        if buf.len() == epoch_records {
+            dispatch_epoch(
+                pool,
+                cfg,
+                &mut spine,
+                &mut spine_pipe,
+                &mut cost,
+                &mut buf,
+                epochs,
+                &tx,
+            );
+            epochs += 1;
+            in_flight += 1;
+            while in_flight >= max_in_flight {
+                collect_one(&mut results);
+                in_flight -= 1;
+            }
+        }
+    }
+    if !buf.is_empty() {
+        dispatch_epoch(pool, cfg, &mut spine, &mut spine_pipe, &mut cost, &mut buf, epochs, &tx);
+        epochs += 1;
+        in_flight += 1;
+    }
+    while in_flight > 0 {
+        collect_one(&mut results);
+        in_flight -= 1;
+    }
+    drop(tx);
+
+    // Merge in epoch order: the concatenation equals the sequential
+    // violation sequence.
+    results.sort_by_key(|r| r.index);
+    // A missing epoch means a worker dropped the job (lifeguard panic):
+    // refuse to return a silently truncated violation set.
+    assert_eq!(
+        results.len(),
+        epochs,
+        "epoch worker(s) failed: only {}/{} epochs reported; the violation set would be incomplete",
+        results.len(),
+        epochs
+    );
+    let delivered = results.iter().map(|r| r.delivered).sum();
+    let violations = results.into_iter().flat_map(|r| r.violations).collect();
+    EpochReport { lifeguard: cfg.lifeguard, parallel: true, epochs, records, delivered, violations }
+}
+
+/// Ships `buf` as epoch `index`: snapshot → parallel check job, then
+/// advance the spine over the epoch's updating events.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_epoch(
+    pool: &MonitorPool,
+    cfg: &SessionConfig,
+    spine: &mut Box<dyn igm_lifeguards::Lifeguard + Send>,
+    spine_pipe: &mut DispatchPipeline,
+    cost: &mut CostSink,
+    buf: &mut Vec<TraceEntry>,
+    index: usize,
+    tx: &mpsc::Sender<crate::pool::EpochResult>,
+) {
+    let snapshot =
+        spine.try_snapshot().expect("epoch-capable lifeguards are shardable (capability mask)");
+    let pipeline = DispatchPipeline::new(snapshot.etct(), &cfg.accel);
+    pool.submit_epoch(EpochJob {
+        index,
+        lifeguard: snapshot,
+        pipeline,
+        records: buf.clone(),
+        done: tx.clone(),
+    });
+    // Update-only spine advance: checks are elided (they are metadata-pure
+    // for epoch-capable lifeguards); the epoch job replays them against the
+    // snapshot instead.
+    for entry in buf.iter() {
+        spine_pipe.dispatch(entry, |dev| {
+            if !is_check_event(&dev.event) {
+                cost.clear();
+                spine.handle(&dev, cost);
+            }
+        });
+    }
+    // Spine-side violations are duplicates of what the epoch job will
+    // report with exact state (annotation handlers may report); discard so
+    // snapshots always start with an empty violation list.
+    let _ = spine.take_violations();
+    buf.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igm_isa::{Annotation, MemRef, OpClass, Reg};
+
+    #[test]
+    fn check_event_classification() {
+        assert!(is_check_event(&Event::MemRead(MemRef::word(0x9000))));
+        assert!(is_check_event(&Event::MemWrite(MemRef::word(0x9000))));
+        assert!(!is_check_event(&Event::Prop(OpClass::ImmToReg { rd: Reg::Eax })));
+        assert!(!is_check_event(&Event::Annot(Annotation::Free { base: 0x9000 })));
+    }
+
+    #[test]
+    fn capability_mask_matches_metadata_discipline() {
+        assert!(LifeguardKind::AddrCheck.epoch_support().parallel_checks);
+        assert!(LifeguardKind::TaintCheck.epoch_support().parallel_checks);
+        assert!(LifeguardKind::TaintCheckDetailed.epoch_support().parallel_checks);
+        assert!(!LifeguardKind::MemCheck.epoch_support().parallel_checks);
+        assert!(!LifeguardKind::LockSet.epoch_support().parallel_checks);
+    }
+}

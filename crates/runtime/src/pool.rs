@@ -1,0 +1,651 @@
+//! The sharded lifeguard worker pool.
+//!
+//! A [`MonitorPool`] owns N worker threads — the software analogue of a pool
+//! of lifeguard cores behind the LBA transport fabric. Each *tenant* (an
+//! independent monitored application) opens a [`SessionHandle`]: the session
+//! is pinned to one worker (its lifeguard shard), and the tenant streams
+//! batched log records through a bounded [`log_channel`](crate::log_channel)
+//! exactly as the application core streams into the in-cache log buffer.
+//! The worker owns the session's lifeguard, dispatch pipeline and shadow
+//! memory shard outright — no shared metadata, no locks on the hot path —
+//! so N workers monitor N tenants with linear parallelism.
+//!
+//! Workers also execute [`EpochJob`]s for the epoch-parallel path (see
+//! [`crate::epoch`]), interleaved with session traffic; one job occupies
+//! its worker for at most one epoch's worth of records (the sequential
+//! fallback runs on the caller's thread, not a worker).
+
+use crate::spsc::{log_channel, ChannelStatsSnapshot, LogConsumer, LogProducer, SendError};
+use crate::stats::{PoolStats, PoolStatsSnapshot, SessionReport};
+use igm_core::{AccelConfig, DispatchPipeline};
+use igm_isa::TraceEntry;
+use igm_lba::chunks;
+use igm_lifeguards::{CostSink, Lifeguard, LifeguardKind, Violation};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Pool construction parameters.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker (lifeguard shard) threads.
+    pub workers: usize,
+    /// Per-session log channel capacity in compressed-record bytes
+    /// (defaults to the paper's 64 KB buffer).
+    pub channel_capacity_bytes: u32,
+    /// Producer-side batch size in compressed-record bytes.
+    pub chunk_bytes: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 4,
+            channel_capacity_bytes: igm_lba::buffer::DEFAULT_CAPACITY_BYTES,
+            chunk_bytes: 4096,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A pool with `workers` workers and default transport sizes.
+    pub fn with_workers(workers: usize) -> PoolConfig {
+        PoolConfig { workers, ..PoolConfig::default() }
+    }
+}
+
+/// Per-tenant monitoring configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Tenant label for reports and the violation stream.
+    pub name: String,
+    /// Which lifeguard monitors this tenant.
+    pub lifeguard: LifeguardKind,
+    /// Requested accelerators (masked by the lifeguard's Figure 2 row).
+    pub accel: AccelConfig,
+    /// Synthetic-workload mode (see
+    /// [`igm_lifeguards::Lifeguard::set_synthetic_workload_mode`]).
+    pub synthetic_workload: bool,
+    /// Loader-established regions pre-marked before monitoring starts.
+    pub premark: Vec<(u32, u32)>,
+}
+
+impl SessionConfig {
+    /// A baseline (unaccelerated) session.
+    pub fn new(name: impl Into<String>, lifeguard: LifeguardKind) -> SessionConfig {
+        SessionConfig {
+            name: name.into(),
+            lifeguard,
+            accel: AccelConfig::baseline(),
+            synthetic_workload: false,
+            premark: Vec::new(),
+        }
+    }
+
+    /// Replaces the accelerator configuration.
+    pub fn accel(mut self, accel: AccelConfig) -> SessionConfig {
+        self.accel = accel;
+        self
+    }
+
+    /// Enables synthetic-workload mode.
+    pub fn synthetic(mut self) -> SessionConfig {
+        self.synthetic_workload = true;
+        self
+    }
+
+    /// Adds pre-marked regions.
+    pub fn premark(mut self, regions: &[(u32, u32)]) -> SessionConfig {
+        self.premark.extend_from_slice(regions);
+        self
+    }
+
+    pub(crate) fn build_lifeguard(&self) -> Box<dyn Lifeguard + Send> {
+        let mut lg = self.lifeguard.build(&self.accel);
+        if self.synthetic_workload {
+            lg.set_synthetic_workload_mode(true);
+        }
+        for (base, len) in &self.premark {
+            lg.premark_region(*base, *len);
+        }
+        lg
+    }
+}
+
+/// Identifies a session within a pool.
+pub type SessionId = u64;
+
+/// One violation, tagged with its reporting session, flowing through the
+/// pool's aggregated [`ViolationStream`].
+#[derive(Debug, Clone)]
+pub struct PoolViolation {
+    /// Reporting session.
+    pub session: SessionId,
+    /// Tenant label.
+    pub tenant: String,
+    /// Which lifeguard reported.
+    pub lifeguard: LifeguardKind,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+/// Aggregated, pool-wide stream of violations in arrival order (per-session
+/// order is preserved; cross-session order is arrival order).
+#[derive(Debug)]
+pub struct ViolationStream {
+    rx: Receiver<PoolViolation>,
+}
+
+impl ViolationStream {
+    /// Drains everything currently available without blocking.
+    pub fn drain(&self) -> Vec<PoolViolation> {
+        self.rx.try_iter().collect()
+    }
+
+    /// Blocks up to `timeout` for the next violation.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<PoolViolation> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// A worker wake-up doorbell: producers ring it after publishing a batch so
+/// an idle worker re-polls its sessions immediately instead of waiting out
+/// its park interval.
+#[derive(Debug, Default)]
+pub(crate) struct Doorbell {
+    pending: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl Doorbell {
+    pub(crate) fn ring(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending = true;
+        drop(pending);
+        self.bell.notify_one();
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let mut pending = self.pending.lock().unwrap();
+        if !*pending {
+            let (guard, _) = self.bell.wait_timeout(pending, timeout).unwrap();
+            pending = guard;
+        }
+        *pending = false;
+    }
+}
+
+/// An epoch of records checked against a snapshotted lifeguard shard (see
+/// [`crate::epoch`]).
+pub(crate) struct EpochJob {
+    pub index: usize,
+    pub lifeguard: Box<dyn Lifeguard + Send>,
+    pub pipeline: DispatchPipeline,
+    pub records: Vec<TraceEntry>,
+    pub done: Sender<EpochResult>,
+}
+
+/// Result of one [`EpochJob`].
+#[derive(Debug)]
+pub(crate) struct EpochResult {
+    pub index: usize,
+    pub violations: Vec<Violation>,
+    pub delivered: u64,
+}
+
+struct SessionTask {
+    id: SessionId,
+    name: String,
+    lifeguard_kind: LifeguardKind,
+    lifeguard: Box<dyn Lifeguard + Send>,
+    pipeline: DispatchPipeline,
+    consumer: LogConsumer,
+    done: Sender<SessionReport>,
+    opened: Instant,
+}
+
+enum WorkerMsg {
+    Open(SessionTask),
+    Epoch(EpochJob),
+    Shutdown,
+}
+
+struct WorkerHandle {
+    tx: Sender<WorkerMsg>,
+    doorbell: Arc<Doorbell>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The streaming, multi-tenant monitoring runtime.
+///
+/// # Example
+///
+/// ```
+/// use igm_lifeguards::LifeguardKind;
+/// use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
+/// use igm_isa::{Annotation, OpClass, MemRef, Reg, TraceEntry};
+///
+/// let pool = MonitorPool::new(PoolConfig::with_workers(2));
+/// let session = pool.open_session(SessionConfig::new("app0", LifeguardKind::AddrCheck));
+/// session.send_batch(vec![
+///     TraceEntry::annot(0x1000, Annotation::Malloc { base: 0x9000, size: 64 }),
+///     TraceEntry::op(0x1004, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax }),
+///     // Touches one byte past the allocation: a violation.
+///     TraceEntry::op(0x1008, OpClass::MemToReg { src: MemRef::word(0x9040), rd: Reg::Ecx }),
+/// ]).unwrap();
+/// let report = session.finish();
+/// assert_eq!(report.records, 3);
+/// assert_eq!(report.violations.len(), 1);
+/// pool.shutdown();
+/// ```
+pub struct MonitorPool {
+    workers: Vec<WorkerHandle>,
+    next_worker: AtomicUsize,
+    next_session: AtomicU64,
+    stats: Arc<PoolStats>,
+    violations_rx: Mutex<Option<Receiver<PoolViolation>>>,
+    stream_taken: Arc<AtomicBool>,
+    chunk_bytes: u32,
+    channel_capacity_bytes: u32,
+}
+
+impl MonitorPool {
+    /// Spawns the worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero.
+    pub fn new(cfg: PoolConfig) -> MonitorPool {
+        assert!(cfg.workers > 0, "a pool needs at least one worker");
+        let stats = Arc::new(PoolStats::default());
+        let stream_taken = Arc::new(AtomicBool::new(false));
+        let (vtx, vrx) = mpsc::channel();
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel();
+                let doorbell = Arc::new(Doorbell::default());
+                let bell = Arc::clone(&doorbell);
+                let wstats = Arc::clone(&stats);
+                let wvtx = vtx.clone();
+                let wtaken = Arc::clone(&stream_taken);
+                let join = std::thread::Builder::new()
+                    .name(format!("igm-worker-{i}"))
+                    .spawn(move || worker_main(rx, bell, wstats, wvtx, wtaken))
+                    .expect("spawn lifeguard worker");
+                WorkerHandle { tx, doorbell, join: Some(join) }
+            })
+            .collect();
+        MonitorPool {
+            workers,
+            next_worker: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
+            stats,
+            violations_rx: Mutex::new(Some(vrx)),
+            stream_taken,
+            chunk_bytes: cfg.chunk_bytes,
+            channel_capacity_bytes: cfg.channel_capacity_bytes,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Picks the next worker round-robin.
+    fn pick_worker(&self) -> &WorkerHandle {
+        let i = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        &self.workers[i]
+    }
+
+    /// Opens a tenant session: builds the lifeguard shard, pins it to a
+    /// worker and returns the producer-side handle.
+    pub fn open_session(&self, cfg: SessionConfig) -> SessionHandle {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let lifeguard = cfg.build_lifeguard();
+        let masked = cfg.lifeguard.mask_config(&cfg.accel);
+        let pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
+        let (producer, consumer) = log_channel(self.channel_capacity_bytes);
+        let (done_tx, done_rx) = mpsc::channel();
+        let task = SessionTask {
+            id,
+            name: cfg.name,
+            lifeguard_kind: cfg.lifeguard,
+            lifeguard,
+            pipeline,
+            consumer,
+            done: done_tx,
+            opened: Instant::now(),
+        };
+        let worker = self.pick_worker();
+        self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        worker.tx.send(WorkerMsg::Open(task)).expect("worker thread alive while pool exists");
+        worker.doorbell.ring();
+        SessionHandle {
+            id,
+            producer: Some(producer),
+            doorbell: Arc::clone(&worker.doorbell),
+            done: done_rx,
+            chunk_bytes: self.chunk_bytes,
+        }
+    }
+
+    /// Submits an epoch job to the next worker (round-robin).
+    pub(crate) fn submit_epoch(&self, job: EpochJob) {
+        let worker = self.pick_worker();
+        worker.tx.send(WorkerMsg::Epoch(job)).expect("worker thread alive while pool exists");
+        worker.doorbell.ring();
+    }
+
+    /// Takes the pool-wide violation stream. Yields `Some` on the first
+    /// call, `None` afterwards (single consumer).
+    ///
+    /// Workers forward violations into the stream only from the moment it
+    /// is taken (earlier ones are still in their session's
+    /// [`SessionReport::violations`]); take the stream before opening
+    /// sessions to observe everything.
+    pub fn violation_stream(&self) -> Option<ViolationStream> {
+        let taken = self.violations_rx.lock().unwrap().take().map(|rx| ViolationStream { rx });
+        if taken.is_some() {
+            self.stream_taken.store(true, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// A point-in-time view of the pool's aggregate counters.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops the workers and joins the threads; called implicitly on drop.
+    ///
+    /// Sessions whose producers already finished are finalized normally.
+    /// A session whose [`SessionHandle`] is still live is *terminated*:
+    /// buffered batches are drained, the session is finalized, and further
+    /// `send_batch` calls on the handle fail with [`SendError`] — shutdown
+    /// never deadlocks waiting on a producer that will not close.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for w in &self.workers {
+            // The worker may already be gone if shutdown raced a panic.
+            let _ = w.tx.send(WorkerMsg::Shutdown);
+            w.doorbell.ring();
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                if join.join().is_err() {
+                    eprintln!("igm-runtime: a lifeguard worker panicked");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MonitorPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Producer-side handle for one tenant session.
+///
+/// Dropping the handle without [`SessionHandle::finish`] closes the log
+/// channel; the worker still drains buffered records and finalizes the
+/// session, but the report is discarded.
+pub struct SessionHandle {
+    id: SessionId,
+    producer: Option<LogProducer>,
+    doorbell: Arc<Doorbell>,
+    done: Receiver<SessionReport>,
+    chunk_bytes: u32,
+}
+
+impl SessionHandle {
+    /// The session's pool-wide id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Publishes one pre-batched chunk of records (blocks on backpressure).
+    pub fn send_batch(&self, batch: Vec<TraceEntry>) -> Result<(), SendError> {
+        let r = self.producer.as_ref().expect("producer present until finish").send_batch(batch);
+        self.doorbell.ring();
+        r
+    }
+
+    /// Streams a whole trace, batching it with [`igm_lba::chunks`] at the
+    /// pool's configured chunk size.
+    pub fn stream(&self, trace: impl IntoIterator<Item = TraceEntry>) -> Result<(), SendError> {
+        for batch in chunks(trace, self.chunk_bytes) {
+            self.send_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Transport counters for this session's log channel.
+    pub fn channel_stats(&self) -> ChannelStatsSnapshot {
+        self.producer.as_ref().expect("producer present until finish").stats()
+    }
+
+    /// Closes the log channel and blocks until the worker has drained and
+    /// finalized the session.
+    pub fn finish(mut self) -> SessionReport {
+        drop(self.producer.take()); // close the channel
+        self.doorbell.ring();
+        self.done
+            .recv()
+            .expect("session failed before finalize (lifeguard panic on this tenant; see stderr)")
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        // Close the channel (if finish() didn't already) and wake the
+        // worker so an abandoned session is drained and finalized promptly
+        // rather than on the park-timeout safety net.
+        drop(self.producer.take());
+        self.doorbell.ring();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------
+
+struct ActiveSession {
+    task: SessionTask,
+    cost: CostSink,
+    records: u64,
+    violations: Vec<Violation>,
+}
+
+impl ActiveSession {
+    /// Processes up to `max_batches` buffered batches; returns how many were
+    /// processed.
+    fn pump(
+        &mut self,
+        max_batches: usize,
+        stats: &PoolStats,
+        vtx: &Sender<PoolViolation>,
+        stream_taken: &AtomicBool,
+    ) -> usize {
+        let mut processed = 0;
+        while processed < max_batches {
+            let Some(batch) = self.task.consumer.try_recv_batch() else { break };
+            processed += 1;
+            self.records += batch.len() as u64;
+            let lg = &mut self.task.lifeguard;
+            let cost = &mut self.cost;
+            for entry in &batch {
+                self.task.pipeline.dispatch(entry, |dev| {
+                    cost.clear();
+                    lg.handle(&dev, cost);
+                });
+            }
+            stats.records.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            let fresh = self.task.lifeguard.take_violations();
+            if !fresh.is_empty() {
+                stats.violations.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+                // Forward to the aggregated stream only once someone holds
+                // it; otherwise an untaken stream would buffer violations
+                // unboundedly for the pool's lifetime. (They are always
+                // retained in the session report below.)
+                if stream_taken.load(Ordering::Relaxed) {
+                    for v in &fresh {
+                        let _ = vtx.send(PoolViolation {
+                            session: self.task.id,
+                            tenant: self.task.name.clone(),
+                            lifeguard: self.task.lifeguard_kind,
+                            violation: *v,
+                        });
+                    }
+                }
+                self.violations.extend(fresh);
+            }
+        }
+        processed
+    }
+
+    fn finished(&self) -> bool {
+        self.task.consumer.is_drained()
+    }
+
+    fn finalize(mut self, stats: &PoolStats) {
+        // Flush any violations reported after the last pump (none today,
+        // but harmless and future-proof against buffering handlers).
+        self.violations.extend(self.task.lifeguard.take_violations());
+        stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        stats.events_delivered.fetch_add(self.task.pipeline.stats().delivered, Ordering::Relaxed);
+        let report = SessionReport {
+            id: self.task.id,
+            name: self.task.name.clone(),
+            lifeguard: self.task.lifeguard_kind,
+            records: self.records,
+            dispatch: self.task.pipeline.stats().clone(),
+            violations: self.violations,
+            metadata_bytes: self.task.lifeguard.metadata_bytes(),
+            channel: self.task.consumer.stats(),
+            wall: self.task.opened.elapsed(),
+        };
+        // The handle may have been dropped; the report is then discarded.
+        let _ = self.task.done.send(report);
+    }
+}
+
+/// Batches one worker processes from a session before rotating to the next
+/// (fairness bound).
+const BATCHES_PER_TURN: usize = 4;
+
+fn worker_main(
+    ctrl: Receiver<WorkerMsg>,
+    doorbell: Arc<Doorbell>,
+    stats: Arc<PoolStats>,
+    vtx: Sender<PoolViolation>,
+    stream_taken: Arc<AtomicBool>,
+) {
+    let mut sessions: Vec<ActiveSession> = Vec::new();
+    let mut accepting = true;
+    loop {
+        while let Ok(msg) = ctrl.try_recv() {
+            match msg {
+                WorkerMsg::Open(task) => sessions.push(ActiveSession {
+                    task,
+                    cost: CostSink::new(),
+                    records: 0,
+                    violations: Vec::new(),
+                }),
+                WorkerMsg::Epoch(job) => run_epoch_job_guarded(job, &stats),
+                WorkerMsg::Shutdown => accepting = false,
+            }
+        }
+        let mut progress = false;
+        let mut i = 0;
+        while i < sessions.len() {
+            // Panic isolation: one tenant's handler panicking must not take
+            // down the other sessions sharded onto this worker.
+            let pumped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sessions[i].pump(BATCHES_PER_TURN, &stats, &vtx, &stream_taken)
+            }));
+            match pumped {
+                Ok(n) => {
+                    progress |= n > 0;
+                    // After Shutdown, finalize unconditionally after one last
+                    // pump: shutdown *terminates*. An actively streaming
+                    // producer observes `SendError` once the consumer drops
+                    // (records it had buffered beyond this turn are lost);
+                    // waiting for it to drain could block for the producer's
+                    // whole lifetime.
+                    if sessions[i].finished() || !accepting {
+                        sessions.swap_remove(i).finalize(&stats);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(_) => {
+                    let failed = sessions.swap_remove(i);
+                    eprintln!(
+                        "igm-runtime: lifeguard panicked in session {} ({}); session dropped",
+                        failed.task.id, failed.task.name
+                    );
+                    // Dropping the task closes the channel (producer sees
+                    // SendError) and the report sender (finish() reports
+                    // the failure); the other sessions keep running.
+                    progress = true;
+                }
+            }
+        }
+        if !accepting && sessions.is_empty() {
+            // Drain any epoch jobs that raced the shutdown message.
+            while let Ok(msg) = ctrl.try_recv() {
+                if let WorkerMsg::Epoch(job) = msg {
+                    run_epoch_job_guarded(job, &stats);
+                }
+            }
+            return;
+        }
+        if !progress {
+            // Every producer-side state change rings the doorbell (batch
+            // published, session opened/finished/dropped, epoch submitted,
+            // shutdown); the timeout is only a safety net, so it can be
+            // generous without adding latency.
+            doorbell.wait(Duration::from_millis(25));
+        }
+    }
+}
+
+/// Runs an epoch job, containing panics to the job: a panicking handler
+/// drops the job's result sender, which the epoch driver detects as a
+/// missing epoch (it refuses to return a truncated violation set).
+fn run_epoch_job_guarded(job: EpochJob, stats: &PoolStats) {
+    let index = job.index;
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_epoch_job(job, stats))).is_err()
+    {
+        eprintln!("igm-runtime: lifeguard panicked in epoch job {index}; epoch dropped");
+    }
+}
+
+fn run_epoch_job(mut job: EpochJob, stats: &PoolStats) {
+    let mut cost = CostSink::new();
+    for entry in &job.records {
+        let lg = &mut job.lifeguard;
+        job.pipeline.dispatch(entry, |dev| {
+            cost.clear();
+            lg.handle(&dev, &mut cost);
+        });
+    }
+    stats.records.fetch_add(job.records.len() as u64, Ordering::Relaxed);
+    stats.epoch_jobs.fetch_add(1, Ordering::Relaxed);
+    stats.events_delivered.fetch_add(job.pipeline.stats().delivered, Ordering::Relaxed);
+    let violations = job.lifeguard.take_violations();
+    stats.violations.fetch_add(violations.len() as u64, Ordering::Relaxed);
+    let _ = job.done.send(EpochResult {
+        index: job.index,
+        violations,
+        delivered: job.pipeline.stats().delivered,
+    });
+}

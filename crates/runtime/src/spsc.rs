@@ -1,0 +1,325 @@
+//! The bounded SPSC log channel: the software analogue of LBA's in-cache
+//! log buffer, generalized from one core pair to arbitrary producer and
+//! consumer threads.
+//!
+//! Semantics mirror [`igm_lba::buffer::LogBuffer`]: capacity is accounted in
+//! *compressed record bytes* ([`igm_lba::compressed_size`]), and a producer
+//! that finds the buffer full **stalls** — exactly the condition the timing
+//! model charges as [`igm_timing::TimingReport::producer_stall_cycles`]
+//! (`igm-timing`). Here the stall is a real blocked thread; the channel
+//! counts stall events and stalled wall-clock nanoseconds so the runtime's
+//! stats stay comparable with the co-simulator's stall accounting.
+//!
+//! Records travel in *batches* (chunks produced by [`igm_lba::chunks`]):
+//! the producer publishes a whole batch under one lock acquisition, which is
+//! the transport analogue of the hardware writing compressed records a
+//! cache line at a time.
+
+use igm_isa::TraceEntry;
+use igm_lba::batch_bytes;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Error returned when sending into a channel whose consumer is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError(pub Vec<TraceEntry>);
+
+/// Monotonic counters shared by both endpoints (read via
+/// [`ChannelStatsSnapshot`]).
+#[derive(Debug, Default)]
+struct ChannelCounters {
+    pushed_records: AtomicU64,
+    pushed_batches: AtomicU64,
+    stall_events: AtomicU64,
+    stall_nanos: AtomicU64,
+    peak_bytes: AtomicU32,
+    used_bytes: AtomicU32,
+    depth_batches: AtomicUsize,
+}
+
+/// A point-in-time view of a channel's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStatsSnapshot {
+    /// Records accepted so far.
+    pub pushed_records: u64,
+    /// Batches accepted so far.
+    pub pushed_batches: u64,
+    /// Sends that blocked on a full buffer (the producer-stall condition of
+    /// the timing model).
+    pub stall_events: u64,
+    /// Total wall-clock nanoseconds producers spent stalled.
+    pub stall_nanos: u64,
+    /// High-water mark of byte occupancy.
+    pub peak_bytes: u32,
+    /// Bytes currently buffered.
+    pub used_bytes: u32,
+    /// Batches currently buffered (the queue depth).
+    pub depth_batches: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<Vec<TraceEntry>>,
+    used_bytes: u32,
+    producer_closed: bool,
+    consumer_closed: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    capacity_bytes: u32,
+    inner: Mutex<Inner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    counters: ChannelCounters,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ChannelStatsSnapshot {
+        let c = &self.counters;
+        ChannelStatsSnapshot {
+            pushed_records: c.pushed_records.load(Ordering::Relaxed),
+            pushed_batches: c.pushed_batches.load(Ordering::Relaxed),
+            stall_events: c.stall_events.load(Ordering::Relaxed),
+            stall_nanos: c.stall_nanos.load(Ordering::Relaxed),
+            peak_bytes: c.peak_bytes.load(Ordering::Relaxed),
+            used_bytes: c.used_bytes.load(Ordering::Relaxed),
+            depth_batches: c.depth_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Creates a bounded SPSC log channel holding up to `capacity_bytes` of
+/// compressed records.
+///
+/// # Panics
+///
+/// Panics if `capacity_bytes` is zero.
+///
+/// # Example
+///
+/// ```
+/// use igm_isa::{OpClass, Reg, TraceEntry};
+/// use igm_runtime::log_channel;
+///
+/// let (tx, rx) = log_channel(1024);
+/// let rec = TraceEntry::op(0x1000, OpClass::ImmToReg { rd: Reg::Eax });
+/// tx.send_batch(vec![rec; 8]).unwrap();
+/// drop(tx); // close
+/// assert_eq!(rx.recv_batch().unwrap().len(), 8);
+/// assert!(rx.recv_batch().is_none());
+/// ```
+pub fn log_channel(capacity_bytes: u32) -> (LogProducer, LogConsumer) {
+    assert!(capacity_bytes > 0, "log channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        capacity_bytes,
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            used_bytes: 0,
+            producer_closed: false,
+            consumer_closed: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        counters: ChannelCounters::default(),
+    });
+    (LogProducer { shared: Arc::clone(&shared) }, LogConsumer { shared })
+}
+
+/// The application-core endpoint. Not `Clone`: single producer.
+#[derive(Debug)]
+pub struct LogProducer {
+    shared: Arc<Shared>,
+}
+
+impl LogProducer {
+    /// Publishes one batch, blocking while the buffer is full (producer
+    /// stall). A batch larger than the whole capacity is admitted once the
+    /// buffer drains empty, so progress is always possible. Fails only when
+    /// the consumer endpoint is gone.
+    pub fn send_batch(&self, batch: Vec<TraceEntry>) -> Result<(), SendError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let bytes = batch_bytes(&batch);
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.consumer_closed {
+            return Err(SendError(batch));
+        }
+        if inner.used_bytes + bytes > self.shared.capacity_bytes && !inner.queue.is_empty() {
+            // Producer stall: the log buffer is full.
+            let start = Instant::now();
+            self.shared.counters.stall_events.fetch_add(1, Ordering::Relaxed);
+            while inner.used_bytes + bytes > self.shared.capacity_bytes
+                && !inner.queue.is_empty()
+                && !inner.consumer_closed
+            {
+                inner = self.shared.not_full.wait(inner).unwrap();
+            }
+            self.shared
+                .counters
+                .stall_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if inner.consumer_closed {
+                return Err(SendError(batch));
+            }
+        }
+        inner.used_bytes += bytes;
+        let c = &self.shared.counters;
+        c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
+        c.peak_bytes.fetch_max(inner.used_bytes, Ordering::Relaxed);
+        c.pushed_records.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        c.pushed_batches.fetch_add(1, Ordering::Relaxed);
+        inner.queue.push_back(batch);
+        c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ChannelStatsSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+impl Drop for LogProducer {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.producer_closed = true;
+        drop(inner);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+/// The lifeguard-core endpoint. Not `Clone`: single consumer.
+#[derive(Debug)]
+pub struct LogConsumer {
+    shared: Arc<Shared>,
+}
+
+impl LogConsumer {
+    fn take(&self, inner: &mut Inner) -> Option<Vec<TraceEntry>> {
+        let batch = inner.queue.pop_front()?;
+        inner.used_bytes -= batch_bytes(&batch);
+        let c = &self.shared.counters;
+        c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
+        c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
+        Some(batch)
+    }
+
+    /// Removes the oldest batch without blocking.
+    pub fn try_recv_batch(&self) -> Option<Vec<TraceEntry>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let batch = self.take(&mut inner)?;
+        drop(inner);
+        self.shared.not_full.notify_one();
+        Some(batch)
+    }
+
+    /// Removes the oldest batch, blocking while the channel is empty.
+    /// Returns `None` once the producer is gone and the buffer drained.
+    pub fn recv_batch(&self) -> Option<Vec<TraceEntry>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = self.take(&mut inner) {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Some(batch);
+            }
+            if inner.producer_closed {
+                return None;
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Whether the producer is gone and every batch has been consumed.
+    pub fn is_drained(&self) -> bool {
+        let inner = self.shared.inner.lock().unwrap();
+        inner.producer_closed && inner.queue.is_empty()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ChannelStatsSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+impl Drop for LogConsumer {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.consumer_closed = true;
+        // Release buffered batches so a blocked producer can observe the
+        // closure rather than waiting for room that will never appear.
+        inner.queue.clear();
+        inner.used_bytes = 0;
+        // Keep the shared counters truthful for stats read after closure.
+        self.shared.counters.used_bytes.store(0, Ordering::Relaxed);
+        self.shared.counters.depth_batches.store(0, Ordering::Relaxed);
+        drop(inner);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igm_isa::{OpClass, Reg};
+
+    fn rec(pc: u32) -> TraceEntry {
+        TraceEntry::op(pc, OpClass::ImmToReg { rd: Reg::Eax })
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = log_channel(8);
+        tx.send_batch((0..8).map(rec).collect()).unwrap(); // exactly full
+        let producer = std::thread::spawn(move || {
+            tx.send_batch((8..12).map(rec).collect()).unwrap();
+            tx.stats().stall_events
+        });
+        // Give the producer time to hit the stall path.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv_batch().unwrap().len(), 8);
+        let stalls = producer.join().unwrap();
+        assert_eq!(stalls, 1, "second send must have stalled");
+        assert_eq!(rx.recv_batch().unwrap().len(), 4);
+        let s = rx.stats();
+        assert!(s.stall_nanos > 0);
+        assert!(s.peak_bytes <= 8);
+        assert_eq!(s.pushed_records, 12);
+    }
+
+    #[test]
+    fn consumer_drop_unblocks_producer() {
+        let (tx, rx) = log_channel(4);
+        tx.send_batch((0..4).map(rec).collect()).unwrap();
+        let producer = std::thread::spawn(move || tx.send_batch((4..8).map(rec).collect()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        let err = producer.join().unwrap().unwrap_err();
+        assert_eq!(err.0.len(), 4, "rejected batch is returned");
+    }
+
+    #[test]
+    fn oversized_batch_is_admitted_when_empty() {
+        let (tx, rx) = log_channel(2);
+        tx.send_batch((0..10).map(rec).collect()).unwrap();
+        assert_eq!(rx.recv_batch().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn drained_reports_closure() {
+        let (tx, rx) = log_channel(16);
+        tx.send_batch(vec![rec(1)]).unwrap();
+        assert!(!rx.is_drained());
+        drop(tx);
+        assert!(!rx.is_drained(), "a batch is still queued");
+        assert!(rx.recv_batch().is_some());
+        assert!(rx.is_drained());
+        assert!(rx.recv_batch().is_none());
+    }
+}

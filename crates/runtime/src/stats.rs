@@ -1,0 +1,148 @@
+//! Aggregated runtime statistics and per-session reports.
+
+use crate::pool::SessionId;
+use crate::spsc::ChannelStatsSnapshot;
+use igm_core::DispatchStats;
+use igm_lifeguards::{LifeguardKind, Violation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Pool-wide monotonic counters (lives behind an `Arc`, updated by the
+/// workers with relaxed atomics — the hot path never takes a lock for
+/// accounting).
+#[derive(Debug)]
+pub struct PoolStats {
+    pub(crate) records: AtomicU64,
+    pub(crate) events_delivered: AtomicU64,
+    pub(crate) violations: AtomicU64,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_closed: AtomicU64,
+    pub(crate) epoch_jobs: AtomicU64,
+    started: Instant,
+}
+
+impl Default for PoolStats {
+    fn default() -> PoolStats {
+        PoolStats {
+            records: AtomicU64::new(0),
+            events_delivered: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            epoch_jobs: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl PoolStats {
+    pub(crate) fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            records: self.records.load(Ordering::Relaxed),
+            events_delivered: self.events_delivered.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            epoch_jobs: self.epoch_jobs.load(Ordering::Relaxed),
+            uptime: self.started.elapsed(),
+        }
+    }
+}
+
+/// A point-in-time view of a pool's aggregate counters.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStatsSnapshot {
+    /// Records processed across all sessions and epoch jobs.
+    pub records: u64,
+    /// Events delivered to lifeguard handlers (finalized sessions and epoch
+    /// jobs; open sessions contribute on close).
+    pub events_delivered: u64,
+    /// Violations reported.
+    pub violations: u64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions finalized.
+    pub sessions_closed: u64,
+    /// Epoch jobs executed.
+    pub epoch_jobs: u64,
+    /// Time since the pool started.
+    pub uptime: Duration,
+}
+
+impl PoolStatsSnapshot {
+    /// Aggregate records per second since the pool started.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.records as f64 / secs
+        }
+    }
+}
+
+/// Everything one finished tenant session produced.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Pool-wide session id.
+    pub id: SessionId,
+    /// Tenant label.
+    pub name: String,
+    /// Which lifeguard monitored the tenant.
+    pub lifeguard: LifeguardKind,
+    /// Records processed.
+    pub records: u64,
+    /// Dispatch pipeline counters.
+    pub dispatch: DispatchStats,
+    /// Violations reported, in trace order.
+    pub violations: Vec<Violation>,
+    /// Final lifeguard metadata footprint in bytes.
+    pub metadata_bytes: u64,
+    /// Log-channel transport counters (stalls, peak occupancy, depth).
+    pub channel: ChannelStatsSnapshot,
+    /// Wall-clock session duration (open → finalize).
+    pub wall: Duration,
+}
+
+impl SessionReport {
+    /// Records per wall-clock second for this session.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.records as f64 / secs
+        }
+    }
+
+    /// One formatted row for [`stats_table`].
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:<28} {:>10} {:>12.0} {:>7} {:>8} {:>10}",
+            self.name,
+            self.lifeguard.name(),
+            self.records,
+            self.records_per_sec(),
+            self.violations.len(),
+            self.channel.stall_events,
+            self.channel.peak_bytes,
+        )
+    }
+}
+
+/// Renders finished sessions as the aggregated stats table the examples
+/// print.
+pub fn stats_table(reports: &[SessionReport]) -> String {
+    let mut out = format!(
+        "{:<10} {:<28} {:>10} {:>12} {:>7} {:>8} {:>10}\n",
+        "tenant", "lifeguard", "records", "records/s", "viols", "stalls", "peak B"
+    );
+    for r in reports {
+        out.push_str(&r.table_row());
+        out.push('\n');
+    }
+    let records: u64 = reports.iter().map(|r| r.records).sum();
+    let viols: usize = reports.iter().map(|r| r.violations.len()).sum();
+    out.push_str(&format!("total      {records} records, {viols} violations\n"));
+    out
+}

@@ -92,7 +92,11 @@ impl ShadowLayout {
     /// # Errors
     ///
     /// Rejects layouts whose index fields exceed 32 bits or are zero.
-    pub fn new(level1_bits: u8, level2_bits: u8, elem_size: ElemSize) -> Result<ShadowLayout, LayoutError> {
+    pub fn new(
+        level1_bits: u8,
+        level2_bits: u8,
+        elem_size: ElemSize,
+    ) -> Result<ShadowLayout, LayoutError> {
         if level1_bits == 0 || level2_bits == 0 {
             return Err(LayoutError::ZeroField);
         }
@@ -115,10 +119,7 @@ impl ShadowLayout {
         app_bytes_per_elem: u32,
         elem_size: ElemSize,
     ) -> Result<ShadowLayout, LayoutError> {
-        assert!(
-            app_bytes_per_elem.is_power_of_two(),
-            "app_bytes_per_elem must be a power of two"
-        );
+        assert!(app_bytes_per_elem.is_power_of_two(), "app_bytes_per_elem must be a power of two");
         let off = app_bytes_per_elem.trailing_zeros() as u8;
         let total = 32u8.checked_sub(level1_bits + off).ok_or(LayoutError::ZeroField)?;
         ShadowLayout::new(level1_bits, total, elem_size)

@@ -84,10 +84,8 @@ impl OneLevelShadow {
     pub fn set(&mut self, app_addr: u32, v: u8) {
         let (index, shift, mask) = self.geometry(app_addr);
         let default = self.default_byte;
-        let page = self
-            .pages
-            .entry(index >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([default; PAGE_SIZE]));
+        let page =
+            self.pages.entry(index >> PAGE_SHIFT).or_insert_with(|| Box::new([default; PAGE_SIZE]));
         let b = &mut page[(index as usize) & (PAGE_SIZE - 1)];
         *b = (*b & !(mask << shift)) | ((v & mask) << shift);
     }

@@ -72,9 +72,7 @@ impl TwoLevelShadow {
     /// Base metadata virtual address of the chunk covering `app_addr`, or
     /// `None` if it has never been touched.
     pub fn chunk_base_va_if_present(&self, app_addr: u32) -> Option<u32> {
-        self.chunks[self.layout.l1_index(app_addr) as usize]
-            .as_ref()
-            .map(|c| c.base_va)
+        self.chunks[self.layout.l1_index(app_addr) as usize].as_ref().map(|c| c.base_va)
     }
 
     /// Metadata virtual address of the element covering `app_addr`

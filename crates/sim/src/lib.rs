@@ -34,6 +34,7 @@ pub use report::SimReport;
 use igm_core::{AccelConfig, DispatchPipeline, ItConfig};
 use igm_isa::TraceEntry;
 use igm_lifeguards::{CostSink, LifeguardKind};
+use igm_runtime::{MonitorPool, PoolConfig, SessionConfig, SessionReport};
 use igm_timing::{CoSim, SystemConfig};
 use igm_workload::{Benchmark, MtBenchmark};
 
@@ -147,13 +148,47 @@ impl Simulator {
             cosim.step_record(&entry, delivered, instrs, &mem_scratch);
         }
 
-        SimReport::new(
-            self.cfg.lifeguard,
-            self.cfg.accel,
-            cosim.finish(),
-            pipeline,
-            lifeguard,
-        )
+        SimReport::new(self.cfg.lifeguard, self.cfg.accel, cosim.finish(), pipeline, lifeguard)
+    }
+
+    /// Streams `tenants` independent benchmark applications concurrently
+    /// through a [`MonitorPool`] of `workers` lifeguard shards, every tenant
+    /// monitored under this simulator's lifeguard/accelerator configuration.
+    ///
+    /// This is the service-scale entry point layered on `igm-runtime`:
+    /// functional (wall-clock) monitoring rather than the cycle-level
+    /// co-simulation — use [`Simulator::run_benchmark`] for the paper's
+    /// slowdown studies and this for concurrency/throughput studies.
+    /// Reports come back in tenant order.
+    pub fn run_concurrent(
+        &self,
+        tenants: &[(Benchmark, u64)],
+        workers: usize,
+    ) -> Vec<SessionReport> {
+        let pool = MonitorPool::new(PoolConfig::with_workers(workers));
+        let reports = std::thread::scope(|scope| {
+            let handles: Vec<_> = tenants
+                .iter()
+                .map(|(bench, n)| {
+                    let profile = bench.profile();
+                    let mut scfg = SessionConfig::new(bench.name(), self.cfg.lifeguard)
+                        .accel(self.cfg.accel)
+                        .premark(&profile.premark_regions());
+                    if self.cfg.synthetic_workload {
+                        scfg = scfg.synthetic();
+                    }
+                    let session = pool.open_session(scfg);
+                    let (bench, n) = (*bench, *n);
+                    scope.spawn(move || {
+                        session.stream(bench.trace(n)).expect("pool outlives the stream");
+                        session.finish()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tenant thread completes")).collect()
+        });
+        pool.shutdown();
+        reports
     }
 }
 
@@ -173,10 +208,9 @@ mod tests {
 
     #[test]
     fn clean_workload_produces_no_violations() {
-        for kind in [LifeguardKind::AddrCheck, LifeguardKind::MemCheck, LifeguardKind::TaintCheck]
-        {
-            let r = Simulator::new(SimConfig::optimized(kind))
-                .run_benchmark(Benchmark::Crafty, 30_000);
+        for kind in [LifeguardKind::AddrCheck, LifeguardKind::MemCheck, LifeguardKind::TaintCheck] {
+            let r =
+                Simulator::new(SimConfig::optimized(kind)).run_benchmark(Benchmark::Crafty, 30_000);
             assert!(
                 r.violations.is_empty(),
                 "{kind}: unexpected violations {:?}",

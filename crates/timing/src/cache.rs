@@ -72,7 +72,13 @@ impl Cache {
         let sets = cfg.sets();
         assert!(sets > 0 && sets.is_power_of_two(), "invalid cache geometry {cfg:?}");
         let n = (sets * cfg.ways) as usize;
-        Cache { cfg, tags: vec![u32::MAX; n], lru: vec![0; n], tick: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            tags: vec![u32::MAX; n],
+            lru: vec![0; n],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The geometry.
@@ -102,9 +108,8 @@ impl Cache {
         }
         self.stats.misses += 1;
         // LRU victim.
-        let victim = (0..self.cfg.ways as usize)
-            .min_by_key(|w| self.lru[base + w])
-            .expect("ways > 0");
+        let victim =
+            (0..self.cfg.ways as usize).min_by_key(|w| self.lru[base + w]).expect("ways > 0");
         self.tags[base + victim] = tag;
         self.lru[base + victim] = self.tick;
         false

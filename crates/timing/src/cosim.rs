@@ -191,10 +191,8 @@ impl CoSim {
         // Backpressure: free space by waiting for the consumer to finish
         // the oldest in-flight records.
         while self.occupied_bytes + size > self.cfg.log_buffer_bytes {
-            let (finish, freed) = self
-                .inflight
-                .pop_front()
-                .expect("occupied bytes imply in-flight records");
+            let (finish, freed) =
+                self.inflight.pop_front().expect("occupied bytes imply in-flight records");
             self.occupied_bytes -= freed;
             if finish > self.prod_time {
                 self.stall_ticks += finish - self.prod_time;
@@ -214,14 +212,14 @@ impl CoSim {
         // Log-write traffic: the record buffer drains one 64 B line to the
         // L2 per LOG_LINE_RECORDS records; the store buffer hides all but
         // about a cycle of it.
-        if self.records % LOG_LINE_RECORDS == 0 {
+        if self.records.is_multiple_of(LOG_LINE_RECORDS) {
             pcost += TICKS_PER_CYCLE;
         }
         self.prod_time += pcost;
 
         // --- consumer ---
         let mut ccost = DISPATCH_TICKS_PER_RECORD;
-        if self.records % LOG_LINE_RECORDS == 0 {
+        if self.records.is_multiple_of(LOG_LINE_RECORDS) {
             // Fetch the next log line from the L2-resident buffer.
             ccost += self.cfg.l2.latency as u64 * TICKS_PER_CYCLE;
         }

@@ -34,10 +34,7 @@ impl Profile {
     /// Regions established by the loader before main() runs: the harness
     /// marks them accessible (and initialized) in the lifeguards.
     pub fn premark_regions(&self) -> Vec<(u32, u32)> {
-        let mut v = vec![
-            (GLOBALS_BASE, self.global_bytes),
-            (STACK_TOP - STACK_BYTES, STACK_BYTES),
-        ];
+        let mut v = vec![(GLOBALS_BASE, self.global_bytes), (STACK_TOP - STACK_BYTES, STACK_BYTES)];
         if self.mmap_bytes > 0 {
             v.push((MMAP_BASE, self.mmap_bytes));
         }
@@ -271,10 +268,18 @@ impl TraceGen {
     fn frame_touch(&mut self, pc: u32) {
         self.frame_rr = self.frame_rr.wrapping_add(1);
         let slot = MemRef::word(self.stack_ptr - 8 - 4 * (self.frame_rr % 6));
-        if self.frame_rr % 2 == 0 {
-            self.op(pc, OpClass::RegToMem { rs: Reg::Edx, dst: slot }, RegSet::from_regs([Reg::Esp]));
+        if self.frame_rr.is_multiple_of(2) {
+            self.op(
+                pc,
+                OpClass::RegToMem { rs: Reg::Edx, dst: slot },
+                RegSet::from_regs([Reg::Esp]),
+            );
         } else {
-            self.op(pc, OpClass::MemToReg { src: slot, rd: Reg::Edx }, RegSet::from_regs([Reg::Esp]));
+            self.op(
+                pc,
+                OpClass::MemToReg { src: slot, rd: Reg::Edx },
+                RegSet::from_regs([Reg::Esp]),
+            );
         }
     }
 
@@ -297,7 +302,11 @@ impl TraceGen {
                 self.op(body, OpClass::RegToMem { rs: Reg::Edx, dst: m }, regs);
             } else {
                 self.op(body, OpClass::MemToReg { src: m, rd: Reg::Eax }, regs);
-                self.op(body + 4, OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx }, RegSet::EMPTY);
+                self.op(
+                    body + 4,
+                    OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx },
+                    RegSet::EMPTY,
+                );
                 if i % 4 == 3 {
                     // Running result spilled back (loop-carried state).
                     self.op(body + 6, OpClass::RegToMem { rs: Reg::Edx, dst: m }, regs);
@@ -322,7 +331,7 @@ impl TraceGen {
         let in_words = (input_blk.size / 4).max(1);
         let (table_blk, _) = self.arena(Idiom::TableLookup, 1, 0);
         let table = table_blk.base;
-        let table_words = (table_blk.size / 4).max(1).min(256);
+        let table_words = (table_blk.size / 4).clamp(1, 256);
         self.op(pc0, OpClass::ImmToReg { rd: Reg::Esi }, RegSet::EMPTY);
         self.op(pc0 + 4, OpClass::ImmToReg { rd: Reg::Ebx }, RegSet::EMPTY);
         let body = pc0 + 8;
@@ -478,7 +487,11 @@ impl TraceGen {
         );
         let work = self.rng.gen_range(2u32..6);
         for k in 0..work {
-            self.op(pc0 + 8 + k * 4, OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Esi }, RegSet::EMPTY);
+            self.op(
+                pc0 + 8 + k * 4,
+                OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Esi },
+                RegSet::EMPTY,
+            );
         }
         self.op(
             pc0 + 40,
@@ -599,9 +612,7 @@ impl TraceGen {
         for i in 0..iters {
             // Mix of register moves and loads feeding compares.
             match i % 3 {
-                0 => {
-                    self.op(body, OpClass::RegToReg { rs: Reg::Eax, rd: Reg::Edx }, RegSet::EMPTY)
-                }
+                0 => self.op(body, OpClass::RegToReg { rs: Reg::Eax, rd: Reg::Edx }, RegSet::EMPTY),
                 1 => {
                     // Mostly hot globals; a cold straggler now and then.
                     let g = if self.rng.gen_bool(0.98) {
@@ -849,10 +860,7 @@ mod tests {
         };
         let mcf = pages(Benchmark::Mcf);
         let crafty = pages(Benchmark::Crafty);
-        assert!(
-            mcf > crafty * 4,
-            "mcf footprint ({mcf} pages) must dwarf crafty ({crafty} pages)"
-        );
+        assert!(mcf > crafty * 4, "mcf footprint ({mcf} pages) must dwarf crafty ({crafty} pages)");
     }
 
     #[test]
@@ -891,8 +899,14 @@ mod tests {
             }
         }
         for k in [
-            "imm_to_reg", "mem_to_reg", "reg_to_mem", "dest_reg_op_reg", "read_only",
-            "mem_to_mem", "other", "mem_self",
+            "imm_to_reg",
+            "mem_to_reg",
+            "reg_to_mem",
+            "dest_reg_op_reg",
+            "read_only",
+            "mem_to_mem",
+            "other",
+            "mem_self",
         ] {
             assert!(kinds.contains(k), "missing {k} in gcc+gzip mix: {kinds:?}");
         }

@@ -22,6 +22,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn regions_are_ordered_and_disjoint() {
         assert!(CODE_BASE < GLOBALS_BASE);
         assert!(GLOBALS_BASE < HEAP_BASE);

@@ -204,10 +204,7 @@ impl MtTraceGen {
     /// stacks, globals (locks live there) and the full heap area (shared +
     /// private halves are populated with `Malloc` records at bootstrap).
     pub fn premark_regions(&self) -> Vec<(u32, u32)> {
-        vec![
-            (GLOBALS_BASE, 256 * 1024),
-            (STACK_TOP - 1024 * 1024, 1024 * 1024),
-        ]
+        vec![(GLOBALS_BASE, 256 * 1024), (STACK_TOP - 1024 * 1024, 1024 * 1024)]
     }
 
     /// Number of planted unsynchronized accesses so far.
@@ -226,8 +223,7 @@ impl MtTraceGen {
     fn bootstrap(&mut self) {
         self.annot(Annotation::ThreadSwitch { tid: 0 });
         // Shared regions and per-thread arenas are heap allocations.
-        let regions: Vec<(u32, u32)> =
-            self.shared.iter().map(|r| (r.base, r.bytes)).collect();
+        let regions: Vec<(u32, u32)> = self.shared.iter().map(|r| (r.base, r.bytes)).collect();
         for (base, bytes) in regions {
             self.annot(Annotation::Malloc { base, size: bytes });
         }
@@ -277,17 +273,32 @@ impl MtTraceGen {
             count += 2;
             for i in 0..iters {
                 let m = MemRef::word(base + (i % 16) * 4);
-                self.op(pc0 + 8, OpClass::MemToReg { src: m, rd: Reg::Eax }, RegSet::from_regs([Reg::Ebx]));
-                self.op(pc0 + 12, OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx }, RegSet::EMPTY);
+                self.op(
+                    pc0 + 8,
+                    OpClass::MemToReg { src: m, rd: Reg::Eax },
+                    RegSet::from_regs([Reg::Ebx]),
+                );
+                self.op(
+                    pc0 + 12,
+                    OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx },
+                    RegSet::EMPTY,
+                );
                 if i % 4 == 0 {
-                    self.op(pc0 + 16, OpClass::RegToMem { rs: Reg::Edx, dst: m }, RegSet::from_regs([Reg::Ebx]));
+                    self.op(
+                        pc0 + 16,
+                        OpClass::RegToMem { rs: Reg::Edx, dst: m },
+                        RegSet::from_regs([Reg::Ebx]),
+                    );
                     count += 1;
                 }
                 // Frame-slot traffic (spills/reloads), as in the ST engine.
-                let slot = MemRef::word(
-                    STACK_TOP - 64 * 1024 * (self.tid as u32) - 8 - 4 * (i % 6),
+                let slot =
+                    MemRef::word(STACK_TOP - 64 * 1024 * (self.tid as u32) - 8 - 4 * (i % 6));
+                self.op(
+                    pc0 + 18,
+                    OpClass::MemToReg { src: slot, rd: Reg::Esi },
+                    RegSet::from_regs([Reg::Esp]),
                 );
-                self.op(pc0 + 18, OpClass::MemToReg { src: slot, rd: Reg::Esi }, RegSet::from_regs([Reg::Esp]));
                 count += 1;
                 self.op(pc0 + 20, OpClass::RegSelf { rd: Reg::Ecx }, RegSet::EMPTY);
                 self.op(
@@ -335,13 +346,25 @@ impl MtTraceGen {
             let m = MemRef::word(slot);
             let is_write = !self.params.read_mostly && self.rng.gen_bool(0.4);
             if is_write {
-                self.op(pc0, OpClass::RegToMem { rs: Reg::Edx, dst: m }, RegSet::from_regs([Reg::Ebx]));
+                self.op(
+                    pc0,
+                    OpClass::RegToMem { rs: Reg::Edx, dst: m },
+                    RegSet::from_regs([Reg::Ebx]),
+                );
             } else {
-                self.op(pc0 + 4, OpClass::MemToReg { src: m, rd: Reg::Eax }, RegSet::from_regs([Reg::Ebx]));
+                self.op(
+                    pc0 + 4,
+                    OpClass::MemToReg { src: m, rd: Reg::Eax },
+                    RegSet::from_regs([Reg::Ebx]),
+                );
             }
             // Interleave a little register work between shared accesses.
             if i % 3 == 0 {
-                self.op(pc0 + 8, OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx }, RegSet::EMPTY);
+                self.op(
+                    pc0 + 8,
+                    OpClass::DestRegOpReg { rs: Reg::Eax, rd: Reg::Edx },
+                    RegSet::EMPTY,
+                );
                 count += 1;
             }
             count += 1;

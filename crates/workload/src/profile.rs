@@ -81,60 +81,171 @@ pub fn spec_profile(b: Benchmark) -> Profile {
         // heavy untrusted input.
         Benchmark::Bzip2 => (
             vec![(TableLookup, 3), (ArrayScan, 3), (StringCopy, 2), (HotLoop, 1), (StackFrame, 1)],
-            8 * 1024, 0, 24, 2048, 0.02, 0.01, 0.05,
+            8 * 1024,
+            0,
+            24,
+            2048,
+            0.02,
+            0.01,
+            0.05,
         ),
         // Chess: register-heavy evaluation over small tables.
         Benchmark::Crafty => (
-            vec![(HotLoop, 5), (BranchyCode, 2), (StackFrame, 2), (TableLookup, 1), (SpillReload, 1)],
-            2 * 1024, 0, 48, 512, 0.01, 0.005, 0.0,
+            vec![
+                (HotLoop, 5),
+                (BranchyCode, 2),
+                (StackFrame, 2),
+                (TableLookup, 1),
+                (SpillReload, 1),
+            ],
+            2 * 1024,
+            0,
+            48,
+            512,
+            0.01,
+            0.005,
+            0.0,
         ),
         // C++ ray tracer: compute plus frequent small calls.
         Benchmark::Eon => (
             vec![(HotLoop, 4), (StackFrame, 3), (ArrayScan, 1), (BranchyCode, 1), (SpillReload, 1)],
-            1024, 0, 32, 256, 0.03, 0.004, 0.0,
+            1024,
+            0,
+            32,
+            256,
+            0.03,
+            0.004,
+            0.0,
         ),
         // Group theory interpreter: large heap, mixed access.
         Benchmark::Gap => (
-            vec![(ArrayScan, 2), (TableLookup, 2), (HotLoop, 2), (StackFrame, 2), (GlobalUpdate, 1)],
-            24 * 1024, 0, 24, 4096, 0.05, 0.008, 0.01,
+            vec![
+                (ArrayScan, 2),
+                (TableLookup, 2),
+                (HotLoop, 2),
+                (StackFrame, 2),
+                (GlobalUpdate, 1),
+            ],
+            24 * 1024,
+            0,
+            24,
+            4096,
+            0.05,
+            0.008,
+            0.01,
         ),
         // Compiler: branchy, call-heavy, allocation-heavy, sizeable
         // pointer-linked working set.
         Benchmark::Gcc => (
-            vec![(BranchyCode, 3), (StackFrame, 3), (TableLookup, 1), (ArrayScan, 1), (GlobalUpdate, 1), (PointerChase, 1), (OpaqueOp, 1)],
-            16 * 1024, 4 * 1024, 32, 256, 0.20, 0.01, 0.01,
+            vec![
+                (BranchyCode, 3),
+                (StackFrame, 3),
+                (TableLookup, 1),
+                (ArrayScan, 1),
+                (GlobalUpdate, 1),
+                (PointerChase, 1),
+                (OpaqueOp, 1),
+            ],
+            16 * 1024,
+            4 * 1024,
+            32,
+            256,
+            0.20,
+            0.01,
+            0.01,
         ),
         // Compression: dominated by copies and lookups, heavy input.
         Benchmark::Gzip => (
             vec![(StringCopy, 3), (TableLookup, 3), (ArrayScan, 2), (HotLoop, 1)],
-            4 * 1024, 0, 16, 4096, 0.01, 0.01, 0.08,
+            4 * 1024,
+            0,
+            16,
+            4096,
+            0.01,
+            0.01,
+            0.08,
         ),
         // Network-flow solver: pointer chasing over a huge arc array —
         // the paper's sole memory-bound benchmark.
         Benchmark::Mcf => (
             vec![(PointerChase, 6), (ArrayScan, 1), (StackFrame, 1)],
-            4 * 1024, 96 * 1024, 8, 8192, 0.005, 0.002, 0.0,
+            4 * 1024,
+            96 * 1024,
+            8,
+            8192,
+            0.005,
+            0.002,
+            0.0,
         ),
         // Link grammar parser: calls, branches, dictionary chases, constant
         // small allocation.
         Benchmark::Parser => (
-            vec![(StackFrame, 3), (BranchyCode, 3), (PointerChase, 1), (TableLookup, 1), (GlobalUpdate, 1)],
-            8 * 1024, 2 * 1024, 24, 128, 0.30, 0.006, 0.005,
+            vec![
+                (StackFrame, 3),
+                (BranchyCode, 3),
+                (PointerChase, 1),
+                (TableLookup, 1),
+                (GlobalUpdate, 1),
+            ],
+            8 * 1024,
+            2 * 1024,
+            24,
+            128,
+            0.30,
+            0.006,
+            0.005,
         ),
         // Place-and-route: compute over mid-size graph structures.
         Benchmark::Twolf => (
-            vec![(HotLoop, 2), (ArrayScan, 2), (BranchyCode, 2), (StackFrame, 1), (PointerChase, 1)],
-            4 * 1024, 1024, 32, 256, 0.04, 0.004, 0.0,
+            vec![
+                (HotLoop, 2),
+                (ArrayScan, 2),
+                (BranchyCode, 2),
+                (StackFrame, 1),
+                (PointerChase, 1),
+            ],
+            4 * 1024,
+            1024,
+            32,
+            256,
+            0.04,
+            0.004,
+            0.0,
         ),
         // OO database: deep call chains over a large object heap.
         Benchmark::Vortex => (
-            vec![(StackFrame, 3), (GlobalUpdate, 2), (TableLookup, 2), (BranchyCode, 1), (StringCopy, 1), (OpaqueOp, 1)],
-            48 * 1024, 0, 40, 1024, 0.10, 0.01, 0.01,
+            vec![
+                (StackFrame, 3),
+                (GlobalUpdate, 2),
+                (TableLookup, 2),
+                (BranchyCode, 1),
+                (StringCopy, 1),
+                (OpaqueOp, 1),
+            ],
+            48 * 1024,
+            0,
+            40,
+            1024,
+            0.10,
+            0.01,
+            0.01,
         ),
         // FPGA place-and-route: compute and branches over small structures.
         Benchmark::Vpr => (
-            vec![(HotLoop, 2), (BranchyCode, 2), (ArrayScan, 2), (StackFrame, 1), (PointerChase, 1)],
-            2 * 1024, 1024, 32, 256, 0.02, 0.004, 0.0,
+            vec![
+                (HotLoop, 2),
+                (BranchyCode, 2),
+                (ArrayScan, 2),
+                (StackFrame, 1),
+                (PointerChase, 1),
+            ],
+            2 * 1024,
+            1024,
+            32,
+            256,
+            0.02,
+            0.004,
+            0.0,
         ),
     };
     Profile {

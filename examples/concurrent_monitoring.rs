@@ -1,0 +1,65 @@
+//! Four tenant applications, four different lifeguards, one monitor pool.
+//!
+//! Each tenant streams its own synthetic benchmark trace through a bounded
+//! log channel into the shared `MonitorPool`; every session owns a private
+//! lifeguard + shadow-memory shard on its worker. Run with:
+//!
+//! ```sh
+//! cargo run --release --example concurrent_monitoring
+//! ```
+
+use igm::lifeguards::LifeguardKind;
+use igm::runtime::{stats_table, MonitorPool, PoolConfig, SessionConfig};
+use igm::workload::{Benchmark, MtBenchmark};
+
+fn main() {
+    const N: u64 = 200_000;
+    let pool = MonitorPool::new(PoolConfig::with_workers(4));
+    let violations = pool.violation_stream().expect("first taker");
+
+    // (tenant, lifeguard, single-threaded workload or the LockSet MT one)
+    let tenants: [(&str, LifeguardKind, Option<Benchmark>); 4] = [
+        ("gzip", LifeguardKind::AddrCheck, Some(Benchmark::Gzip)),
+        ("mcf", LifeguardKind::MemCheck, Some(Benchmark::Mcf)),
+        ("gcc", LifeguardKind::TaintCheck, Some(Benchmark::Gcc)),
+        ("zchaff", LifeguardKind::LockSet, None),
+    ];
+
+    println!("streaming {N} records per tenant through a 4-worker pool…\n");
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|(name, kind, bench)| {
+                let premark = match bench {
+                    Some(b) => b.profile().premark_regions(),
+                    None => MtBenchmark::Zchaff.trace(N).premark_regions(),
+                };
+                let session = pool
+                    .open_session(SessionConfig::new(*name, *kind).synthetic().premark(&premark));
+                let bench = *bench;
+                scope.spawn(move || {
+                    match bench {
+                        Some(b) => session.stream(b.trace(N)).unwrap(),
+                        None => session.stream(MtBenchmark::Zchaff.trace(N)).unwrap(),
+                    }
+                    session.finish()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+
+    print!("{}", stats_table(&reports));
+
+    let pool_stats = pool.stats();
+    println!(
+        "\npool: {} sessions, {:.0} records/s aggregate, {} events delivered",
+        pool_stats.sessions_closed,
+        pool_stats.records_per_sec(),
+        pool_stats.events_delivered,
+    );
+    for v in violations.drain().into_iter().take(5) {
+        println!("violation [{}/{}]: {:?}", v.tenant, v.lifeguard, v.violation);
+    }
+    pool.shutdown();
+}

@@ -6,11 +6,11 @@
 //! cargo run --release --example design_space
 //! ```
 
+use igm::accel::IfGeometry;
 use igm::accel::ItConfig;
 use igm::profiling::{
     if_reduction, it_reduction, mtlb_flexible, mtlb_miss_rate, trace_footprint, CcMode,
 };
-use igm::accel::IfGeometry;
 use igm::workload::Benchmark;
 
 fn main() {

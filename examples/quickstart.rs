@@ -8,7 +8,7 @@
 use igm::accel::{AccelConfig, ItConfig};
 use igm::isa::asm::{Addressing, ProgramBuilder};
 use igm::isa::{Annotation, Machine, MemSize, Reg};
-use igm::lifeguards::{Lifeguard, TaintCheck};
+use igm::lifeguards::TaintCheck;
 use igm::sim::Monitor;
 
 fn main() {

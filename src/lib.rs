@@ -22,6 +22,14 @@
 //! * [`workload`] — deterministic synthetic benchmark trace generators.
 //! * [`timing`] — cache hierarchy and dual-core co-simulation.
 //! * [`sim`] — the top-level simulator API.
+//! * [`runtime`] — the streaming, multi-tenant monitoring runtime: a
+//!   software analogue of the LBA log-transport fabric at service scale.
+//!   Bounded SPSC log channels (chunked record batches, backpressure,
+//!   producer-stall accounting), a [`runtime::MonitorPool`] of sharded
+//!   lifeguard workers serving N concurrent tenant applications, and
+//!   epoch-chunked parallel checking of a single hot trace with a
+//!   sequential fallback for lifeguards whose metadata does not commute
+//!   (per-lifeguard capability masking, mirroring the paper's Figure 2).
 //! * [`profiling`] — design-space sweeps (the paper's PIN study).
 //!
 //! ## Quickstart
@@ -37,12 +45,40 @@
 //! let report = Simulator::new(cfg).run_benchmark(Benchmark::Gzip, 100_000);
 //! assert!(report.slowdown() >= 1.0);
 //! ```
+//!
+//! ## Concurrent monitoring
+//!
+//! Several independent applications stream through one worker pool; each
+//! session owns a lifeguard + shadow-memory shard on its worker:
+//!
+//! ```
+//! use igm::lifeguards::LifeguardKind;
+//! use igm::runtime::{MonitorPool, PoolConfig, SessionConfig};
+//! use igm::workload::Benchmark;
+//!
+//! let pool = MonitorPool::new(PoolConfig::with_workers(2));
+//! let sessions: Vec<_> = [Benchmark::Gzip, Benchmark::Mcf]
+//!     .into_iter()
+//!     .map(|b| {
+//!         let s = pool.open_session(
+//!             SessionConfig::new(b.name(), LifeguardKind::AddrCheck).synthetic(),
+//!         );
+//!         s.stream(b.trace(5_000)).unwrap();
+//!         s
+//!     })
+//!     .collect();
+//! for s in sessions {
+//!     assert_eq!(s.finish().records, 5_000);
+//! }
+//! pool.shutdown();
+//! ```
 
 pub use igm_core as accel;
 pub use igm_isa as isa;
 pub use igm_lba as lba;
 pub use igm_lifeguards as lifeguards;
 pub use igm_profiling as profiling;
+pub use igm_runtime as runtime;
 pub use igm_shadow as shadow;
 pub use igm_sim as sim;
 pub use igm_timing as timing;

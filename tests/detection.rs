@@ -66,9 +66,7 @@ fn taint_through_copy_chain_survives_acceleration() {
         let mut mon = Monitor::new(TaintCheck::new(&accel), &accel);
         mon.observe_all(trace.iter().copied());
         assert!(
-            mon.violations()
-                .iter()
-                .any(|v| matches!(v, Violation::TaintedUse { .. })),
+            mon.violations().iter().any(|v| matches!(v, Violation::TaintedUse { .. })),
             "config {} missed the chained taint",
             accel.label()
         );

@@ -26,9 +26,7 @@ fn techniques_compose_monotonically() {
         ];
         let slowdowns: Vec<f64> = steps
             .iter()
-            .map(|a| {
-                Simulator::new(SimConfig::with_accel(kind, *a)).run_benchmark(b, N).slowdown()
-            })
+            .map(|a| Simulator::new(SimConfig::with_accel(kind, *a)).run_benchmark(b, N).slowdown())
             .collect();
         for w in slowdowns.windows(2) {
             assert!(
@@ -44,9 +42,7 @@ fn techniques_compose_monotonically() {
 #[test]
 fn memcheck_is_the_most_expensive_lifeguard() {
     let b = Benchmark::Vortex;
-    let slow = |kind| {
-        Simulator::new(SimConfig::baseline(kind)).run_benchmark(b, N).slowdown()
-    };
+    let slow = |kind| Simulator::new(SimConfig::baseline(kind)).run_benchmark(b, N).slowdown();
     let mc = slow(LifeguardKind::MemCheck);
     assert!(mc > slow(LifeguardKind::AddrCheck));
     assert!(mc > slow(LifeguardKind::TaintCheck));
@@ -57,8 +53,7 @@ fn memcheck_is_the_most_expensive_lifeguard() {
 #[test]
 fn detailed_tracking_costlier_but_accelerated() {
     let b = Benchmark::Gcc;
-    let plain =
-        Simulator::new(SimConfig::baseline(LifeguardKind::TaintCheck)).run_benchmark(b, N);
+    let plain = Simulator::new(SimConfig::baseline(LifeguardKind::TaintCheck)).run_benchmark(b, N);
     let detailed =
         Simulator::new(SimConfig::baseline(LifeguardKind::TaintCheckDetailed)).run_benchmark(b, N);
     assert!(detailed.slowdown() > plain.slowdown());
