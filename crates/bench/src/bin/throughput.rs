@@ -1,7 +1,9 @@
 //! Runtime throughput scaling: records/sec through the `MonitorPool` for
 //! 1, 2, 4 and 8 workers × {AddrCheck, TaintCheck}, eight concurrent tenant
-//! sessions each. Emits `BENCH_throughput.json` so future changes have a
-//! perf trajectory to compare against.
+//! sessions each, plus the transport/scheduler counters that explain the
+//! scaling (total producer stalls and stalled nanoseconds, work-stealing
+//! session migrations). Emits `BENCH_throughput.json` so future changes
+//! have a perf trajectory to compare against.
 //!
 //! ```sh
 //! cargo run --release -p igm-bench --bin throughput   # N=50000 by default
@@ -12,6 +14,18 @@ use igm_lifeguards::LifeguardKind;
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
 use igm_workload::Benchmark;
 use std::time::Instant;
+
+/// One configuration's measurements.
+struct RunResult {
+    records_per_sec: f64,
+    /// Producer-side sends that blocked on a full log channel, summed over
+    /// the eight tenants.
+    stall_events: u64,
+    /// Wall-clock nanoseconds producers spent stalled, summed.
+    stall_nanos: u64,
+    /// Sessions migrated between workers by the stealing scheduler.
+    steals: u64,
+}
 
 const TENANTS: [Benchmark; 8] = [
     Benchmark::Bzip2,
@@ -29,16 +43,29 @@ fn run_scale() -> u64 {
     std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(50_000)
 }
 
+/// Repetitions per configuration (`REPS` env var, default 5). The *median*
+/// run is reported: on small or shared machines, OS scheduling noise easily
+/// swings a single wall-clock sample by ±30% in either direction, and the
+/// median damps both the unlucky runs and the occasional unimpeded spike
+/// that a mean or max would latch onto.
+fn repetitions() -> usize {
+    std::env::var("REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5).max(1)
+}
+
 /// Streams all eight tenants through a pool of `workers` shards; returns
-/// aggregate records/sec.
-fn run_once(kind: LifeguardKind, workers: usize, n: u64) -> f64 {
+/// aggregate records/sec plus the stall/steal counters.
+fn run_once(kind: LifeguardKind, workers: usize, n: u64) -> RunResult {
     // Pre-generate the traces so trace synthesis is not part of the
     // measured window.
     let traces: Vec<(Benchmark, Vec<_>)> =
         TENANTS.iter().map(|b| (*b, b.trace(n).collect())).collect();
-    let pool = MonitorPool::new(PoolConfig::with_workers(workers));
+    let chunk_bytes = std::env::var("CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PoolConfig::default().chunk_bytes);
+    let pool = MonitorPool::new(PoolConfig { chunk_bytes, ..PoolConfig::with_workers(workers) });
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    let (stall_events, stall_nanos) = std::thread::scope(|scope| {
         let handles: Vec<_> = traces
             .into_iter()
             .map(|(bench, trace)| {
@@ -53,46 +80,78 @@ fn run_once(kind: LifeguardKind, workers: usize, n: u64) -> f64 {
                 })
             })
             .collect();
+        let mut stall_events = 0u64;
+        let mut stall_nanos = 0u64;
         for h in handles {
             let report = h.join().expect("tenant completes");
             assert!(report.violations.is_empty(), "clean workloads only");
+            stall_events += report.channel.stall_events;
+            stall_nanos += report.channel.stall_nanos;
         }
+        (stall_events, stall_nanos)
     });
     let elapsed = start.elapsed().as_secs_f64();
     let total = TENANTS.len() as u64 * n;
+    let steals = pool.stats().steals;
     pool.shutdown();
-    total as f64 / elapsed
+    RunResult { records_per_sec: total as f64 / elapsed, stall_events, stall_nanos, steals }
+}
+
+/// Median of `reps` runs by records/sec (lower middle for even `reps`, so
+/// an even count never degenerates into reporting the fastest spike).
+fn run_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize) -> RunResult {
+    let mut runs: Vec<RunResult> = (0..reps).map(|_| run_once(kind, workers, n)).collect();
+    runs.sort_by(|a, b| a.records_per_sec.total_cmp(&b.records_per_sec));
+    runs.remove((runs.len() - 1) / 2)
 }
 
 fn main() {
     let n = run_scale();
+    let reps = repetitions();
     let lifeguards = [LifeguardKind::AddrCheck, LifeguardKind::TaintCheck];
     let worker_counts = [1usize, 2, 4, 8];
 
     println!(
-        "runtime throughput: {} tenants x {} records, workers x lifeguard\n",
+        "runtime throughput: {} tenants x {} records, workers x lifeguard, median of {}\n",
         TENANTS.len(),
-        n
+        n,
+        reps
     );
-    println!("{:<12} {:>8} {:>16}", "lifeguard", "workers", "records/s");
+    println!(
+        "{:<12} {:>8} {:>16} {:>8} {:>12} {:>8}",
+        "lifeguard", "workers", "records/s", "stalls", "stall ms", "steals"
+    );
     let mut entries = Vec::new();
     for kind in lifeguards {
         for workers in worker_counts {
-            let rps = run_once(kind, workers, n);
-            println!("{:<12} {:>8} {:>16.0}", kind.name(), workers, rps);
-            entries.push(format!(
-                "    {{\"lifeguard\": \"{}\", \"workers\": {}, \"records_per_sec\": {:.0}}}",
+            let r = run_median(kind, workers, n, reps);
+            println!(
+                "{:<12} {:>8} {:>16.0} {:>8} {:>12.1} {:>8}",
                 kind.name(),
                 workers,
-                rps
+                r.records_per_sec,
+                r.stall_events,
+                r.stall_nanos as f64 / 1e6,
+                r.steals
+            );
+            entries.push(format!(
+                "    {{\"lifeguard\": \"{}\", \"workers\": {}, \"records_per_sec\": {:.0}, \
+                 \"producer_stalls\": {}, \"producer_stall_nanos\": {}, \"steals\": {}}}",
+                kind.name(),
+                workers,
+                r.records_per_sec,
+                r.stall_events,
+                r.stall_nanos,
+                r.steals
             ));
         }
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         TENANTS.len(),
         n,
+        reps,
         entries.join(",\n")
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");

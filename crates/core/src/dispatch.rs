@@ -26,10 +26,10 @@ use crate::config::AccelConfig;
 use crate::filter::{IdempotentFilter, IfOutcome, IfStats};
 use crate::it::{InheritanceTracker, ItStats};
 use igm_isa::TraceEntry;
-use igm_lba::{extract_events, DeliveredEvent, Etct, Event, NUM_EVENT_TYPES};
+use igm_lba::{extract_batch, DeliveredEvent, Etct, Event, EventBuf, NUM_EVENT_TYPES};
 
 /// Aggregate pipeline counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatchStats {
     /// Log records dispatched.
     pub records: u64,
@@ -93,8 +93,9 @@ pub struct DispatchPipeline {
     it: Option<InheritanceTracker>,
     filter: Option<IdempotentFilter>,
     stats: DispatchStats,
-    raw: Vec<DeliveredEvent>,
+    raw: EventBuf,
     post_it: Vec<DeliveredEvent>,
+    single: EventBuf,
 }
 
 impl DispatchPipeline {
@@ -105,8 +106,9 @@ impl DispatchPipeline {
             it: cfg.it.map(InheritanceTracker::new),
             filter: cfg.if_geometry.map(IdempotentFilter::new),
             stats: DispatchStats::default(),
-            raw: Vec::with_capacity(8),
+            raw: EventBuf::with_capacity(8, 1),
             post_it: Vec::with_capacity(8),
+            single: EventBuf::with_capacity(8, 1),
         }
     }
 
@@ -130,65 +132,90 @@ impl DispatchPipeline {
         self.filter.as_ref().map(|f| f.stats())
     }
 
-    /// Dispatches one log record, invoking `deliver` for every event that
-    /// survives the accelerators.
-    pub fn dispatch(&mut self, entry: &TraceEntry, mut deliver: impl FnMut(DeliveredEvent)) {
-        self.stats.records += 1;
+    /// Dispatches a whole chunk of log records through
+    /// extraction → IT → ETCT gating → IF in one call, appending every
+    /// surviving event to `out` (cleared first; one closed [`EventBuf`]
+    /// record per trace entry).
+    ///
+    /// This is the hot path: all staging buffers — the extraction arena, the
+    /// post-IT buffer and `out` itself — are reused across batches, so
+    /// steady-state dispatch performs no per-record heap allocation.
+    pub fn dispatch_batch(&mut self, entries: &[TraceEntry], out: &mut EventBuf) {
+        out.clear();
+        self.stats.records += entries.len() as u64;
         let mut raw = std::mem::take(&mut self.raw);
         let mut post_it = std::mem::take(&mut self.post_it);
-        raw.clear();
-        post_it.clear();
-        extract_events(entry, &mut raw);
+        extract_batch(entries, &mut raw);
         self.stats.events_extracted += raw.len() as u64;
 
-        for dev in raw.iter().copied() {
-            match (&mut self.it, &dev.event) {
-                (Some(it), Event::Annot(_)) => {
-                    if self.etct.is_registered(dev.event.event_type()) {
-                        // The annotation handler may rewrite metadata
-                        // arbitrarily: materialize all lazy inheritance
-                        // before it runs.
-                        it.flush_all(dev.pc, &mut post_it);
+        for rec in raw.record_slices() {
+            post_it.clear();
+            for dev in rec.iter().copied() {
+                match (&mut self.it, &dev.event) {
+                    (Some(it), Event::Annot(_)) => {
+                        if self.etct.is_registered(dev.event.event_type()) {
+                            // The annotation handler may rewrite metadata
+                            // arbitrarily: materialize all lazy inheritance
+                            // before it runs.
+                            it.flush_all(dev.pc, &mut post_it);
+                        }
+                        post_it.push(dev);
                     }
-                    post_it.push(dev);
-                }
-                (Some(it), Event::Prop(_)) => it.process(dev.pc, dev.event, &mut post_it),
-                (Some(it), Event::Check { .. }) => {
-                    // Register-source checks resolve through the IT table,
-                    // but only if the lifeguard cares about this check kind.
-                    if self.etct.is_registered(dev.event.event_type()) {
-                        it.process(dev.pc, dev.event, &mut post_it);
-                    } else {
-                        self.stats.unregistered_dropped += 1;
+                    (Some(it), Event::Prop(_)) => it.process(dev.pc, dev.event, &mut post_it),
+                    (Some(it), Event::Check { .. }) => {
+                        // Register-source checks resolve through the IT table,
+                        // but only if the lifeguard cares about this check
+                        // kind.
+                        if self.etct.is_registered(dev.event.event_type()) {
+                            it.process(dev.pc, dev.event, &mut post_it);
+                        } else {
+                            self.stats.unregistered_dropped += 1;
+                        }
                     }
+                    _ => post_it.push(dev),
                 }
-                _ => post_it.push(dev),
             }
-        }
 
-        for dev in post_it.iter().copied() {
-            let et = dev.event.event_type();
-            let row = *self.etct.entry(et);
-            if !row.registered {
-                self.stats.unregistered_dropped += 1;
-                continue;
-            }
-            if let Some(f) = &mut self.filter {
-                if f.process(dev.pc, &dev.event, &row.if_cfg) == IfOutcome::Filtered {
-                    self.stats.if_filtered += 1;
+            for dev in post_it.iter().copied() {
+                let et = dev.event.event_type();
+                let row = *self.etct.entry(et);
+                if !row.registered {
+                    self.stats.unregistered_dropped += 1;
                     continue;
                 }
+                if let Some(f) = &mut self.filter {
+                    if f.process(dev.pc, &dev.event, &row.if_cfg) == IfOutcome::Filtered {
+                        self.stats.if_filtered += 1;
+                        continue;
+                    }
+                }
+                self.stats.delivered += 1;
+                self.stats.delivered_by_type[et.index()] += 1;
+                out.push(dev);
             }
-            self.stats.delivered += 1;
-            self.stats.delivered_by_type[et.index()] += 1;
-            deliver(dev);
+            out.end_record();
         }
 
         self.raw = raw;
         self.post_it = post_it;
     }
 
+    /// Dispatches one log record, invoking `deliver` for every event that
+    /// survives the accelerators. Thin wrapper over
+    /// [`DispatchPipeline::dispatch_batch`] for record-at-a-time callers
+    /// (the co-simulator, tests); streaming consumers should dispatch whole
+    /// chunks instead.
+    pub fn dispatch(&mut self, entry: &TraceEntry, mut deliver: impl FnMut(DeliveredEvent)) {
+        let mut single = std::mem::take(&mut self.single);
+        self.dispatch_batch(std::slice::from_ref(entry), &mut single);
+        for dev in single.events().iter().copied() {
+            deliver(dev);
+        }
+        self.single = single;
+    }
+
     /// Convenience wrapper collecting the delivered events of one record.
+    /// Allocates its result; not for the hot path.
     pub fn dispatch_collect(&mut self, entry: &TraceEntry) -> Vec<DeliveredEvent> {
         let mut out = Vec::new();
         self.dispatch(entry, |d| out.push(d));
@@ -344,6 +371,37 @@ mod tests {
         let out = p.dispatch_collect(&load);
         assert!(out.is_empty());
         assert_eq!(p.it_stats().unwrap().check_in, 0);
+    }
+
+    #[test]
+    fn dispatch_batch_equals_per_record_dispatch() {
+        let a = MemRef::word(0xa0);
+        let d = MemRef::word(0xd0);
+        let seq = [
+            TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }),
+            TraceEntry::op(2, OpClass::RegToReg { rs: Reg::Eax, rd: Reg::Ecx }),
+            TraceEntry::annot(3, Annotation::Malloc { base: 0x9000, size: 64 }),
+            TraceEntry::op(4, OpClass::RegToMem { rs: Reg::Ecx, dst: d }),
+            TraceEntry::op(5, OpClass::MemToReg { src: d, rd: Reg::Edx }),
+        ];
+        for accel in [
+            AccelConfig::baseline(),
+            AccelConfig::lma_if(),
+            AccelConfig::full(ItConfig::taint_style()),
+        ] {
+            let mut per_record = DispatchPipeline::new(taint_etct(), &accel);
+            let mut reference = Vec::new();
+            for e in &seq {
+                reference.extend(per_record.dispatch_collect(e));
+            }
+
+            let mut batched = DispatchPipeline::new(taint_etct(), &accel);
+            let mut out = EventBuf::new();
+            batched.dispatch_batch(&seq, &mut out);
+            assert_eq!(out.events(), &reference[..], "{}", accel.label());
+            assert_eq!(out.records(), seq.len());
+            assert_eq!(batched.stats(), per_record.stats(), "{}", accel.label());
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub mod record;
 pub use buffer::LogBuffer;
 pub use etct::{Etct, EtctEntry, FieldSelect, IfEventConfig};
 pub use event::{
-    extract_events, CheckKind, DeliveredEvent, Event, EventType, MetaSource, NUM_EVENT_TYPES,
+    extract_batch, extract_events, CheckKind, DeliveredEvent, Event, EventBuf, EventType,
+    MetaSource, NUM_EVENT_TYPES,
 };
 pub use record::{
     batch_bytes, chunks, compressed_size, Chunks, ANNOTATION_RECORD_BYTES, INSTR_RECORD_BYTES,

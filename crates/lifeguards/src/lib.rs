@@ -122,7 +122,9 @@ impl LifeguardKind {
     /// Builds the lifeguard under a (pre-masked) configuration.
     ///
     /// The box is `Send`: the streaming runtime (`igm-runtime`) moves built
-    /// lifeguards onto its worker threads.
+    /// lifeguards onto its worker threads. Hot paths should prefer
+    /// [`LifeguardKind::build_any`], which avoids the virtual call per
+    /// delivered event.
     pub fn build(self, cfg: &AccelConfig) -> Box<dyn Lifeguard + Send> {
         let cfg = self.mask_config(cfg);
         match self {
@@ -131,6 +133,23 @@ impl LifeguardKind {
             LifeguardKind::TaintCheck => Box::new(TaintCheck::new(&cfg)),
             LifeguardKind::TaintCheckDetailed => Box::new(TaintCheckDetailed::new(&cfg)),
             LifeguardKind::LockSet => Box::new(LockSet::new(&cfg)),
+        }
+    }
+
+    /// Builds the lifeguard under a (pre-masked) configuration as a
+    /// statically-dispatched [`AnyLifeguard`] — the runtime's hot-path
+    /// representation: one discriminant branch per *batch* instead of a
+    /// virtual call per *event*.
+    pub fn build_any(self, cfg: &AccelConfig) -> AnyLifeguard {
+        let cfg = self.mask_config(cfg);
+        match self {
+            LifeguardKind::AddrCheck => AnyLifeguard::AddrCheck(AddrCheck::new(&cfg)),
+            LifeguardKind::MemCheck => AnyLifeguard::MemCheck(MemCheck::new(&cfg)),
+            LifeguardKind::TaintCheck => AnyLifeguard::TaintCheck(TaintCheck::new(&cfg)),
+            LifeguardKind::TaintCheckDetailed => {
+                AnyLifeguard::TaintCheckDetailed(TaintCheckDetailed::new(&cfg))
+            }
+            LifeguardKind::LockSet => AnyLifeguard::LockSet(LockSet::new(&cfg)),
         }
     }
 
@@ -189,6 +208,21 @@ pub trait Lifeguard {
     /// The `nlba` dispatch instruction is charged by the caller.
     fn handle(&mut self, ev: &DeliveredEvent, cost: &mut CostSink);
 
+    /// Handles a whole batch of delivered events. Cost accumulates across
+    /// the batch into `cost` (the caller clears it at batch grain); batch
+    /// consumers that need per-event costs must fall back to
+    /// [`Lifeguard::handle`].
+    ///
+    /// The default loops [`Lifeguard::handle`]; because default methods are
+    /// instantiated per implementing type, the inner calls are static even
+    /// through a `Box<dyn Lifeguard>` — one virtual call per batch instead
+    /// of one per event.
+    fn handle_batch(&mut self, evs: &[DeliveredEvent], cost: &mut CostSink) {
+        for ev in evs {
+            self.handle(ev, cost);
+        }
+    }
+
     /// Violations reported so far.
     fn violations(&self) -> &[Violation];
 
@@ -234,6 +268,86 @@ pub trait ShardableLifeguard: Lifeguard + Clone + Send + Sized + 'static {
 
 impl<T: Lifeguard + Clone + Send + Sized + 'static> ShardableLifeguard for T {}
 
+/// A statically-dispatched sum of the five lifeguards.
+///
+/// The streaming runtime's workers hold their session's lifeguard as an
+/// `AnyLifeguard` rather than a `Box<dyn Lifeguard>`: [`handle_batch`]
+/// resolves the variant once per batch and then loops the concrete handler
+/// directly, so the per-event path is a predictable direct call instead of
+/// a vtable load per event. All five variants are `Clone`, which is also
+/// what makes the enum snapshottable for epoch-parallel checking.
+///
+/// [`handle_batch`]: Lifeguard::handle_batch
+#[derive(Debug, Clone)]
+pub enum AnyLifeguard {
+    AddrCheck(AddrCheck),
+    MemCheck(MemCheck),
+    TaintCheck(TaintCheck),
+    TaintCheckDetailed(TaintCheckDetailed),
+    LockSet(LockSet),
+}
+
+/// Delegates an expression to the concrete variant.
+macro_rules! with_each_lifeguard {
+    ($self:expr, $lg:ident => $e:expr) => {
+        match $self {
+            AnyLifeguard::AddrCheck($lg) => $e,
+            AnyLifeguard::MemCheck($lg) => $e,
+            AnyLifeguard::TaintCheck($lg) => $e,
+            AnyLifeguard::TaintCheckDetailed($lg) => $e,
+            AnyLifeguard::LockSet($lg) => $e,
+        }
+    };
+}
+
+impl Lifeguard for AnyLifeguard {
+    fn kind(&self) -> LifeguardKind {
+        with_each_lifeguard!(self, lg => lg.kind())
+    }
+
+    fn etct(&self) -> Etct {
+        with_each_lifeguard!(self, lg => lg.etct())
+    }
+
+    fn handle(&mut self, ev: &DeliveredEvent, cost: &mut CostSink) {
+        with_each_lifeguard!(self, lg => lg.handle(ev, cost))
+    }
+
+    fn handle_batch(&mut self, evs: &[DeliveredEvent], cost: &mut CostSink) {
+        // One discriminant branch for the whole batch; the loop body is a
+        // direct (inlinable) call on the concrete lifeguard.
+        with_each_lifeguard!(self, lg => {
+            for ev in evs {
+                lg.handle(ev, cost);
+            }
+        })
+    }
+
+    fn violations(&self) -> &[Violation] {
+        with_each_lifeguard!(self, lg => lg.violations())
+    }
+
+    fn take_violations(&mut self) -> Vec<Violation> {
+        with_each_lifeguard!(self, lg => lg.take_violations())
+    }
+
+    fn premark_region(&mut self, base: u32, len: u32) {
+        with_each_lifeguard!(self, lg => lg.premark_region(base, len))
+    }
+
+    fn set_synthetic_workload_mode(&mut self, enabled: bool) {
+        with_each_lifeguard!(self, lg => lg.set_synthetic_workload_mode(enabled))
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        with_each_lifeguard!(self, lg => lg.metadata_bytes())
+    }
+
+    fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +387,41 @@ mod tests {
             assert_eq!(lg.kind(), k);
             assert!(lg.etct().registered_count() > 0);
         }
+    }
+
+    #[test]
+    fn any_lifeguard_matches_boxed_build() {
+        for k in LifeguardKind::ALL {
+            let cfg = AccelConfig::full(ItConfig::taint_style());
+            let any = k.build_any(&cfg);
+            let boxed = k.build(&cfg);
+            assert_eq!(any.kind(), k);
+            assert_eq!(any.etct().registered_count(), boxed.etct().registered_count());
+            assert!(any.try_snapshot().is_some(), "{k}: every variant is clonable");
+        }
+    }
+
+    #[test]
+    fn any_lifeguard_handle_batch_equals_per_event_handle() {
+        use igm_isa::{Annotation, MemRef, OpClass, Reg};
+        use igm_lba::Event;
+        let cfg = AccelConfig::baseline();
+        let events = [
+            DeliveredEvent::new(0x10, Event::Annot(Annotation::Malloc { base: 0x9000, size: 8 })),
+            DeliveredEvent::new(0x14, Event::MemRead(MemRef::word(0x9000))),
+            DeliveredEvent::new(0x18, Event::MemWrite(MemRef::word(0x9010))), // violation
+            DeliveredEvent::new(0x1c, Event::Prop(OpClass::ImmToReg { rd: Reg::Eax })),
+        ];
+        let mut per_event = LifeguardKind::AddrCheck.build_any(&cfg);
+        let mut c1 = CostSink::new();
+        for ev in &events {
+            per_event.handle(ev, &mut c1);
+        }
+        let mut batched = LifeguardKind::AddrCheck.build_any(&cfg);
+        let mut c2 = CostSink::new();
+        batched.handle_batch(&events, &mut c2);
+        assert_eq!(per_event.violations(), batched.violations());
+        assert_eq!(c1.instrs(), c2.instrs());
+        assert_eq!(c1.mem_vas(), c2.mem_vas());
     }
 }

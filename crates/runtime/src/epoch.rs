@@ -3,7 +3,7 @@
 //! The trace is cut into fixed-size *epochs*. A sequential **spine** applies
 //! only the metadata-*updating* events (propagation and annotations) to a
 //! lifeguard instance, snapshotting the full shadow state at every epoch
-//! boundary via [`igm_lifeguards::Lifeguard::try_snapshot`]. Each epoch is
+//! boundary (an [`AnyLifeguard`] clone). Each epoch is
 //! then **checked** on a pool worker: the worker replays the epoch's full
 //! event stream — updates *and* checks — against the boundary snapshot, so
 //! every check observes exactly the shadow state the sequential monitor
@@ -29,8 +29,8 @@
 use crate::pool::{EpochJob, MonitorPool, SessionConfig};
 use igm_core::{AccelConfig, DispatchPipeline};
 use igm_isa::TraceEntry;
-use igm_lba::Event;
-use igm_lifeguards::{CostSink, LifeguardKind, Violation};
+use igm_lba::{Event, EventBuf};
+use igm_lifeguards::{AnyLifeguard, CostSink, Lifeguard, LifeguardKind, Violation};
 use std::sync::mpsc;
 
 /// Default records per epoch.
@@ -82,21 +82,28 @@ pub fn monitor_epoch_parallel(
     }
 }
 
-/// Sequential-consistency fallback: one sequential monitoring pass.
+/// Sequential-consistency fallback: one sequential monitoring pass on the
+/// batch-grain hot path.
 fn run_fallback(cfg: &SessionConfig, trace: impl IntoIterator<Item = TraceEntry>) -> EpochReport {
     // Runs on the caller's thread (which blocks for the result anyway)
     // rather than a pool worker: an unbounded sequential job on a worker
-    // would starve every tenant session pinned to it.
+    // would starve every tenant session resident there.
     let mut lifeguard = cfg.build_lifeguard();
     let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &cfg.accel);
     let mut cost = CostSink::new();
+    let mut events = EventBuf::new();
+    let mut buf: Vec<TraceEntry> = Vec::with_capacity(crate::pool::INTERNAL_BATCH_RECORDS);
     let mut records = 0u64;
     for entry in trace {
+        buf.push(entry);
         records += 1;
-        pipeline.dispatch(&entry, |dev| {
-            cost.clear();
-            lifeguard.handle(&dev, &mut cost);
-        });
+        if buf.len() == crate::pool::INTERNAL_BATCH_RECORDS {
+            crate::pool::pump_records(&mut pipeline, &mut lifeguard, &mut cost, &mut events, &buf);
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        crate::pool::pump_records(&mut pipeline, &mut lifeguard, &mut cost, &mut events, &buf);
     }
     EpochReport {
         lifeguard: cfg.lifeguard,
@@ -114,9 +121,15 @@ fn run_parallel(
     trace: impl IntoIterator<Item = TraceEntry>,
     epoch_records: usize,
 ) -> EpochReport {
-    let mut spine = cfg.build_lifeguard();
-    let mut spine_pipe = DispatchPipeline::new(spine.etct(), &cfg.accel);
-    let mut cost = CostSink::new();
+    let lifeguard = cfg.build_lifeguard();
+    let pipeline = DispatchPipeline::new(lifeguard.etct(), &cfg.accel);
+    let mut spine = Spine {
+        lifeguard,
+        pipeline,
+        cost: CostSink::new(),
+        events: EventBuf::new(),
+        updates: Vec::new(),
+    };
     let (tx, rx) = mpsc::channel();
 
     // The update-only spine is much cheaper per record than the full
@@ -143,16 +156,7 @@ fn run_parallel(
         buf.push(entry);
         records += 1;
         if buf.len() == epoch_records {
-            dispatch_epoch(
-                pool,
-                cfg,
-                &mut spine,
-                &mut spine_pipe,
-                &mut cost,
-                &mut buf,
-                epochs,
-                &tx,
-            );
+            dispatch_epoch(pool, cfg, &mut spine, &mut buf, epochs, &tx);
             epochs += 1;
             in_flight += 1;
             while in_flight >= max_in_flight {
@@ -162,7 +166,7 @@ fn run_parallel(
         }
     }
     if !buf.is_empty() {
-        dispatch_epoch(pool, cfg, &mut spine, &mut spine_pipe, &mut cost, &mut buf, epochs, &tx);
+        dispatch_epoch(pool, cfg, &mut spine, &mut buf, epochs, &tx);
         epochs += 1;
         in_flight += 1;
     }
@@ -189,21 +193,30 @@ fn run_parallel(
     EpochReport { lifeguard: cfg.lifeguard, parallel: true, epochs, records, delivered, violations }
 }
 
+/// The sequential update-only spine: a lifeguard advanced over propagation
+/// and annotation events only, with reusable batch staging buffers.
+struct Spine {
+    lifeguard: AnyLifeguard,
+    pipeline: DispatchPipeline,
+    cost: CostSink,
+    events: EventBuf,
+    updates: Vec<igm_lba::DeliveredEvent>,
+}
+
 /// Ships `buf` as epoch `index`: snapshot → parallel check job, then
-/// advance the spine over the epoch's updating events.
-#[allow(clippy::too_many_arguments)]
+/// advance the spine over the epoch's updating events (batch-grain).
 fn dispatch_epoch(
     pool: &MonitorPool,
     cfg: &SessionConfig,
-    spine: &mut Box<dyn igm_lifeguards::Lifeguard + Send>,
-    spine_pipe: &mut DispatchPipeline,
-    cost: &mut CostSink,
+    spine: &mut Spine,
     buf: &mut Vec<TraceEntry>,
     index: usize,
     tx: &mpsc::Sender<crate::pool::EpochResult>,
 ) {
-    let snapshot =
-        spine.try_snapshot().expect("epoch-capable lifeguards are shardable (capability mask)");
+    // The snapshot is an ordinary clone of the spine's shadow state
+    // (AnyLifeguard is Clone); the worker replays the epoch's full event
+    // stream against it.
+    let snapshot = spine.lifeguard.clone();
     let pipeline = DispatchPipeline::new(snapshot.etct(), &cfg.accel);
     pool.submit_epoch(EpochJob {
         index,
@@ -215,18 +228,15 @@ fn dispatch_epoch(
     // Update-only spine advance: checks are elided (they are metadata-pure
     // for epoch-capable lifeguards); the epoch job replays them against the
     // snapshot instead.
-    for entry in buf.iter() {
-        spine_pipe.dispatch(entry, |dev| {
-            if !is_check_event(&dev.event) {
-                cost.clear();
-                spine.handle(&dev, cost);
-            }
-        });
-    }
+    spine.pipeline.dispatch_batch(buf, &mut spine.events);
+    spine.updates.clear();
+    spine.updates.extend(spine.events.events().iter().filter(|d| !is_check_event(&d.event)));
+    spine.cost.clear();
+    spine.lifeguard.handle_batch(&spine.updates, &mut spine.cost);
     // Spine-side violations are duplicates of what the epoch job will
     // report with exact state (annotation handlers may report); discard so
     // snapshots always start with an empty violation list.
-    let _ = spine.take_violations();
+    let _ = spine.lifeguard.take_violations();
     buf.clear();
 }
 

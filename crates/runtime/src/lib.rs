@@ -15,10 +15,16 @@
 //!   compressed-record size model, blocking backpressure with
 //!   producer-stall accounting compatible with the timing model's
 //!   `producer_stall_cycles` semantics.
-//! * [`pool`] — the [`MonitorPool`]: N worker threads, each owning the
-//!   lifeguard + dispatch pipeline + shadow-memory shard of the sessions
-//!   pinned to it; per-tenant [`SessionHandle`]s; an aggregated
-//!   [`ViolationStream`] and pool/session [`stats`].
+//! * [`pool`] — the [`MonitorPool`]: N worker threads with a
+//!   session-grain work-stealing scheduler. A session's lifeguard, dispatch
+//!   pipeline and shadow-memory shard are owned by exactly one worker at a
+//!   time; an idle worker steals a runnable session — pending batches and
+//!   shadow shard together — from a loaded one, so a hot tenant cannot
+//!   starve the sessions queued behind it. The per-session hot path is
+//!   batch-grain (`dispatch_batch` → `handle_batch`, statically dispatched
+//!   through `AnyLifeguard`) with no per-record allocation. Per-tenant
+//!   [`SessionHandle`]s; an aggregated [`ViolationStream`] and pool/session
+//!   [`stats`].
 //! * [`epoch`] — [`monitor_epoch_parallel`]: epoch-chunked parallel checking
 //!   of one trace against snapshotted shadow state, with a
 //!   sequential-consistency fallback for lifeguards whose metadata does not

@@ -242,6 +242,14 @@ impl LogConsumer {
         inner.producer_closed && inner.queue.is_empty()
     }
 
+    /// Batches currently buffered, from the lock-free counter mirror — the
+    /// scheduler's steal heuristic probes this without touching the channel
+    /// lock (the value may be momentarily stale, which stealing tolerates:
+    /// a wrong guess costs one empty `try_recv_batch`).
+    pub fn pending_batches(&self) -> usize {
+        self.shared.counters.depth_batches.load(Ordering::Relaxed)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> ChannelStatsSnapshot {
         self.shared.snapshot()

@@ -18,6 +18,7 @@ pub struct PoolStats {
     pub(crate) sessions_opened: AtomicU64,
     pub(crate) sessions_closed: AtomicU64,
     pub(crate) epoch_jobs: AtomicU64,
+    pub(crate) steals: AtomicU64,
     started: Instant,
 }
 
@@ -30,6 +31,7 @@ impl Default for PoolStats {
             sessions_opened: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
             epoch_jobs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -44,6 +46,7 @@ impl PoolStats {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             epoch_jobs: self.epoch_jobs.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
             uptime: self.started.elapsed(),
         }
     }
@@ -65,6 +68,10 @@ pub struct PoolStatsSnapshot {
     pub sessions_closed: u64,
     /// Epoch jobs executed.
     pub epoch_jobs: u64,
+    /// Sessions migrated between workers by the work-stealing scheduler
+    /// (each steal transfers the session's pending batches *and* its shadow
+    /// shard to the thief).
+    pub steals: u64,
     /// Time since the pool started.
     pub uptime: Duration,
 }

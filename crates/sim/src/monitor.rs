@@ -8,7 +8,11 @@
 
 use igm_core::{AccelConfig, DispatchPipeline, DispatchStats};
 use igm_isa::TraceEntry;
+use igm_lba::EventBuf;
 use igm_lifeguards::{CostSink, Lifeguard, Violation};
+
+/// Records per dispatch batch in [`Monitor::observe_all`].
+const OBSERVE_BATCH_RECORDS: usize = 1_024;
 
 /// A lifeguard attached to a dispatch pipeline.
 #[derive(Debug)]
@@ -16,6 +20,7 @@ pub struct Monitor<L: Lifeguard> {
     lifeguard: L,
     pipeline: DispatchPipeline,
     cost: CostSink,
+    events: EventBuf,
 }
 
 impl<L: Lifeguard> Monitor<L> {
@@ -24,23 +29,36 @@ impl<L: Lifeguard> Monitor<L> {
     pub fn new(lifeguard: L, accel: &AccelConfig) -> Monitor<L> {
         let masked = lifeguard.kind().mask_config(accel);
         let pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
-        Monitor { lifeguard, pipeline, cost: CostSink::new() }
+        Monitor { lifeguard, pipeline, cost: CostSink::new(), events: EventBuf::new() }
+    }
+
+    /// Observes a whole chunk of retired-instruction records on the
+    /// batch-grain hot path: one pipeline pass, one handler pass, staging
+    /// buffers reused across calls.
+    pub fn observe_batch(&mut self, entries: &[TraceEntry]) {
+        self.pipeline.dispatch_batch(entries, &mut self.events);
+        self.cost.clear();
+        self.lifeguard.handle_batch(self.events.events(), &mut self.cost);
     }
 
     /// Observes one retired-instruction record.
     pub fn observe(&mut self, entry: &TraceEntry) {
-        let lg = &mut self.lifeguard;
-        let cost = &mut self.cost;
-        self.pipeline.dispatch(entry, |dev| {
-            cost.clear();
-            lg.handle(&dev, cost);
-        });
+        self.observe_batch(std::slice::from_ref(entry));
     }
 
-    /// Observes a whole trace.
+    /// Observes a whole trace, batching it at [`OBSERVE_BATCH_RECORDS`]
+    /// grain.
     pub fn observe_all<I: IntoIterator<Item = TraceEntry>>(&mut self, trace: I) {
+        let mut buf: Vec<TraceEntry> = Vec::with_capacity(OBSERVE_BATCH_RECORDS);
         for e in trace {
-            self.observe(&e);
+            buf.push(e);
+            if buf.len() == OBSERVE_BATCH_RECORDS {
+                self.observe_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.observe_batch(&buf);
         }
     }
 

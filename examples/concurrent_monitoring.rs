@@ -53,10 +53,11 @@ fn main() {
 
     let pool_stats = pool.stats();
     println!(
-        "\npool: {} sessions, {:.0} records/s aggregate, {} events delivered",
+        "\npool: {} sessions, {:.0} records/s aggregate, {} events delivered, {} steals",
         pool_stats.sessions_closed,
         pool_stats.records_per_sec(),
         pool_stats.events_delivered,
+        pool_stats.steals,
     );
     for v in violations.drain().into_iter().take(5) {
         println!("violation [{}/{}]: {:?}", v.tenant, v.lifeguard, v.violation);

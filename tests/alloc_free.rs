@@ -1,0 +1,109 @@
+//! Steady-state monitoring of a batch performs **no heap allocation** on
+//! the dispatch path. This binary installs a counting global allocator;
+//! after one warm-up pass over a batch (which sizes the staging buffers,
+//! faults in shadow chunks and warms accelerator state), re-dispatching and
+//! re-handling the same batch must leave the allocation counter untouched —
+//! extraction arena, post-IT buffer, delivered-event buffer and handler
+//! cost sink are all reused.
+
+use igm::accel::{AccelConfig, DispatchPipeline, ItConfig};
+use igm::isa::{MemRef, OpClass, Reg, TraceEntry};
+use igm::lba::EventBuf;
+use igm::lifeguards::{CostSink, Lifeguard, LifeguardKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation-path entry (alloc, alloc_zeroed, realloc).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const HEAP: u32 = 0x9000_0000;
+
+/// A steady-state batch: stores then loads over a premarked region plus
+/// register traffic — every event class of the hot path, no rare-path
+/// records (malloc/free record-list updates are allowed to allocate).
+fn steady_batch(n: u32) -> Vec<TraceEntry> {
+    let mut batch = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let pc = 0x1000 + 4 * i;
+        let addr = HEAP + 4 * (i % 0x200);
+        batch.push(match i % 6 {
+            0 => TraceEntry::op(pc, OpClass::ImmToMem { dst: MemRef::word(addr) }),
+            1 => TraceEntry::op(pc, OpClass::MemToReg { src: MemRef::word(addr), rd: Reg::Eax }),
+            2 => TraceEntry::op(pc, OpClass::RegToReg { rs: Reg::Eax, rd: Reg::Ecx }),
+            3 => TraceEntry::op(pc, OpClass::RegToMem { rs: Reg::Ecx, dst: MemRef::word(addr) }),
+            4 => {
+                TraceEntry::op(pc, OpClass::DestRegOpMem { src: MemRef::word(addr), rd: Reg::Edx })
+            }
+            _ => TraceEntry::op(pc, OpClass::ImmToReg { rd: Reg::Ebx }),
+        });
+    }
+    batch
+}
+
+#[test]
+fn steady_state_batch_dispatch_allocates_nothing() {
+    let batch = steady_batch(2_048);
+    for kind in LifeguardKind::ALL {
+        for accel in [AccelConfig::baseline(), AccelConfig::full(ItConfig::taint_style())] {
+            let masked = kind.mask_config(&accel);
+            let mut lifeguard = kind.build_any(&accel);
+            lifeguard.premark_region(HEAP, 0x1000);
+            let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
+            let mut cost = CostSink::new();
+            let mut events = EventBuf::new();
+
+            // Warm-up: size the arenas, fault in shadow chunks, warm the
+            // M-TLB/IF state. Two passes so capacity growth settles.
+            for _ in 0..2 {
+                pipeline.dispatch_batch(&batch, &mut events);
+                cost.clear();
+                lifeguard.handle_batch(events.events(), &mut cost);
+            }
+            let violations = lifeguard.take_violations();
+            assert!(
+                violations.is_empty(),
+                "{kind}: steady-state batch must be clean, got {:?}",
+                violations.first()
+            );
+
+            // Measured steady-state pass: the whole batch through
+            // extraction → IT → ETCT → IF → handlers, zero allocations.
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            pipeline.dispatch_batch(&batch, &mut events);
+            cost.clear();
+            lifeguard.handle_batch(events.events(), &mut cost);
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
+            assert_eq!(
+                after - before,
+                0,
+                "{kind} / {}: {} allocation(s) on the steady-state dispatch path",
+                accel.label(),
+                after - before
+            );
+            assert!(!events.is_empty(), "{kind}: events must actually flow");
+        }
+    }
+}
