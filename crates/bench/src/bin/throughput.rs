@@ -2,8 +2,12 @@
 //! 1, 2, 4 and 8 workers × {AddrCheck, TaintCheck}, eight concurrent tenant
 //! sessions each, plus the transport/scheduler counters that explain the
 //! scaling (total producer stalls and stalled nanoseconds, work-stealing
-//! session migrations). Emits `BENCH_throughput.json` so future changes
-//! have a perf trajectory to compare against.
+//! session migrations). Two further sections measure the `igm-trace`
+//! subsystem: single-thread multiplexed **ingest** throughput (one
+//! `Ingestor` driving all eight tenants, vs. eight producer threads) and
+//! the **codec**'s encoded bytes/record against the in-memory and
+//! compressed-model baselines. Emits `BENCH_throughput.json` so future
+//! changes have a perf trajectory to compare against.
 //!
 //! ```sh
 //! cargo run --release -p igm-bench --bin throughput   # N=50000 by default
@@ -12,6 +16,7 @@
 
 use igm_lifeguards::LifeguardKind;
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
+use igm_trace::{IngestConfig, Ingestor, IterSource};
 use igm_workload::Benchmark;
 use std::time::Instant;
 
@@ -105,6 +110,50 @@ fn run_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize) -> RunRe
     runs.remove((runs.len() - 1) / 2)
 }
 
+/// One multiplexed-ingest measurement: records/sec plus the backpressure
+/// deferral count across all lanes.
+struct IngestResult {
+    records_per_sec: f64,
+    deferred_sends: u64,
+}
+
+/// Streams all eight tenants through a pool of `workers` shards from a
+/// **single** ingest thread multiplexing eight in-memory sources.
+fn run_ingest_once(kind: LifeguardKind, workers: usize, n: u64) -> IngestResult {
+    let traces: Vec<(Benchmark, Vec<_>)> =
+        TENANTS.iter().map(|b| (*b, b.trace(n).collect())).collect();
+    let chunk_bytes = std::env::var("CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PoolConfig::default().chunk_bytes);
+    let pool = MonitorPool::new(PoolConfig { chunk_bytes, ..PoolConfig::with_workers(workers) });
+    let start = Instant::now();
+    let mut ingestor = Ingestor::with_config(&pool, IngestConfig::default());
+    for (bench, trace) in traces {
+        ingestor.add_source(
+            SessionConfig::new(bench.name(), kind)
+                .synthetic()
+                .premark(&bench.profile().premark_regions()),
+            IterSource::new(trace, chunk_bytes),
+        );
+    }
+    let report = ingestor.run();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(report.errors.is_empty(), "in-memory sources cannot fail");
+    assert_eq!(report.records(), TENANTS.len() as u64 * n, "ingest lost records");
+    let deferred_sends = report.lanes.iter().map(|(_, l)| l.deferred_sends).sum();
+    pool.shutdown();
+    IngestResult { records_per_sec: report.records() as f64 / elapsed, deferred_sends }
+}
+
+/// Median ingest run (same selection rule as [`run_median`]).
+fn run_ingest_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize) -> IngestResult {
+    let mut runs: Vec<IngestResult> =
+        (0..reps).map(|_| run_ingest_once(kind, workers, n)).collect();
+    runs.sort_by(|a, b| a.records_per_sec.total_cmp(&b.records_per_sec));
+    runs.remove((runs.len() - 1) / 2)
+}
+
 fn main() {
     let n = run_scale();
     let reps = repetitions();
@@ -147,12 +196,74 @@ fn main() {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Multiplexed ingest: one OS thread drives all eight tenant sources.
+    // ------------------------------------------------------------------
+    println!(
+        "\nsingle-thread ingest: {} tenant sources multiplexed by one Ingestor\n",
+        TENANTS.len()
+    );
+    println!("{:<12} {:>8} {:>16} {:>10}", "lifeguard", "workers", "records/s", "deferred");
+    let mut ingest_entries = Vec::new();
+    for kind in lifeguards {
+        for workers in worker_counts {
+            let r = run_ingest_median(kind, workers, n, reps);
+            println!(
+                "{:<12} {:>8} {:>16.0} {:>10}",
+                kind.name(),
+                workers,
+                r.records_per_sec,
+                r.deferred_sends
+            );
+            ingest_entries.push(format!(
+                "    {{\"lifeguard\": \"{}\", \"workers\": {}, \"sources\": {}, \
+                 \"ingest_records_per_sec\": {:.0}, \"deferred_sends\": {}}}",
+                kind.name(),
+                workers,
+                TENANTS.len(),
+                r.records_per_sec,
+                r.deferred_sends
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Codec density: encoded bytes/record per tenant workload, against
+    // the in-memory representation and the paper's compressed-size model.
+    // ------------------------------------------------------------------
+    let in_memory = std::mem::size_of::<igm_isa::TraceEntry>() as f64;
+    println!("\ncodec density ({n} records/tenant, {in_memory} B/record in memory)\n");
+    println!("{:<10} {:>14} {:>16} {:>14}", "tenant", "bytes/record", "model bytes/rec", "ratio");
+    let mut codec_entries = Vec::new();
+    for bench in TENANTS {
+        let trace: Vec<igm_isa::TraceEntry> = bench.trace(n).collect();
+        let model = igm_lba::batch_bytes(&trace) as f64 / trace.len() as f64;
+        let summary = igm_workload::write_trace(trace.iter().copied(), 16 * 1024, Vec::new())
+            .expect("in-memory encode cannot fail");
+        let bpr = summary.bytes_per_record();
+        assert!(
+            bpr < in_memory,
+            "{bench}: encoded {bpr:.2} B/record must beat the {in_memory} B in-memory baseline"
+        );
+        println!("{:<10} {:>14.2} {:>16.2} {:>13.1}x", bench.name(), bpr, model, in_memory / bpr);
+        codec_entries.push(format!(
+            "    {{\"tenant\": \"{}\", \"bytes_per_record\": {:.3}, \
+             \"model_bytes_per_record\": {:.3}, \"in_memory_bytes_per_record\": {:.0}}}",
+            bench.name(),
+            bpr,
+            model,
+            in_memory
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ]\n}}\n",
         TENANTS.len(),
         n,
         reps,
-        entries.join(",\n")
+        entries.join(",\n"),
+        ingest_entries.join(",\n"),
+        codec_entries.join(",\n")
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("\nwrote BENCH_throughput.json");

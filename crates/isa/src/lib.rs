@@ -88,6 +88,14 @@ impl Reg {
         Reg::ALL[idx]
     }
 
+    /// Builds a register from its dense index, rejecting out-of-range
+    /// encodings — the fallible twin of [`Reg::from_index`] used by
+    /// deserializers (the `igm-trace` codec) validating untrusted bytes.
+    #[inline]
+    pub fn try_from_index(idx: usize) -> Option<Reg> {
+        Reg::ALL.get(idx).copied()
+    }
+
     /// The conventional IA32 mnemonic (e.g. `"eax"`).
     pub fn name(self) -> &'static str {
         match self {

@@ -136,6 +136,21 @@ impl RegSet {
     pub fn iter(self) -> impl Iterator<Item = Reg> {
         (0..crate::NUM_REGS).filter(move |i| self.0 & (1 << i) != 0).map(Reg::from_index)
     }
+
+    /// The raw membership bitmap (bit *i* ⇔ the register with encoding *i*).
+    /// Exposed for serializers such as the `igm-trace` codec, which store a
+    /// register set as exactly this byte.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a set from its raw bitmap ([`RegSet::bits`]). Every `u8` is
+    /// a valid bitmap: the framework tracks exactly eight registers.
+    #[inline]
+    pub fn from_bits(bits: u8) -> RegSet {
+        RegSet(bits)
+    }
 }
 
 impl FromIterator<Reg> for RegSet {

@@ -63,11 +63,15 @@ pub struct Chunks<I> {
     pending: Option<TraceEntry>,
 }
 
-impl<I: Iterator<Item = TraceEntry>> Iterator for Chunks<I> {
-    type Item = Vec<TraceEntry>;
-
-    fn next(&mut self) -> Option<Vec<TraceEntry>> {
-        let mut batch = Vec::new();
+impl<I: Iterator<Item = TraceEntry>> Chunks<I> {
+    /// Fills `batch` (cleared first) with the next size-bounded chunk,
+    /// returning whether one was produced. This is the allocation-free
+    /// twin of the `Iterator` impl: callers that pump chunks through a
+    /// reusable staging buffer — the trace codec's writer, the ingest
+    /// front-end's in-memory sources — reuse one `Vec`'s capacity across
+    /// the whole stream instead of allocating per chunk.
+    pub fn next_into(&mut self, batch: &mut Vec<TraceEntry>) -> bool {
+        batch.clear();
         let mut used = 0u32;
         if let Some(first) = self.pending.take() {
             used += compressed_size(&first);
@@ -77,18 +81,27 @@ impl<I: Iterator<Item = TraceEntry>> Iterator for Chunks<I> {
             let sz = compressed_size(&entry);
             if !batch.is_empty() && used + sz > self.max_bytes {
                 self.pending = Some(entry);
-                return Some(batch);
+                return true;
             }
             used += sz;
             batch.push(entry);
             if used >= self.max_bytes {
-                return Some(batch);
+                return true;
             }
         }
-        if batch.is_empty() {
-            None
-        } else {
+        !batch.is_empty()
+    }
+}
+
+impl<I: Iterator<Item = TraceEntry>> Iterator for Chunks<I> {
+    type Item = Vec<TraceEntry>;
+
+    fn next(&mut self) -> Option<Vec<TraceEntry>> {
+        let mut batch = Vec::new();
+        if self.next_into(&mut batch) {
             Some(batch)
+        } else {
+            None
         }
     }
 }
@@ -119,6 +132,25 @@ mod tests {
         }
         let flat: Vec<_> = batches.into_iter().flatten().collect();
         assert_eq!(flat, recs, "chunking must not lose, duplicate or reorder");
+    }
+
+    #[test]
+    fn next_into_matches_iterator() {
+        let mut recs = Vec::new();
+        for pc in 0..50u32 {
+            recs.push(TraceEntry::op(pc, OpClass::ImmToReg { rd: Reg::Eax }));
+            if pc % 9 == 0 {
+                recs.push(TraceEntry::annot(pc, Annotation::Lock { lock: pc }));
+            }
+        }
+        let by_iter: Vec<_> = chunks(recs.iter().copied(), 12).collect();
+        let mut by_into = Vec::new();
+        let mut it = chunks(recs.iter().copied(), 12);
+        let mut buf = Vec::new();
+        while it.next_into(&mut buf) {
+            by_into.push(buf.clone());
+        }
+        assert_eq!(by_iter, by_into);
     }
 
     #[test]

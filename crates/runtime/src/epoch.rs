@@ -140,12 +140,19 @@ fn run_parallel(
     let max_in_flight = 2 * pool.workers() + 1;
     let mut in_flight = 0usize;
     let mut results: Vec<crate::pool::EpochResult> = Vec::new();
-    let collect_one = |results: &mut Vec<crate::pool::EpochResult>| {
-        // A worker that panicked drops its job's sender without replying;
-        // fail loudly instead of hanging on a result that never comes.
-        let r = rx
+    // Completed jobs hand their record buffers back through the result;
+    // recycling them caps the run at ~max_in_flight epoch-sized
+    // allocations total instead of one per epoch.
+    let mut recycled: Vec<Vec<TraceEntry>> = Vec::new();
+    let collect_one = |results: &mut Vec<crate::pool::EpochResult>,
+                       recycled: &mut Vec<Vec<TraceEntry>>| {
+        // A worker that panicked drops its job's sender without
+        // replying; fail loudly instead of hanging on a result that
+        // never comes.
+        let mut r: crate::pool::EpochResult = rx
             .recv_timeout(std::time::Duration::from_secs(300))
             .expect("an epoch worker failed or stalled (see stderr); aborting merge");
+        recycled.push(std::mem::take(&mut r.records));
         results.push(r);
     };
 
@@ -156,22 +163,24 @@ fn run_parallel(
         buf.push(entry);
         records += 1;
         if buf.len() == epoch_records {
-            dispatch_epoch(pool, cfg, &mut spine, &mut buf, epochs, &tx);
+            let empty = recycled.pop().unwrap_or_default();
+            dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, &tx);
             epochs += 1;
             in_flight += 1;
             while in_flight >= max_in_flight {
-                collect_one(&mut results);
+                collect_one(&mut results, &mut recycled);
                 in_flight -= 1;
             }
         }
     }
     if !buf.is_empty() {
-        dispatch_epoch(pool, cfg, &mut spine, &mut buf, epochs, &tx);
+        let empty = recycled.pop().unwrap_or_default();
+        dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, &tx);
         epochs += 1;
         in_flight += 1;
     }
     while in_flight > 0 {
-        collect_one(&mut results);
+        collect_one(&mut results, &mut recycled);
         in_flight -= 1;
     }
     drop(tx);
@@ -203,28 +212,25 @@ struct Spine {
     updates: Vec<igm_lba::DeliveredEvent>,
 }
 
-/// Ships `buf` as epoch `index`: snapshot → parallel check job, then
-/// advance the spine over the epoch's updating events (batch-grain).
+/// Ships `buf` as epoch `index`: snapshot → advance the spine over the
+/// epoch's updating events (batch-grain) → hand the epoch's record buffer
+/// itself to the parallel check job, leaving the (recycled) `empty`
+/// buffer in its place — no per-epoch record copy.
 fn dispatch_epoch(
     pool: &MonitorPool,
     cfg: &SessionConfig,
     spine: &mut Spine,
     buf: &mut Vec<TraceEntry>,
+    mut empty: Vec<TraceEntry>,
     index: usize,
     tx: &mpsc::Sender<crate::pool::EpochResult>,
 ) {
-    // The snapshot is an ordinary clone of the spine's shadow state
-    // (AnyLifeguard is Clone); the worker replays the epoch's full event
-    // stream against it.
+    // The snapshot is an ordinary clone of the spine's shadow state at the
+    // epoch *boundary* (AnyLifeguard is Clone), taken before the spine
+    // advances; the worker replays the epoch's full event stream against
+    // it.
     let snapshot = spine.lifeguard.clone();
     let pipeline = DispatchPipeline::new(snapshot.etct(), &cfg.accel);
-    pool.submit_epoch(EpochJob {
-        index,
-        lifeguard: snapshot,
-        pipeline,
-        records: buf.clone(),
-        done: tx.clone(),
-    });
     // Update-only spine advance: checks are elided (they are metadata-pure
     // for epoch-capable lifeguards); the epoch job replays them against the
     // snapshot instead.
@@ -237,7 +243,9 @@ fn dispatch_epoch(
     // report with exact state (annotation handlers may report); discard so
     // snapshots always start with an empty violation list.
     let _ = spine.lifeguard.take_violations();
-    buf.clear();
+    empty.clear();
+    let records = std::mem::replace(buf, empty);
+    pool.submit_epoch(EpochJob { index, lifeguard: snapshot, pipeline, records, done: tx.clone() });
 }
 
 #[cfg(test)]

@@ -173,15 +173,16 @@ impl ViolationStream {
     }
 }
 
-/// The pool-wide wake-up doorbell, sequence-numbered so a worker that went
+/// One worker's wake-up doorbell, sequence-numbered so a worker that went
 /// busy between reading the sequence and waiting can never miss a ring.
 ///
-/// Ringing is lock-free while no worker sleeps — the common steady state,
-/// where every `send_batch` would otherwise fight N workers for a mutex.
-/// The SeqCst ordering of `seq`/`sleepers` gives the classic flag-flag
-/// guarantee: if the ringer reads `sleepers == 0`, the about-to-sleep
-/// worker's later sequence check is ordered after the ring and sees the new
-/// value, so it never parks on a stale count.
+/// Each worker parks on its **own** doorbell. Ringing is lock-free while
+/// the target worker is awake — the common steady state, where every
+/// `send_batch` would otherwise fight N workers for a mutex. The SeqCst
+/// ordering of `seq`/`sleepers` gives the classic flag-flag guarantee: if
+/// the ringer reads `sleepers == 0`, the about-to-sleep worker's later
+/// sequence check is ordered after the ring and sees the new value, so it
+/// never parks on a stale count.
 #[derive(Debug, Default)]
 pub(crate) struct Doorbell {
     seq: AtomicU64,
@@ -191,26 +192,34 @@ pub(crate) struct Doorbell {
 }
 
 impl Doorbell {
-    /// Wakes one idle worker. Any worker can serve any session (an idle one
-    /// steals it), so one wakeup per published batch suffices — and on small
-    /// machines it avoids a thundering herd of N workers per batch.
-    pub(crate) fn ring_one(&self) {
+    /// Publishes a state change (the owning worker re-checks the world
+    /// before its next park).
+    fn bump(&self) {
         self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Wakes the parked owner, if parked. Returns whether a sleeper was
+    /// notified. Only meaningful after a [`Doorbell::bump`].
+    fn notify_if_sleeping(&self) -> bool {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Serialize with the sleeper's check-then-wait.
             drop(self.lock.lock().unwrap());
             self.bell.notify_one();
+            true
+        } else {
+            false
         }
     }
 
-    /// Wakes every worker (session open/close, shutdown — rare control
-    /// events where all workers must re-examine the world).
-    pub(crate) fn ring_all(&self) {
-        self.seq.fetch_add(1, Ordering::SeqCst);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            drop(self.lock.lock().unwrap());
-            self.bell.notify_all();
-        }
+    /// Bump-and-notify; returns whether a sleeper was notified.
+    fn ring(&self) -> bool {
+        self.bump();
+        self.notify_if_sleeping()
+    }
+
+    /// Racy peek at whether the owner is parked (wakeup-targeting hint).
+    fn sleeping(&self) -> bool {
+        self.sleepers.load(Ordering::SeqCst) > 0
     }
 
     fn epoch(&self) -> u64 {
@@ -244,6 +253,9 @@ pub(crate) struct EpochResult {
     pub index: usize,
     pub violations: Vec<Violation>,
     pub delivered: u64,
+    /// The job's record buffer, handed back so the epoch driver can
+    /// recycle its capacity for a later epoch instead of reallocating.
+    pub records: Vec<TraceEntry>,
 }
 
 /// One worker's resident-session deque with a lock-free occupancy mirror,
@@ -302,11 +314,66 @@ struct PoolShared {
     /// Mirror of `epoch_jobs.len()`, so the (hot) worker loop skips the
     /// injector lock entirely while no epoch run is active.
     epoch_pending: AtomicUsize,
-    doorbell: Doorbell,
+    /// One doorbell per worker (sticky wakeups: `send_batch` rings the
+    /// session's home worker first).
+    doorbells: Vec<Doorbell>,
     stats: PoolStats,
     shutdown: AtomicBool,
     violations_tx: Sender<PoolViolation>,
     stream_taken: AtomicBool,
+}
+
+impl PoolShared {
+    /// Sticky wakeup: ring the session's home worker first, so an
+    /// intermittent tenant keeps waking the worker that holds its shadow
+    /// shard instead of random-walking between thieves. If the home worker
+    /// is awake (busy), fall back to waking some parked worker — it can
+    /// steal the session, so the pool stays work-conserving under load.
+    fn ring_worker(&self, home: usize) {
+        let n = self.doorbells.len();
+        let home = home % n;
+        if self.doorbells[home].ring() {
+            return;
+        }
+        for off in 1..n {
+            let db = &self.doorbells[(home + off) % n];
+            // The peek is racy: a worker registering to sleep right now may
+            // be missed, but the home doorbell was bumped above and the
+            // park timeout bounds the cost of a lost fallback wake.
+            if db.sleeping() && db.ring() {
+                return;
+            }
+        }
+    }
+
+    /// Wakes one worker, any worker (epoch jobs live in a shared injector
+    /// queue). Every doorbell is bumped — matching the old global-sequence
+    /// semantics, so no about-to-park worker can sleep through the event —
+    /// but only the first sleeper found is woken.
+    fn ring_any(&self) {
+        for db in &self.doorbells {
+            db.bump();
+        }
+        for db in &self.doorbells {
+            if db.notify_if_sleeping() {
+                return;
+            }
+        }
+    }
+
+    /// Wakes every worker (session open/close, shutdown — rare control
+    /// events where all workers must re-examine the world).
+    fn ring_all(&self) {
+        for db in &self.doorbells {
+            db.bump();
+        }
+        for db in &self.doorbells {
+            if db.sleepers.load(Ordering::SeqCst) > 0 {
+                drop(db.lock.lock().unwrap());
+                db.bell.notify_all();
+            }
+        }
+    }
 }
 
 /// The streaming, multi-tenant monitoring runtime.
@@ -354,7 +421,7 @@ impl MonitorPool {
             shards: (0..cfg.workers).map(|_| Shard::default()).collect(),
             epoch_jobs: Mutex::new(VecDeque::new()),
             epoch_pending: AtomicUsize::new(0),
-            doorbell: Doorbell::default(),
+            doorbells: (0..cfg.workers).map(|_| Doorbell::default()).collect(),
             stats: PoolStats::default(),
             shutdown: AtomicBool::new(false),
             violations_tx: vtx,
@@ -395,6 +462,10 @@ impl MonitorPool {
         let pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
         let (producer, consumer) = log_channel(self.channel_capacity_bytes);
         let (done_tx, done_rx) = mpsc::channel();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        // The home hint follows the session as workers re-queue or steal
+        // it; `send_batch` rings the worker it points at first.
+        let home = Arc::new(AtomicUsize::new(shard));
         let session = ActiveSession {
             id,
             name: cfg.name,
@@ -408,17 +479,18 @@ impl MonitorPool {
             events: EventBuf::new(),
             records: 0,
             violations: Vec::new(),
+            home: Arc::clone(&home),
         };
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
         self.shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
         self.shared.shards[shard].push(session);
-        self.shared.doorbell.ring_all();
+        self.shared.ring_all();
         SessionHandle {
             id,
             producer: Some(producer),
             shared: Arc::clone(&self.shared),
             done: done_rx,
             chunk_bytes: self.chunk_bytes,
+            home,
         }
     }
 
@@ -430,7 +502,7 @@ impl MonitorPool {
         // find nothing — harmless) but never understate or underflow it.
         self.shared.epoch_pending.fetch_add(1, Ordering::SeqCst);
         self.shared.epoch_jobs.lock().unwrap().push_back(job);
-        self.shared.doorbell.ring_one();
+        self.shared.ring_any();
     }
 
     /// Takes the pool-wide violation stream. Yields `Some` on the first
@@ -466,7 +538,7 @@ impl MonitorPool {
 
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.doorbell.ring_all();
+        self.shared.ring_all();
         for join in self.joins.drain(..) {
             if join.join().is_err() {
                 eprintln!("igm-runtime: a lifeguard worker panicked");
@@ -492,6 +564,8 @@ pub struct SessionHandle {
     shared: Arc<PoolShared>,
     done: Receiver<SessionReport>,
     chunk_bytes: u32,
+    /// The worker currently hosting the session (sticky-wakeup hint).
+    home: Arc<AtomicUsize>,
 }
 
 impl SessionHandle {
@@ -500,10 +574,39 @@ impl SessionHandle {
         self.id
     }
 
+    /// The pool's configured producer-side chunk size in compressed-record
+    /// bytes (what [`SessionHandle::stream`] batches at).
+    pub fn chunk_bytes(&self) -> u32 {
+        self.chunk_bytes
+    }
+
     /// Publishes one pre-batched chunk of records (blocks on backpressure).
+    /// Fails once the session is [`close`](SessionHandle::close)d or the
+    /// pool has shut down under it.
     pub fn send_batch(&self, batch: Vec<TraceEntry>) -> Result<(), SendError> {
-        let r = self.producer.as_ref().expect("producer present until finish").send_batch(batch);
-        self.shared.doorbell.ring_one();
+        let Some(producer) = self.producer.as_ref() else {
+            return Err(SendError(batch));
+        };
+        let r = producer.send_batch(batch);
+        self.shared.ring_worker(self.home.load(Ordering::Relaxed));
+        r
+    }
+
+    /// Publishes one batch without blocking: `Ok(None)` on success,
+    /// `Ok(Some(batch))` when the log channel is full (the caller retries
+    /// later — the multiplexed-ingest backpressure path), `Err` once the
+    /// session is closed or the pool has shut down under it.
+    pub fn try_send_batch(
+        &self,
+        batch: Vec<TraceEntry>,
+    ) -> Result<Option<Vec<TraceEntry>>, SendError> {
+        let Some(producer) = self.producer.as_ref() else {
+            return Err(SendError(batch));
+        };
+        let r = producer.try_send_batch(batch);
+        if let Ok(None) = r {
+            self.shared.ring_worker(self.home.load(Ordering::Relaxed));
+        }
         r
     }
 
@@ -517,15 +620,31 @@ impl SessionHandle {
     }
 
     /// Transport counters for this session's log channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`SessionHandle::close`] (the final counters are in
+    /// the [`SessionReport`]).
     pub fn channel_stats(&self) -> ChannelStatsSnapshot {
-        self.producer.as_ref().expect("producer present until finish").stats()
+        self.producer.as_ref().expect("producer present until close/finish").stats()
+    }
+
+    /// Closes the log channel **without blocking**: the owning worker
+    /// drains and finalizes the session in the background. Further sends
+    /// fail; call [`SessionHandle::finish`] later to collect the report
+    /// (it then only waits, the close already happened). Lets a
+    /// multiplexing producer retire one tenant while it keeps feeding the
+    /// others.
+    pub fn close(&mut self) {
+        drop(self.producer.take());
+        self.shared.ring_all();
     }
 
     /// Closes the log channel and blocks until the owning worker has
     /// drained and finalized the session.
     pub fn finish(mut self) -> SessionReport {
         drop(self.producer.take()); // close the channel
-        self.shared.doorbell.ring_all();
+        self.shared.ring_all();
         self.done
             .recv()
             .expect("session failed before finalize (lifeguard panic on this tenant; see stderr)")
@@ -538,7 +657,7 @@ impl Drop for SessionHandle {
         // workers so an abandoned session is drained and finalized promptly
         // rather than on the park-timeout safety net.
         drop(self.producer.take());
-        self.shared.doorbell.ring_all();
+        self.shared.ring_all();
     }
 }
 
@@ -559,6 +678,9 @@ struct ActiveSession {
     events: EventBuf,
     records: u64,
     violations: Vec<Violation>,
+    /// Shared with the [`SessionHandle`]: which worker's deque the session
+    /// currently lives on, so producer-side wakeups ring the owner first.
+    home: Arc<AtomicUsize>,
 }
 
 impl ActiveSession {
@@ -645,10 +767,20 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(25);
 /// without a futex round trip per batch; genuinely idle workers still park.
 const SPIN_PASSES: u32 = 8;
 
+/// Per-worker staging buffers for epoch jobs, allocated once per worker
+/// thread and reused across every job it serves (ROADMAP batch-path
+/// follow-on: no per-job `CostSink`/`EventBuf` reallocation).
+#[derive(Default)]
+struct EpochScratch {
+    cost: CostSink,
+    events: EventBuf,
+}
+
 fn worker_main(idx: usize, shared: Arc<PoolShared>) {
     let mut idle_passes = 0u32;
+    let mut scratch = EpochScratch::default();
     loop {
-        let seen = shared.doorbell.epoch();
+        let seen = shared.doorbells[idx].epoch();
         let terminating = shared.shutdown.load(Ordering::Acquire);
         let mut progress = false;
 
@@ -659,7 +791,7 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
             let job = shared.epoch_jobs.lock().unwrap().pop_front();
             if let Some(job) = job {
                 shared.epoch_pending.fetch_sub(1, Ordering::SeqCst);
-                run_epoch_job_guarded(job, &shared.stats);
+                run_epoch_job_guarded(job, &shared.stats, &mut scratch);
                 progress = true;
             }
         }
@@ -696,7 +828,7 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
             if idle_passes <= SPIN_PASSES {
                 std::thread::yield_now();
             } else {
-                shared.doorbell.wait(seen, PARK_TIMEOUT);
+                shared.doorbells[idx].wait(seen, PARK_TIMEOUT);
             }
         }
     }
@@ -712,6 +844,9 @@ fn pump_owned(
     shared: &PoolShared,
     terminate: bool,
 ) -> bool {
+    // This worker owns the session for the pump (and keeps it if it is
+    // re-queued below): point producer-side wakeups here.
+    session.home.store(idx, Ordering::Relaxed);
     // Panic isolation: one tenant's handler panicking must not take down
     // the other sessions of the pool.
     let pumped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -760,11 +895,15 @@ fn steal(idx: usize, shared: &PoolShared) -> Option<ActiveSession> {
 /// Runs an epoch job, containing panics to the job: a panicking handler
 /// drops the job's result sender, which the epoch driver detects as a
 /// missing epoch (it refuses to return a truncated violation set).
-fn run_epoch_job_guarded(job: EpochJob, stats: &PoolStats) {
+fn run_epoch_job_guarded(job: EpochJob, stats: &PoolStats, scratch: &mut EpochScratch) {
     let index = job.index;
-    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_epoch_job(job, stats))).is_err()
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_epoch_job(job, stats, scratch)))
+        .is_err()
     {
         eprintln!("igm-runtime: lifeguard panicked in epoch job {index}; epoch dropped");
+        // The scratch buffers only ever hold plain values (no invariants
+        // to restore); clear them so the next job starts clean.
+        scratch.cost.clear();
     }
 }
 
@@ -790,10 +929,16 @@ pub(crate) fn pump_records(
     }
 }
 
-fn run_epoch_job(mut job: EpochJob, stats: &PoolStats) {
-    let mut cost = CostSink::new();
-    let mut events = EventBuf::new();
-    pump_records(&mut job.pipeline, &mut job.lifeguard, &mut cost, &mut events, &job.records);
+fn run_epoch_job(mut job: EpochJob, stats: &PoolStats, scratch: &mut EpochScratch) {
+    // Staging buffers come from the worker's persistent scratch — one
+    // allocation per worker lifetime, not one per job.
+    pump_records(
+        &mut job.pipeline,
+        &mut job.lifeguard,
+        &mut scratch.cost,
+        &mut scratch.events,
+        &job.records,
+    );
     stats.records.fetch_add(job.records.len() as u64, Ordering::Relaxed);
     stats.epoch_jobs.fetch_add(1, Ordering::Relaxed);
     stats.events_delivered.fetch_add(job.pipeline.stats().delivered, Ordering::Relaxed);
@@ -803,5 +948,6 @@ fn run_epoch_job(mut job: EpochJob, stats: &PoolStats) {
         index: job.index,
         violations,
         delivered: job.pipeline.stats().delivered,
+        records: job.records,
     });
 }

@@ -34,6 +34,7 @@ struct ChannelCounters {
     pushed_batches: AtomicU64,
     stall_events: AtomicU64,
     stall_nanos: AtomicU64,
+    refused_sends: AtomicU64,
     peak_bytes: AtomicU32,
     used_bytes: AtomicU32,
     depth_batches: AtomicUsize,
@@ -51,6 +52,11 @@ pub struct ChannelStatsSnapshot {
     pub stall_events: u64,
     /// Total wall-clock nanoseconds producers spent stalled.
     pub stall_nanos: u64,
+    /// Non-blocking sends ([`LogProducer::try_send_batch`]) refused by a
+    /// full buffer — the backpressure signal of the multiplexed ingest
+    /// path, where a refusal defers one source instead of blocking a
+    /// thread.
+    pub refused_sends: u64,
     /// High-water mark of byte occupancy.
     pub peak_bytes: u32,
     /// Bytes currently buffered.
@@ -84,6 +90,7 @@ impl Shared {
             pushed_batches: c.pushed_batches.load(Ordering::Relaxed),
             stall_events: c.stall_events.load(Ordering::Relaxed),
             stall_nanos: c.stall_nanos.load(Ordering::Relaxed),
+            refused_sends: c.refused_sends.load(Ordering::Relaxed),
             peak_bytes: c.peak_bytes.load(Ordering::Relaxed),
             used_bytes: c.used_bytes.load(Ordering::Relaxed),
             depth_batches: c.depth_batches.load(Ordering::Relaxed),
@@ -166,6 +173,46 @@ impl LogProducer {
                 return Err(SendError(batch));
             }
         }
+        self.publish(inner, batch, bytes);
+        Ok(())
+    }
+
+    /// Publishes one batch without blocking. Returns `Ok(None)` on
+    /// success, `Ok(Some(batch))` — handing the batch back — when the
+    /// buffer is full (the caller decides when to retry; the refusal is
+    /// counted as [`ChannelStatsSnapshot::refused_sends`]), and `Err` when
+    /// the consumer endpoint is gone. Like [`LogProducer::send_batch`], a
+    /// batch larger than the whole capacity is admitted once the buffer is
+    /// empty, so progress is always possible.
+    pub fn try_send_batch(
+        &self,
+        batch: Vec<TraceEntry>,
+    ) -> Result<Option<Vec<TraceEntry>>, SendError> {
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        let bytes = batch_bytes(&batch);
+        let inner = self.shared.inner.lock().unwrap();
+        if inner.consumer_closed {
+            return Err(SendError(batch));
+        }
+        if inner.used_bytes + bytes > self.shared.capacity_bytes && !inner.queue.is_empty() {
+            self.shared.counters.refused_sends.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(batch));
+        }
+        self.publish(inner, batch, bytes);
+        Ok(None)
+    }
+
+    /// The shared enqueue-and-account tail of both send paths: admits
+    /// `batch` (size pre-computed as `bytes`) under the held lock, updates
+    /// every occupancy/throughput counter, and wakes the consumer.
+    fn publish(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, Inner>,
+        batch: Vec<TraceEntry>,
+        bytes: u32,
+    ) {
         inner.used_bytes += bytes;
         let c = &self.shared.counters;
         c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
@@ -176,7 +223,6 @@ impl LogProducer {
         c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
         drop(inner);
         self.shared.not_empty.notify_one();
-        Ok(())
     }
 
     /// Current counters.
@@ -310,6 +356,25 @@ mod tests {
         drop(rx);
         let err = producer.join().unwrap().unwrap_err();
         assert_eq!(err.0.len(), 4, "rejected batch is returned");
+    }
+
+    #[test]
+    fn try_send_refuses_when_full_and_hands_batch_back() {
+        let (tx, rx) = log_channel(8);
+        assert_eq!(tx.try_send_batch((0..8).map(rec).collect()), Ok(None));
+        // Full: the batch comes back instead of blocking.
+        let refused = tx.try_send_batch((8..12).map(rec).collect()).unwrap();
+        assert_eq!(refused.as_ref().map(Vec::len), Some(4));
+        assert_eq!(tx.stats().refused_sends, 1);
+        assert_eq!(tx.stats().stall_events, 0, "refusal is not a stall");
+        // Drain, then the retry succeeds.
+        assert_eq!(rx.recv_batch().unwrap().len(), 8);
+        assert_eq!(tx.try_send_batch(refused.unwrap()), Ok(None));
+        assert_eq!(rx.recv_batch().unwrap().len(), 4);
+        // Closed consumer: error, batch returned.
+        drop(rx);
+        let err = tx.try_send_batch(vec![rec(1)]).unwrap_err();
+        assert_eq!(err.0.len(), 1);
     }
 
     #[test]

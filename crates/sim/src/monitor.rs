@@ -62,6 +62,24 @@ impl<L: Lifeguard> Monitor<L> {
         }
     }
 
+    /// Observes a recorded trace stream ([`igm_trace`] format), decoding
+    /// frame by frame into a reusable buffer and dispatching each frame as
+    /// one batch — the captured chunk structure is preserved, so a
+    /// recorded artifact monitors exactly like the live stream it teed.
+    /// Returns the number of records observed.
+    pub fn observe_reader<R: std::io::Read>(
+        &mut self,
+        reader: &mut igm_trace::TraceReader<R>,
+    ) -> Result<u64, igm_trace::TraceError> {
+        let mut chunk = Vec::new();
+        let mut records = 0u64;
+        while reader.read_chunk_into(&mut chunk)? {
+            records += chunk.len() as u64;
+            self.observe_batch(&chunk);
+        }
+        Ok(records)
+    }
+
     /// The monitored lifeguard.
     pub fn lifeguard(&self) -> &L {
         &self.lifeguard

@@ -1,0 +1,188 @@
+//! On-disk capture and replay of live monitoring sessions.
+//!
+//! [`CaptureSession`] tees every batch a tenant publishes into a
+//! [`TraceWriter`] frame *and* into the live [`MonitorPool`] session, so
+//! the file records exactly the batch sequence the pool consumed — one
+//! frame per transport chunk. [`replay_reader`] feeds such a file back
+//! through a fresh pool session chunk-for-chunk; because the runtime's
+//! dispatch path is deterministic in the record stream (batch boundaries
+//! are semantically inert — see `tests/batch_equivalence.rs`), the replay
+//! reproduces the live run's violations and [`DispatchStats`] exactly.
+//!
+//! [`DispatchStats`]: igm_core::DispatchStats
+
+use crate::codec::{TraceError, TraceReader, TraceWriter};
+use igm_isa::TraceEntry;
+use igm_lba::chunks;
+use igm_runtime::{MonitorPool, SendError, SessionConfig, SessionHandle, SessionReport};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from a capture or replay session.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// Encoding or decoding the trace stream failed.
+    Trace(TraceError),
+    /// The pool rejected records (it was shut down under the session).
+    Closed,
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Trace(e) => write!(f, "capture trace error: {e}"),
+            CaptureError::Closed => write!(f, "monitor pool closed under the session"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaptureError::Trace(e) => Some(e),
+            CaptureError::Closed => None,
+        }
+    }
+}
+
+impl From<TraceError> for CaptureError {
+    fn from(e: TraceError) -> CaptureError {
+        CaptureError::Trace(e)
+    }
+}
+
+impl From<io::Error> for CaptureError {
+    fn from(e: io::Error) -> CaptureError {
+        CaptureError::Trace(TraceError::Io(e))
+    }
+}
+
+impl From<SendError> for CaptureError {
+    fn from(_: SendError) -> CaptureError {
+        CaptureError::Closed
+    }
+}
+
+/// A live pool session whose record stream is simultaneously encoded to a
+/// trace sink.
+///
+/// # Example
+///
+/// ```
+/// use igm_lifeguards::LifeguardKind;
+/// use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
+/// use igm_trace::{replay_reader, CaptureSession, TraceReader};
+/// use igm_workload::Benchmark;
+///
+/// let pool = MonitorPool::new(PoolConfig::with_workers(2));
+/// let cfg = SessionConfig::new("gzip", LifeguardKind::AddrCheck)
+///     .synthetic()
+///     .premark(&Benchmark::Gzip.profile().premark_regions());
+///
+/// // Live run, teed to an in-memory "file".
+/// let mut cap = CaptureSession::new(&pool, cfg.clone(), Vec::new()).unwrap();
+/// cap.stream(Benchmark::Gzip.trace(2_000)).unwrap();
+/// let (live, bytes) = cap.finish().unwrap();
+///
+/// // Replay reproduces the live run exactly.
+/// let replayed =
+///     replay_reader(&pool, cfg, &mut TraceReader::new(&bytes[..]).unwrap()).unwrap();
+/// assert_eq!(live.records, replayed.records);
+/// assert_eq!(live.violations, replayed.violations);
+/// assert_eq!(live.dispatch, replayed.dispatch);
+/// pool.shutdown();
+/// ```
+pub struct CaptureSession<W: Write> {
+    session: SessionHandle,
+    writer: TraceWriter<W>,
+    chunk_bytes: u32,
+}
+
+impl<W: Write> CaptureSession<W> {
+    /// Opens a session on `pool` whose traffic is teed into `sink`.
+    pub fn new(
+        pool: &MonitorPool,
+        cfg: SessionConfig,
+        sink: W,
+    ) -> Result<CaptureSession<W>, CaptureError> {
+        let session = pool.open_session(cfg);
+        let chunk_bytes = session.chunk_bytes();
+        Ok(CaptureSession { session, writer: TraceWriter::new(sink)?, chunk_bytes })
+    }
+
+    /// Publishes one pre-batched chunk: one trace frame, then the live
+    /// send (blocking on pool backpressure). The frame is written first so
+    /// the file never misses a batch the pool processed.
+    pub fn send_batch(&mut self, batch: Vec<TraceEntry>) -> Result<(), CaptureError> {
+        self.writer.write_chunk(&batch)?;
+        self.session.send_batch(batch)?;
+        Ok(())
+    }
+
+    /// Streams a whole trace, batching at the pool's chunk size.
+    pub fn stream(
+        &mut self,
+        trace: impl IntoIterator<Item = TraceEntry>,
+    ) -> Result<(), CaptureError> {
+        for batch in chunks(trace, self.chunk_bytes) {
+            self.send_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// The underlying live session.
+    pub fn session(&self) -> &SessionHandle {
+        &self.session
+    }
+
+    /// Closes both sides: flushes the trace sink, finishes the live
+    /// session, and returns the session report together with the sink.
+    pub fn finish(self) -> Result<(SessionReport, W), CaptureError> {
+        let sink = self.writer.finish()?;
+        let report = self.session.finish();
+        Ok((report, sink))
+    }
+}
+
+/// Opens a capture session teeing to a buffered file at `path`.
+pub fn capture_to_file(
+    pool: &MonitorPool,
+    cfg: SessionConfig,
+    path: impl AsRef<Path>,
+) -> Result<CaptureSession<BufWriter<File>>, CaptureError> {
+    let file = File::create(path)?;
+    CaptureSession::new(pool, cfg, BufWriter::new(file))
+}
+
+/// Replays a recorded trace through a fresh session on `pool`,
+/// chunk-for-chunk as captured, and returns the session's report.
+///
+/// Replaying the file produced by a [`CaptureSession`] under the same
+/// [`SessionConfig`] yields a report whose `violations` and `dispatch`
+/// stats equal the live run's.
+pub fn replay_reader<R: Read>(
+    pool: &MonitorPool,
+    cfg: SessionConfig,
+    reader: &mut TraceReader<R>,
+) -> Result<SessionReport, CaptureError> {
+    let session = pool.open_session(cfg);
+    let mut chunk: Vec<TraceEntry> = Vec::new();
+    while reader.read_chunk_into(&mut chunk)? {
+        // The channel takes ownership of each batch; hand over the decoded
+        // buffer and let the next read grow a fresh one.
+        session.send_batch(std::mem::take(&mut chunk))?;
+    }
+    Ok(session.finish())
+}
+
+/// Replays a trace file at `path` through a fresh session on `pool`.
+pub fn replay_file(
+    pool: &MonitorPool,
+    cfg: SessionConfig,
+    path: impl AsRef<Path>,
+) -> Result<SessionReport, CaptureError> {
+    let file = File::open(path)?;
+    let mut reader = TraceReader::new(BufReader::new(file))?;
+    replay_reader(pool, cfg, &mut reader)
+}

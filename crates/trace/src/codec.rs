@@ -1,0 +1,787 @@
+//! The compact binary record codec and chunk framing.
+//!
+//! # Record encoding
+//!
+//! One [`TraceEntry`] encodes as:
+//!
+//! ```text
+//! tag          1 byte   bits 0..6: flattened variant id (0..=25)
+//!                       bit 7: entry carries a non-empty addr_regs set
+//! pc           varint   zigzag(pc − prev_pc)   (delta stream per chunk)
+//! [addr_regs]  1 byte   RegSet bitmap, present iff tag bit 7
+//! payload      …        variant-specific, see below
+//! ```
+//!
+//! Varints are LEB128 (7 value bits per byte, high bit = continuation).
+//! Memory references share one per-chunk address-delta stream: a `MemRef`
+//! encodes as `varint(zigzag(addr − prev_addr) << 2 | size_code)` with
+//! size codes 0/1/2 for 1/2/4-byte accesses; address-valued annotation
+//! payloads (malloc base, lock word, …) ride the same stream without the
+//! size bits. Both delta streams reset at every chunk boundary, so chunks
+//! decode independently.
+//!
+//! Registers encode as their dense index; register pairs pack into one
+//! byte (`rs << 4 | rd`). Optional fields are announced by a flags byte.
+//!
+//! # Chunk framing
+//!
+//! A trace file is a 8-byte header (`b"IGMT"`, `u32` LE version) followed
+//! by frames:
+//!
+//! ```text
+//! records      u32 LE   entries in this chunk (> 0)
+//! payload_len  u32 LE   encoded payload bytes (> 0)
+//! checksum     u32 LE   FNV-1a-32 over the payload bytes
+//! payload      payload_len bytes
+//! ```
+//!
+//! A clean EOF at a frame boundary ends the trace; anything else —
+//! truncated header or payload, checksum mismatch, zero-record or
+//! zero-length frames, trailing payload bytes, out-of-range field
+//! encodings — is a [`TraceError::Corrupt`] with the file offset. One
+//! frame per transport batch keeps capture and replay chunk-for-chunk
+//! identical with the live session that produced the file.
+
+use igm_isa::{
+    Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, Reg, RegSet, TraceEntry, TraceOp,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The four magic bytes opening every trace file.
+pub const MAGIC: [u8; 4] = *b"IGMT";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound accepted for one frame's payload, so a corrupt length field
+/// cannot drive a multi-gigabyte allocation before the checksum catches it.
+const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Errors produced while reading or writing a trace stream.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream's format version is newer than this reader.
+    UnsupportedVersion(u32),
+    /// Structural damage at `offset` bytes into the stream.
+    Corrupt {
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not an igm trace stream (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v} (reader speaks {FORMAT_VERSION})")
+            }
+            TraceError::Corrupt { offset, reason } => {
+                write!(f, "corrupt trace stream at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// FNV-1a-32 over `bytes` — cheap, dependency-free, and plenty to catch
+/// the torn writes and bit rot the framing guards against (it is not a
+/// cryptographic integrity check).
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Per-chunk delta-coder state (both streams reset at chunk boundaries).
+#[derive(Debug, Default, Clone, Copy)]
+struct CodecState {
+    prev_pc: u32,
+    prev_addr: u32,
+}
+
+/// Decode cursor over one chunk's payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Stream offset of `bytes[0]`, for error reporting.
+    base: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt<T>(&self, reason: &'static str) -> Result<T, TraceError> {
+        Err(TraceError::Corrupt { offset: self.base + self.pos as u64, reason })
+    }
+
+    fn byte(&mut self) -> Result<u8, TraceError> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.corrupt("payload ends inside a record"),
+        }
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift == 63 && b > 1 {
+                return self.corrupt("varint overflows 64 bits");
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn reg(&mut self) -> Result<Reg, TraceError> {
+        let b = self.byte()?;
+        match Reg::try_from_index(b as usize) {
+            Some(r) => Ok(r),
+            None => self.corrupt("register index out of range"),
+        }
+    }
+
+    fn reg_pair(&mut self) -> Result<(Reg, Reg), TraceError> {
+        let b = self.byte()?;
+        match (Reg::try_from_index((b >> 4) as usize), Reg::try_from_index((b & 0x0f) as usize)) {
+            (Some(a), Some(c)) => Ok((a, c)),
+            _ => self.corrupt("register index out of range"),
+        }
+    }
+
+    fn opt_reg(&mut self) -> Result<Option<Reg>, TraceError> {
+        let b = self.byte()?;
+        if b == NO_REG {
+            return Ok(None);
+        }
+        match Reg::try_from_index(b as usize) {
+            Some(r) => Ok(Some(r)),
+            None => self.corrupt("register index out of range"),
+        }
+    }
+
+    fn mem_ref(&mut self, st: &mut CodecState) -> Result<MemRef, TraceError> {
+        let v = self.varint()?;
+        let size = match v & 0x3 {
+            0 => MemSize::B1,
+            1 => MemSize::B2,
+            2 => MemSize::B4,
+            _ => return self.corrupt("memory access size code out of range"),
+        };
+        let addr = self.resolve_addr(st, unzigzag(v >> 2))?;
+        Ok(MemRef::new(addr, size))
+    }
+
+    fn addr(&mut self, st: &mut CodecState) -> Result<u32, TraceError> {
+        let delta = unzigzag(self.varint()?);
+        self.resolve_addr(st, delta)
+    }
+
+    fn resolve_addr(&self, st: &mut CodecState, delta: i64) -> Result<u32, TraceError> {
+        match u32::try_from(st.prev_addr as i64 + delta) {
+            Ok(addr) => {
+                st.prev_addr = addr;
+                Ok(addr)
+            }
+            Err(_) => self.corrupt("address delta leaves the 32-bit address space"),
+        }
+    }
+
+    fn u32_varint(&mut self) -> Result<u32, TraceError> {
+        match u32::try_from(self.varint()?) {
+            Ok(v) => Ok(v),
+            Err(_) => self.corrupt("32-bit field encoded with more than 32 bits"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Tag bit set when the entry carries a non-empty `addr_regs` set.
+const TAG_ADDR_REGS: u8 = 0x80;
+
+/// `Option<Reg>` "absent" marker (register indices are `0..8`).
+const NO_REG: u8 = 0x0f;
+
+// Flattened variant tags.
+const T_IMM_TO_REG: u8 = 0;
+const T_IMM_TO_MEM: u8 = 1;
+const T_REG_SELF: u8 = 2;
+const T_MEM_SELF: u8 = 3;
+const T_REG_TO_REG: u8 = 4;
+const T_REG_TO_MEM: u8 = 5;
+const T_MEM_TO_REG: u8 = 6;
+const T_MEM_TO_MEM: u8 = 7;
+const T_DEST_REG_OP_REG: u8 = 8;
+const T_DEST_REG_OP_MEM: u8 = 9;
+const T_DEST_MEM_OP_REG: u8 = 10;
+const T_READ_ONLY: u8 = 11;
+const T_OTHER: u8 = 12;
+const T_CTRL_DIRECT: u8 = 13;
+const T_CTRL_INDIRECT: u8 = 14;
+const T_CTRL_COND: u8 = 15;
+const T_CTRL_RET: u8 = 16;
+const T_ANN_MALLOC: u8 = 17;
+const T_ANN_FREE: u8 = 18;
+const T_ANN_LOCK: u8 = 19;
+const T_ANN_UNLOCK: u8 = 20;
+const T_ANN_READ_INPUT: u8 = 21;
+const T_ANN_SYSCALL: u8 = 22;
+const T_ANN_PRINTF: u8 = 23;
+const T_ANN_THREAD_SWITCH: u8 = 24;
+const T_ANN_THREAD_EXIT: u8 = 25;
+
+fn put_mem_ref(out: &mut Vec<u8>, st: &mut CodecState, m: MemRef) {
+    let code = match m.size {
+        MemSize::B1 => 0u64,
+        MemSize::B2 => 1,
+        MemSize::B4 => 2,
+    };
+    let delta = zigzag(m.addr as i64 - st.prev_addr as i64);
+    put_varint(out, delta << 2 | code);
+    st.prev_addr = m.addr;
+}
+
+fn put_addr(out: &mut Vec<u8>, st: &mut CodecState, addr: u32) {
+    put_varint(out, zigzag(addr as i64 - st.prev_addr as i64));
+    st.prev_addr = addr;
+}
+
+fn encode_entry(out: &mut Vec<u8>, st: &mut CodecState, e: &TraceEntry) {
+    let tag_at = out.len();
+    let mut tag = match &e.op {
+        TraceOp::Op(op) => match op {
+            OpClass::ImmToReg { .. } => T_IMM_TO_REG,
+            OpClass::ImmToMem { .. } => T_IMM_TO_MEM,
+            OpClass::RegSelf { .. } => T_REG_SELF,
+            OpClass::MemSelf { .. } => T_MEM_SELF,
+            OpClass::RegToReg { .. } => T_REG_TO_REG,
+            OpClass::RegToMem { .. } => T_REG_TO_MEM,
+            OpClass::MemToReg { .. } => T_MEM_TO_REG,
+            OpClass::MemToMem { .. } => T_MEM_TO_MEM,
+            OpClass::DestRegOpReg { .. } => T_DEST_REG_OP_REG,
+            OpClass::DestRegOpMem { .. } => T_DEST_REG_OP_MEM,
+            OpClass::DestMemOpReg { .. } => T_DEST_MEM_OP_REG,
+            OpClass::ReadOnly { .. } => T_READ_ONLY,
+            OpClass::Other { .. } => T_OTHER,
+        },
+        TraceOp::Ctrl(c) => match c {
+            CtrlOp::Direct => T_CTRL_DIRECT,
+            CtrlOp::Indirect { .. } => T_CTRL_INDIRECT,
+            CtrlOp::CondBranch { .. } => T_CTRL_COND,
+            CtrlOp::Ret { .. } => T_CTRL_RET,
+        },
+        TraceOp::Annot(a) => match a {
+            Annotation::Malloc { .. } => T_ANN_MALLOC,
+            Annotation::Free { .. } => T_ANN_FREE,
+            Annotation::Lock { .. } => T_ANN_LOCK,
+            Annotation::Unlock { .. } => T_ANN_UNLOCK,
+            Annotation::ReadInput { .. } => T_ANN_READ_INPUT,
+            Annotation::Syscall { .. } => T_ANN_SYSCALL,
+            Annotation::PrintfFormat { .. } => T_ANN_PRINTF,
+            Annotation::ThreadSwitch { .. } => T_ANN_THREAD_SWITCH,
+            Annotation::ThreadExit { .. } => T_ANN_THREAD_EXIT,
+        },
+    };
+    if !e.addr_regs.is_empty() {
+        tag |= TAG_ADDR_REGS;
+    }
+    out.push(tag);
+    put_varint(out, zigzag(e.pc as i64 - st.prev_pc as i64));
+    st.prev_pc = e.pc;
+    if !e.addr_regs.is_empty() {
+        out.push(e.addr_regs.bits());
+    }
+    match &e.op {
+        TraceOp::Op(op) => match *op {
+            OpClass::ImmToReg { rd } | OpClass::RegSelf { rd } => out.push(rd.index() as u8),
+            OpClass::ImmToMem { dst } | OpClass::MemSelf { dst } => put_mem_ref(out, st, dst),
+            OpClass::RegToReg { rs, rd } | OpClass::DestRegOpReg { rs, rd } => {
+                out.push((rs.index() as u8) << 4 | rd.index() as u8)
+            }
+            OpClass::RegToMem { rs, dst } | OpClass::DestMemOpReg { rs, dst } => {
+                out.push(rs.index() as u8);
+                put_mem_ref(out, st, dst);
+            }
+            OpClass::MemToReg { src, rd } | OpClass::DestRegOpMem { src, rd } => {
+                put_mem_ref(out, st, src);
+                out.push(rd.index() as u8);
+            }
+            OpClass::MemToMem { src, dst } => {
+                put_mem_ref(out, st, src);
+                put_mem_ref(out, st, dst);
+            }
+            OpClass::ReadOnly { src, reads } => {
+                out.push(src.is_some() as u8);
+                out.push(reads.bits());
+                if let Some(m) = src {
+                    put_mem_ref(out, st, m);
+                }
+            }
+            OpClass::Other { reads, writes, mem_read, mem_write } => {
+                out.push(mem_read.is_some() as u8 | (mem_write.is_some() as u8) << 1);
+                out.push(reads.bits());
+                out.push(writes.bits());
+                if let Some(m) = mem_read {
+                    put_mem_ref(out, st, m);
+                }
+                if let Some(m) = mem_write {
+                    put_mem_ref(out, st, m);
+                }
+            }
+        },
+        TraceOp::Ctrl(c) => match *c {
+            CtrlOp::Direct => {}
+            CtrlOp::Indirect { target } => match target {
+                JumpTarget::Reg(r) => {
+                    out.push(0);
+                    out.push(r.index() as u8);
+                }
+                JumpTarget::Mem(m) => {
+                    out.push(1);
+                    put_mem_ref(out, st, m);
+                }
+            },
+            CtrlOp::CondBranch { input } => {
+                out.push(input.map_or(NO_REG, |r| r.index() as u8));
+            }
+            CtrlOp::Ret { slot } => put_mem_ref(out, st, slot),
+        },
+        TraceOp::Annot(a) => match *a {
+            Annotation::Malloc { base, size } => {
+                put_addr(out, st, base);
+                put_varint(out, size as u64);
+            }
+            Annotation::Free { base } => put_addr(out, st, base),
+            Annotation::Lock { lock } | Annotation::Unlock { lock } => put_addr(out, st, lock),
+            Annotation::ReadInput { base, len } => {
+                put_addr(out, st, base);
+                put_varint(out, len as u64);
+            }
+            Annotation::Syscall { arg_reg, arg_mem } => {
+                out.push(arg_reg.is_some() as u8 | (arg_mem.is_some() as u8) << 1);
+                if let Some(r) = arg_reg {
+                    out.push(r.index() as u8);
+                }
+                if let Some(m) = arg_mem {
+                    put_mem_ref(out, st, m);
+                }
+            }
+            Annotation::PrintfFormat { fmt } => put_mem_ref(out, st, fmt),
+            Annotation::ThreadSwitch { tid } | Annotation::ThreadExit { tid } => {
+                put_varint(out, tid as u64)
+            }
+        },
+    }
+    debug_assert!(out.len() > tag_at);
+}
+
+fn decode_entry(cur: &mut Cursor<'_>, st: &mut CodecState) -> Result<TraceEntry, TraceError> {
+    let tag = cur.byte()?;
+    let pc_delta = unzigzag(cur.varint()?);
+    let pc = match u32::try_from(st.prev_pc as i64 + pc_delta) {
+        Ok(pc) => pc,
+        Err(_) => return cur.corrupt("pc delta leaves the 32-bit address space"),
+    };
+    st.prev_pc = pc;
+    let addr_regs = if tag & TAG_ADDR_REGS != 0 {
+        let bits = cur.byte()?;
+        if bits == 0 {
+            return cur.corrupt("addr_regs flag set but bitmap empty");
+        }
+        RegSet::from_bits(bits)
+    } else {
+        RegSet::EMPTY
+    };
+    let op = match tag & !TAG_ADDR_REGS {
+        T_IMM_TO_REG => TraceOp::Op(OpClass::ImmToReg { rd: cur.reg()? }),
+        T_IMM_TO_MEM => TraceOp::Op(OpClass::ImmToMem { dst: cur.mem_ref(st)? }),
+        T_REG_SELF => TraceOp::Op(OpClass::RegSelf { rd: cur.reg()? }),
+        T_MEM_SELF => TraceOp::Op(OpClass::MemSelf { dst: cur.mem_ref(st)? }),
+        T_REG_TO_REG => {
+            let (rs, rd) = cur.reg_pair()?;
+            TraceOp::Op(OpClass::RegToReg { rs, rd })
+        }
+        T_REG_TO_MEM => {
+            let rs = cur.reg()?;
+            TraceOp::Op(OpClass::RegToMem { rs, dst: cur.mem_ref(st)? })
+        }
+        T_MEM_TO_REG => {
+            let src = cur.mem_ref(st)?;
+            TraceOp::Op(OpClass::MemToReg { src, rd: cur.reg()? })
+        }
+        T_MEM_TO_MEM => {
+            let src = cur.mem_ref(st)?;
+            TraceOp::Op(OpClass::MemToMem { src, dst: cur.mem_ref(st)? })
+        }
+        T_DEST_REG_OP_REG => {
+            let (rs, rd) = cur.reg_pair()?;
+            TraceOp::Op(OpClass::DestRegOpReg { rs, rd })
+        }
+        T_DEST_REG_OP_MEM => {
+            let src = cur.mem_ref(st)?;
+            TraceOp::Op(OpClass::DestRegOpMem { src, rd: cur.reg()? })
+        }
+        T_DEST_MEM_OP_REG => {
+            let rs = cur.reg()?;
+            TraceOp::Op(OpClass::DestMemOpReg { rs, dst: cur.mem_ref(st)? })
+        }
+        T_READ_ONLY => {
+            let flags = cur.byte()?;
+            if flags > 1 {
+                return cur.corrupt("read_only flags byte out of range");
+            }
+            let reads = RegSet::from_bits(cur.byte()?);
+            let src = if flags & 1 != 0 { Some(cur.mem_ref(st)?) } else { None };
+            TraceOp::Op(OpClass::ReadOnly { src, reads })
+        }
+        T_OTHER => {
+            let flags = cur.byte()?;
+            if flags > 3 {
+                return cur.corrupt("other flags byte out of range");
+            }
+            let reads = RegSet::from_bits(cur.byte()?);
+            let writes = RegSet::from_bits(cur.byte()?);
+            let mem_read = if flags & 1 != 0 { Some(cur.mem_ref(st)?) } else { None };
+            let mem_write = if flags & 2 != 0 { Some(cur.mem_ref(st)?) } else { None };
+            TraceOp::Op(OpClass::Other { reads, writes, mem_read, mem_write })
+        }
+        T_CTRL_DIRECT => TraceOp::Ctrl(CtrlOp::Direct),
+        T_CTRL_INDIRECT => {
+            let target = match cur.byte()? {
+                0 => JumpTarget::Reg(cur.reg()?),
+                1 => JumpTarget::Mem(cur.mem_ref(st)?),
+                _ => return cur.corrupt("jump target kind out of range"),
+            };
+            TraceOp::Ctrl(CtrlOp::Indirect { target })
+        }
+        T_CTRL_COND => TraceOp::Ctrl(CtrlOp::CondBranch { input: cur.opt_reg()? }),
+        T_CTRL_RET => TraceOp::Ctrl(CtrlOp::Ret { slot: cur.mem_ref(st)? }),
+        T_ANN_MALLOC => {
+            let base = cur.addr(st)?;
+            let size = cur.u32_varint()?;
+            TraceOp::Annot(Annotation::Malloc { base, size })
+        }
+        T_ANN_FREE => TraceOp::Annot(Annotation::Free { base: cur.addr(st)? }),
+        T_ANN_LOCK => TraceOp::Annot(Annotation::Lock { lock: cur.addr(st)? }),
+        T_ANN_UNLOCK => TraceOp::Annot(Annotation::Unlock { lock: cur.addr(st)? }),
+        T_ANN_READ_INPUT => {
+            let base = cur.addr(st)?;
+            let len = cur.u32_varint()?;
+            TraceOp::Annot(Annotation::ReadInput { base, len })
+        }
+        T_ANN_SYSCALL => {
+            let flags = cur.byte()?;
+            if flags > 3 {
+                return cur.corrupt("syscall flags byte out of range");
+            }
+            let arg_reg = if flags & 1 != 0 { Some(cur.reg()?) } else { None };
+            let arg_mem = if flags & 2 != 0 { Some(cur.mem_ref(st)?) } else { None };
+            TraceOp::Annot(Annotation::Syscall { arg_reg, arg_mem })
+        }
+        T_ANN_PRINTF => TraceOp::Annot(Annotation::PrintfFormat { fmt: cur.mem_ref(st)? }),
+        T_ANN_THREAD_SWITCH => TraceOp::Annot(Annotation::ThreadSwitch { tid: cur.u32_varint()? }),
+        T_ANN_THREAD_EXIT => TraceOp::Annot(Annotation::ThreadExit { tid: cur.u32_varint()? }),
+        _ => return cur.corrupt("unknown record tag"),
+    };
+    Ok(TraceEntry { pc, op, addr_regs })
+}
+
+// ---------------------------------------------------------------------------
+// Writer / reader.
+// ---------------------------------------------------------------------------
+
+/// Streaming encoder: one [`TraceWriter::write_chunk`] call per transport
+/// batch produces one frame. The encode staging buffer is reused across
+/// chunks.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    chunks: u64,
+    records: u64,
+    /// Frame bytes written after the file header (headers + payloads).
+    stream_bytes: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the file header and readies the encoder.
+    pub fn new(mut w: W) -> io::Result<TraceWriter<W>> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        Ok(TraceWriter { w, buf: Vec::new(), chunks: 0, records: 0, stream_bytes: 0 })
+    }
+
+    /// Encodes `batch` as one frame. An empty batch writes nothing (the
+    /// format has no empty frames).
+    pub fn write_chunk(&mut self, batch: &[TraceEntry]) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.buf.clear();
+        let mut st = CodecState::default();
+        for e in batch {
+            encode_entry(&mut self.buf, &mut st, e);
+        }
+        let records = u32::try_from(batch.len()).expect("batch fits a u32 record count");
+        let len = u32::try_from(self.buf.len()).expect("frame payload fits a u32 length");
+        self.w.write_all(&records.to_le_bytes())?;
+        self.w.write_all(&len.to_le_bytes())?;
+        self.w.write_all(&checksum(&self.buf).to_le_bytes())?;
+        self.w.write_all(&self.buf)?;
+        self.chunks += 1;
+        self.records += batch.len() as u64;
+        self.stream_bytes += 12 + self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+
+    /// Frames written so far.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Records encoded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Encoded bytes written after the file header, frame headers included
+    /// — the numerator of the bytes-per-record metric.
+    pub fn stream_bytes(&self) -> u64 {
+        self.stream_bytes
+    }
+}
+
+/// Streaming decoder over any [`Read`].
+///
+/// [`TraceReader::read_chunk_into`] decodes one frame into a caller-owned,
+/// reusable buffer — the file-sourced twin of the runtime's batch-grain
+/// ingest path.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    buf: Vec<u8>,
+    offset: u64,
+    chunks: u64,
+    records: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validates the file header and readies the decoder.
+    pub fn new(mut r: R) -> Result<TraceReader<R>, TraceError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => TraceError::BadMagic,
+            _ => TraceError::Io(e),
+        })?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut ver = [0u8; 4];
+        r.read_exact(&mut ver).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => TraceError::BadMagic,
+            _ => TraceError::Io(e),
+        })?;
+        let version = u32::from_le_bytes(ver);
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        Ok(TraceReader { r, buf: Vec::new(), offset: 8, chunks: 0, records: 0 })
+    }
+
+    /// Decodes the next frame into `out` (cleared first). Returns `false`
+    /// on a clean end of stream, `true` when `out` holds a chunk.
+    pub fn read_chunk_into(&mut self, out: &mut Vec<TraceEntry>) -> Result<bool, TraceError> {
+        out.clear();
+        let mut header = [0u8; 12];
+        match read_exact_or_eof(&mut self.r, &mut header) {
+            Ok(0) => return Ok(false),
+            Ok(n) if n < header.len() => {
+                return Err(TraceError::Corrupt {
+                    offset: self.offset + n as u64,
+                    reason: "stream ends inside a frame header",
+                })
+            }
+            Ok(_) => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+        let records = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let sum = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if records == 0 {
+            return Err(TraceError::Corrupt { offset: self.offset, reason: "zero-record frame" });
+        }
+        if len == 0 {
+            return Err(TraceError::Corrupt {
+                offset: self.offset,
+                reason: "zero-length frame payload",
+            });
+        }
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(TraceError::Corrupt {
+                offset: self.offset,
+                reason: "frame payload length exceeds the format bound",
+            });
+        }
+        // Every record encodes to at least two bytes (tag + pc varint), so
+        // a count inconsistent with the payload length is corruption. The
+        // checksum covers only the payload, not the header — this check
+        // must precede the `reserve` below, or a flipped count field could
+        // drive a multi-gigabyte allocation instead of a typed error.
+        if records as u64 * 2 > len as u64 {
+            return Err(TraceError::Corrupt {
+                offset: self.offset,
+                reason: "record count inconsistent with frame payload length",
+            });
+        }
+        let payload_at = self.offset + 12;
+        self.buf.resize(len as usize, 0);
+        match read_exact_or_eof(&mut self.r, &mut self.buf) {
+            Ok(n) if n < len as usize => {
+                return Err(TraceError::Corrupt {
+                    offset: payload_at + n as u64,
+                    reason: "stream ends inside a frame payload",
+                })
+            }
+            Ok(_) => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+        if checksum(&self.buf) != sum {
+            return Err(TraceError::Corrupt {
+                offset: payload_at,
+                reason: "frame checksum mismatch",
+            });
+        }
+        let mut cur = Cursor { bytes: &self.buf, pos: 0, base: payload_at };
+        let mut st = CodecState::default();
+        out.reserve(records as usize);
+        for _ in 0..records {
+            out.push(decode_entry(&mut cur, &mut st)?);
+        }
+        if cur.pos != self.buf.len() {
+            return Err(TraceError::Corrupt {
+                offset: payload_at + cur.pos as u64,
+                reason: "frame payload has trailing bytes",
+            });
+        }
+        self.offset = payload_at + len as u64;
+        self.chunks += 1;
+        self.records += records as u64;
+        Ok(true)
+    }
+
+    /// Decodes the whole remaining stream, chunk structure flattened.
+    pub fn read_all(&mut self) -> Result<Vec<TraceEntry>, TraceError> {
+        let mut all = Vec::new();
+        let mut chunk = Vec::new();
+        while self.read_chunk_into(&mut chunk)? {
+            all.extend_from_slice(&chunk);
+        }
+        Ok(all)
+    }
+
+    /// Frames decoded so far.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Records decoded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF,
+/// returns 0) and "some but not enough" (returns the short count) from
+/// I/O errors.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Convenience: encodes `trace` into an in-memory buffer, one frame per
+/// `chunk_bytes`-sized transport batch ([`igm_lba::chunks`]).
+pub fn encode_to_vec(trace: impl IntoIterator<Item = TraceEntry>, chunk_bytes: u32) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new()).expect("writing to a Vec cannot fail");
+    let mut chunker = igm_lba::chunks(trace, chunk_bytes);
+    let mut batch = Vec::new();
+    while chunker.next_into(&mut batch) {
+        w.write_chunk(&batch).expect("writing to a Vec cannot fail");
+    }
+    w.finish().expect("flushing a Vec cannot fail")
+}
+
+/// Convenience: decodes a whole in-memory trace stream.
+pub fn decode_from_slice(bytes: &[u8]) -> Result<Vec<TraceEntry>, TraceError> {
+    TraceReader::new(bytes)?.read_all()
+}

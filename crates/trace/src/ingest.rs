@@ -1,0 +1,418 @@
+//! The multiplexed ingest front-end: one OS thread, many tenant sources.
+//!
+//! The runtime's original ingestion pattern dedicates one blocking
+//! producer thread per tenant — faithful to the paper's one-application /
+//! one-log-buffer coupling, but wasteful at service scale where most
+//! tenants are intermittently idle. [`Ingestor`] replaces it: a single
+//! thread round-robins over pluggable [`TraceSource`]s (in-memory
+//! generators, recorded trace files, readiness-polled pipes), pulling
+//! ready batches and publishing them into per-tenant [`MonitorPool`]
+//! sessions with the *non-blocking* [`SessionHandle::try_send_batch`].
+//!
+//! Backpressure is per source: a batch refused by a full log channel is
+//! *staged* on its lane and retried next turn, so one slow tenant defers
+//! only itself while the thread keeps servicing the others — the software
+//! analogue of per-core log buffers sharing one transport fabric.
+//! Fairness is a bounded number of batches per lane per turn plus
+//! per-lane accounting ([`LaneStats`]) of how often each source was
+//! ready, pending, or deferred by backpressure.
+
+use crate::codec::{TraceError, TraceReader};
+use igm_isa::TraceEntry;
+use igm_lba::Chunks;
+use igm_runtime::{MonitorPool, SessionConfig, SessionHandle, SessionReport};
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::time::Duration;
+
+/// What a [`TraceSource`] produced for one poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// `out` holds the next batch.
+    Ready,
+    /// Nothing available right now; poll again later (readiness-style).
+    Pending,
+    /// The source is exhausted; the lane's session can finish.
+    Done,
+}
+
+/// A pull-based supplier of record batches, polled by the [`Ingestor`].
+///
+/// Implementations must not block: a source with nothing available
+/// returns [`SourceStatus::Pending`] and the ingest thread moves on.
+pub trait TraceSource: Send {
+    /// Fills `out` (cleared by the callee) with the next batch.
+    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError>;
+}
+
+/// An in-memory source: any record iterator, chunked at `chunk_bytes`
+/// into transport batches ([`igm_lba::chunks`] via the allocation-free
+/// [`Chunks::next_into`]).
+#[derive(Debug)]
+pub struct IterSource<I> {
+    chunker: Chunks<I>,
+}
+
+impl<I: Iterator<Item = TraceEntry>> IterSource<I> {
+    /// Wraps `trace`, batching at `chunk_bytes` compressed-record bytes.
+    pub fn new(
+        trace: impl IntoIterator<Item = TraceEntry, IntoIter = I>,
+        chunk_bytes: u32,
+    ) -> Self {
+        IterSource { chunker: igm_lba::chunks(trace, chunk_bytes) }
+    }
+}
+
+impl<I: Iterator<Item = TraceEntry> + Send> TraceSource for IterSource<I> {
+    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError> {
+        if self.chunker.next_into(out) {
+            Ok(SourceStatus::Ready)
+        } else {
+            Ok(SourceStatus::Done)
+        }
+    }
+}
+
+/// A recorded-trace source: frames stream out of a [`TraceReader`] one
+/// chunk per poll, preserving the captured batch structure.
+#[derive(Debug)]
+pub struct FileSource<R: Read> {
+    reader: TraceReader<R>,
+}
+
+impl<R: Read> FileSource<R> {
+    /// Wraps an open trace stream.
+    pub fn new(reader: TraceReader<R>) -> FileSource<R> {
+        FileSource { reader }
+    }
+}
+
+impl FileSource<BufReader<File>> {
+    /// Opens the trace file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let file = File::open(path).map_err(TraceError::Io)?;
+        Ok(FileSource { reader: TraceReader::new(BufReader::new(file))? })
+    }
+}
+
+impl<R: Read + Send> TraceSource for FileSource<R> {
+    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError> {
+        if self.reader.read_chunk_into(out)? {
+            Ok(SourceStatus::Ready)
+        } else {
+            Ok(SourceStatus::Done)
+        }
+    }
+}
+
+/// Creates an in-process batch pipe of depth `depth`: the sender side
+/// lives with an external producer (another thread, a network shim); the
+/// [`PipeSource`] side is readiness-polled by the ingest thread and never
+/// blocks it.
+pub fn batch_pipe(depth: usize) -> (PipeSender, PipeSource) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+    (PipeSender { tx }, PipeSource { rx })
+}
+
+/// Producer endpoint of [`batch_pipe`].
+#[derive(Debug, Clone)]
+pub struct PipeSender {
+    tx: SyncSender<Vec<TraceEntry>>,
+}
+
+impl PipeSender {
+    /// Queues one batch, blocking while the pipe is full. Returns the
+    /// batch if the ingest side is gone.
+    pub fn send(&self, batch: Vec<TraceEntry>) -> Result<(), Vec<TraceEntry>> {
+        self.tx.send(batch).map_err(|e| e.0)
+    }
+
+    /// Queues one batch without blocking; returns it if the pipe is full
+    /// or the ingest side is gone.
+    pub fn try_send(&self, batch: Vec<TraceEntry>) -> Result<(), Vec<TraceEntry>> {
+        self.tx.try_send(batch).map_err(|e| match e {
+            TrySendError::Full(b) | TrySendError::Disconnected(b) => b,
+        })
+    }
+}
+
+/// Consumer endpoint of [`batch_pipe`]: a readiness-polled pipe source.
+#[derive(Debug)]
+pub struct PipeSource {
+    rx: Receiver<Vec<TraceEntry>>,
+}
+
+impl TraceSource for PipeSource {
+    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError> {
+        out.clear();
+        match self.rx.try_recv() {
+            Ok(batch) => {
+                *out = batch;
+                Ok(SourceStatus::Ready)
+            }
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(SourceStatus::Pending),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Ok(SourceStatus::Done),
+        }
+    }
+}
+
+/// Ingest scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Batches published per lane per scheduling turn (the fairness
+    /// bound: a deep source cannot monopolize the thread).
+    pub batches_per_turn: usize,
+    /// Sleep applied after a full pass with no progress (every lane
+    /// pending or deferred), so an idle front-end does not spin a core.
+    pub idle_backoff: Duration,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig { batches_per_turn: 4, idle_backoff: Duration::from_micros(200) }
+    }
+}
+
+/// Per-lane fairness and backpressure accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneStats {
+    /// Batches published into the lane's session.
+    pub batches: u64,
+    /// Records published.
+    pub records: u64,
+    /// Sends refused by a full log channel and staged for retry — the
+    /// lane's backpressure events (the non-blocking analogue of the SPSC
+    /// channel's producer stalls).
+    pub deferred_sends: u64,
+    /// Polls that found the source not ready.
+    pub pending_polls: u64,
+    /// Scheduling turns that visited this lane.
+    pub turns: u64,
+}
+
+struct Lane {
+    name: String,
+    source: Box<dyn TraceSource>,
+    session: Option<SessionHandle>,
+    /// A batch refused by backpressure, awaiting retry.
+    staged: Option<Vec<TraceEntry>>,
+    /// Pull staging buffer: sources decode/chunk straight into it, then
+    /// ownership of the filled `Vec` transfers to the log channel (the
+    /// transport owns its batches, so the capacity travels with them).
+    scratch: Vec<TraceEntry>,
+    source_done: bool,
+    /// Source exhausted and channel closed; the worker is draining in the
+    /// background and the report is collected after the scheduling loop.
+    closed: bool,
+    stats: LaneStats,
+    error: Option<TraceError>,
+}
+
+/// Everything one [`Ingestor::run`] produced.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Finished session reports, in lane registration order.
+    pub sessions: Vec<SessionReport>,
+    /// Per-lane fairness/backpressure counters, same order.
+    pub lanes: Vec<(String, LaneStats)>,
+    /// Source errors (lane name, error), if any; the affected lanes were
+    /// finalized early with whatever they had published.
+    pub errors: Vec<(String, TraceError)>,
+    /// Full scheduling passes over the lane set.
+    pub passes: u64,
+}
+
+impl IngestReport {
+    /// Total records published across all lanes.
+    pub fn records(&self) -> u64 {
+        self.lanes.iter().map(|(_, s)| s.records).sum()
+    }
+}
+
+/// The single-threaded multiplexing front-end.
+///
+/// # Example
+///
+/// ```
+/// use igm_lifeguards::LifeguardKind;
+/// use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
+/// use igm_trace::{Ingestor, IterSource};
+/// use igm_workload::Benchmark;
+///
+/// let pool = MonitorPool::new(PoolConfig::with_workers(2));
+/// let mut ingestor = Ingestor::new(&pool);
+/// for bench in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc] {
+///     ingestor.add_source(
+///         SessionConfig::new(bench.name(), LifeguardKind::AddrCheck)
+///             .synthetic()
+///             .premark(&bench.profile().premark_regions()),
+///         IterSource::new(bench.trace(3_000), 4096),
+///     );
+/// }
+/// let report = ingestor.run(); // one thread drives all three tenants
+/// assert_eq!(report.records(), 9_000);
+/// assert!(report.sessions.iter().all(|s| s.violations.is_empty()));
+/// pool.shutdown();
+/// ```
+pub struct Ingestor<'p> {
+    pool: &'p MonitorPool,
+    cfg: IngestConfig,
+    lanes: Vec<Lane>,
+}
+
+impl<'p> Ingestor<'p> {
+    /// A front-end over `pool` with default scheduling parameters.
+    pub fn new(pool: &'p MonitorPool) -> Ingestor<'p> {
+        Ingestor::with_config(pool, IngestConfig::default())
+    }
+
+    /// A front-end with explicit scheduling parameters.
+    pub fn with_config(pool: &'p MonitorPool, cfg: IngestConfig) -> Ingestor<'p> {
+        assert!(cfg.batches_per_turn > 0, "a lane must be allowed at least one batch per turn");
+        Ingestor { pool, cfg, lanes: Vec::new() }
+    }
+
+    /// Registers a tenant: opens a session under `cfg` and attaches
+    /// `source` to it. Lanes run when [`Ingestor::run`] is called.
+    pub fn add_source(&mut self, cfg: SessionConfig, source: impl TraceSource + 'static) {
+        let name = cfg.name.clone();
+        let session = self.pool.open_session(cfg);
+        self.lanes.push(Lane {
+            name,
+            source: Box::new(source),
+            session: Some(session),
+            staged: None,
+            scratch: Vec::new(),
+            source_done: false,
+            closed: false,
+            stats: LaneStats::default(),
+            error: None,
+        });
+    }
+
+    /// Registered lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Drives every lane to completion on the calling thread and returns
+    /// the combined report.
+    pub fn run(mut self) -> IngestReport {
+        let mut passes = 0u64;
+        loop {
+            passes += 1;
+            let mut open = 0usize;
+            let mut progress = false;
+            for lane in &mut self.lanes {
+                if lane.closed || lane.session.is_none() {
+                    continue;
+                }
+                open += 1;
+                progress |= lane.turn(self.cfg.batches_per_turn);
+            }
+            if open == 0 {
+                break;
+            }
+            if !progress {
+                // Every open lane is pending or deferred: yield the core
+                // briefly instead of spinning on try_send/try_recv.
+                std::thread::sleep(self.cfg.idle_backoff);
+            }
+        }
+        // Collect the reports only now: a lane completing mid-run closed
+        // its channel without blocking (the worker drains concurrently),
+        // so one finished tenant never stalled the others. All sources are
+        // done here, so waiting for the finalizers is all that is left.
+        let mut sessions = Vec::new();
+        let mut lanes = Vec::new();
+        let mut errors = Vec::new();
+        for lane in self.lanes {
+            if let Some(session) = lane.session {
+                sessions.push(session.finish());
+            }
+            if let Some(err) = lane.error {
+                errors.push((lane.name.clone(), err));
+            }
+            lanes.push((lane.name, lane.stats));
+        }
+        IngestReport { sessions, lanes, errors, passes }
+    }
+}
+
+impl Lane {
+    /// One scheduling turn: publish up to `budget` batches. Returns
+    /// whether anything was published or the lane finished.
+    fn turn(&mut self, budget: usize) -> bool {
+        self.stats.turns += 1;
+        let mut progress = false;
+        for _ in 0..budget {
+            // Retry a backpressure-deferred batch before pulling new work.
+            let batch = match self.staged.take() {
+                Some(b) => b,
+                None => {
+                    if self.source_done {
+                        self.close();
+                        return true;
+                    }
+                    match self.source.next_batch(&mut self.scratch) {
+                        Ok(SourceStatus::Ready) => std::mem::take(&mut self.scratch),
+                        Ok(SourceStatus::Pending) => {
+                            self.stats.pending_polls += 1;
+                            return progress;
+                        }
+                        Ok(SourceStatus::Done) => {
+                            self.source_done = true;
+                            self.close();
+                            return true;
+                        }
+                        Err(e) => {
+                            // A corrupt or failing source ends its lane;
+                            // the session is finalized with what it got.
+                            self.error = Some(e);
+                            self.source_done = true;
+                            self.close();
+                            return true;
+                        }
+                    }
+                }
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let records = batch.len() as u64;
+            let session = self.session.as_ref().expect("lane is open");
+            match session.try_send_batch(batch) {
+                Ok(None) => {
+                    self.stats.batches += 1;
+                    self.stats.records += records;
+                    progress = true;
+                }
+                Ok(Some(refused)) => {
+                    // Full channel: stage and let the other lanes run.
+                    self.staged = Some(refused);
+                    self.stats.deferred_sends += 1;
+                    return progress;
+                }
+                Err(_) => {
+                    // Pool shut down under us; drop the lane.
+                    self.session = None;
+                    return true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Closes the lane's log channel without blocking: the owning worker
+    /// drains and finalizes in the background while the ingest thread
+    /// keeps servicing the other lanes; the report is collected after the
+    /// scheduling loop.
+    fn close(&mut self) {
+        if let Some(session) = self.session.as_mut() {
+            session.close();
+        }
+        self.closed = true;
+    }
+}

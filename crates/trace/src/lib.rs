@@ -1,0 +1,46 @@
+//! # igm-trace — the monitored-event stream as a first-class artifact
+//!
+//! The paper's log-based architecture rests on a *compressed instruction
+//! log* captured by hardware and shipped to the lifeguard core. Until this
+//! crate, the repo's logs were transient: every workload lived as an
+//! in-memory `Vec<TraceEntry>` pushed through a blocking channel and gone
+//! when the run ended. `igm-trace` makes the stream durable, multiplexable
+//! and replayable — the way IPU-style introspection units and
+//! FireGuard-style fabrics treat the monitored-event stream as a
+//! serialized artifact in its own right. Three layers:
+//!
+//! * [`codec`] — a compact binary encoding of [`igm_isa::TraceEntry`]:
+//!   LEB128 varints, per-chunk delta-coded program counters and data
+//!   addresses, one framed + checksummed chunk per transport batch.
+//!   [`TraceWriter`]/[`TraceReader`] stream over any `Write`/`Read`;
+//!   [`TraceReader::read_chunk_into`] decodes into a reusable buffer on
+//!   the runtime's allocation-conscious batch path. Typical generated
+//!   workloads encode to ~3–5 bytes/record, far under the in-memory
+//!   `size_of::<TraceEntry>()`.
+//! * [`capture`] — [`CaptureSession`] tees a live pool session's batches
+//!   into a trace file; [`replay_file`]/[`replay_reader`] feed a recorded
+//!   file back through a fresh [`igm_runtime::MonitorPool`] session and
+//!   reproduce the live run's violations and dispatch stats exactly.
+//! * [`ingest`] — [`Ingestor`]: **one** OS thread multiplexing many
+//!   tenant [`TraceSource`]s (in-memory generators, trace files,
+//!   readiness-polled pipes) into pool sessions via non-blocking sends,
+//!   with per-source backpressure staging and fairness accounting —
+//!   replacing the one-blocking-thread-per-tenant ingestion pattern.
+//!
+//! Any scenario becomes reproducible from an artifact: record it once
+//! (capture, or [`codec::encode_to_vec`] from a generator), then replay
+//! it into any lifeguard, pool size, or accelerator configuration.
+
+pub mod capture;
+pub mod codec;
+pub mod ingest;
+
+pub use capture::{capture_to_file, replay_file, replay_reader, CaptureError, CaptureSession};
+pub use codec::{
+    checksum, decode_from_slice, encode_to_vec, TraceError, TraceReader, TraceWriter,
+    FORMAT_VERSION, MAGIC,
+};
+pub use ingest::{
+    batch_pipe, FileSource, IngestConfig, IngestReport, Ingestor, IterSource, LaneStats,
+    PipeSender, PipeSource, SourceStatus, TraceSource,
+};

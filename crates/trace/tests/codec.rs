@@ -1,0 +1,334 @@
+//! Codec correctness: property-tested roundtrip over arbitrary
+//! `TraceEntry` sequences, plus the framing error paths (truncation,
+//! checksum corruption, zero-length chunks, field validation).
+
+use igm_isa::{
+    Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, Reg, RegSet, TraceEntry, TraceOp,
+};
+use igm_trace::{
+    checksum, decode_from_slice, encode_to_vec, TraceError, TraceReader, TraceWriter,
+    FORMAT_VERSION, MAGIC,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies over the full trace vocabulary.
+// ---------------------------------------------------------------------------
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0usize..8).prop_map(Reg::from_index)
+}
+
+fn mem_size() -> impl Strategy<Value = MemSize> {
+    prop_oneof![Just(MemSize::B1), Just(MemSize::B2), Just(MemSize::B4)]
+}
+
+fn mem_ref() -> impl Strategy<Value = MemRef> {
+    (any::<u32>(), mem_size()).prop_map(|(addr, size)| MemRef::new(addr, size))
+}
+
+fn regset() -> impl Strategy<Value = RegSet> {
+    any::<u8>().prop_map(RegSet::from_bits)
+}
+
+fn op_class() -> impl Strategy<Value = OpClass> {
+    prop_oneof![
+        reg().prop_map(|rd| OpClass::ImmToReg { rd }),
+        mem_ref().prop_map(|dst| OpClass::ImmToMem { dst }),
+        reg().prop_map(|rd| OpClass::RegSelf { rd }),
+        mem_ref().prop_map(|dst| OpClass::MemSelf { dst }),
+        (reg(), reg()).prop_map(|(rs, rd)| OpClass::RegToReg { rs, rd }),
+        (reg(), mem_ref()).prop_map(|(rs, dst)| OpClass::RegToMem { rs, dst }),
+        (mem_ref(), reg()).prop_map(|(src, rd)| OpClass::MemToReg { src, rd }),
+        (mem_ref(), mem_ref()).prop_map(|(src, dst)| OpClass::MemToMem { src, dst }),
+        (reg(), reg()).prop_map(|(rs, rd)| OpClass::DestRegOpReg { rs, rd }),
+        (mem_ref(), reg()).prop_map(|(src, rd)| OpClass::DestRegOpMem { src, rd }),
+        (reg(), mem_ref()).prop_map(|(rs, dst)| OpClass::DestMemOpReg { rs, dst }),
+        (proptest::option::of(mem_ref()), regset())
+            .prop_map(|(src, reads)| OpClass::ReadOnly { src, reads }),
+        (regset(), regset(), proptest::option::of(mem_ref()), proptest::option::of(mem_ref()))
+            .prop_map(|(reads, writes, mem_read, mem_write)| OpClass::Other {
+                reads,
+                writes,
+                mem_read,
+                mem_write
+            }),
+    ]
+}
+
+fn ctrl_op() -> impl Strategy<Value = CtrlOp> {
+    prop_oneof![
+        Just(CtrlOp::Direct),
+        reg().prop_map(|r| CtrlOp::Indirect { target: JumpTarget::Reg(r) }),
+        mem_ref().prop_map(|m| CtrlOp::Indirect { target: JumpTarget::Mem(m) }),
+        proptest::option::of(reg()).prop_map(|input| CtrlOp::CondBranch { input }),
+        mem_ref().prop_map(|slot| CtrlOp::Ret { slot }),
+    ]
+}
+
+fn annotation() -> impl Strategy<Value = Annotation> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>()).prop_map(|(base, size)| Annotation::Malloc { base, size }),
+        any::<u32>().prop_map(|base| Annotation::Free { base }),
+        any::<u32>().prop_map(|lock| Annotation::Lock { lock }),
+        any::<u32>().prop_map(|lock| Annotation::Unlock { lock }),
+        (any::<u32>(), any::<u32>()).prop_map(|(base, len)| Annotation::ReadInput { base, len }),
+        (proptest::option::of(reg()), proptest::option::of(mem_ref()))
+            .prop_map(|(arg_reg, arg_mem)| Annotation::Syscall { arg_reg, arg_mem }),
+        mem_ref().prop_map(|fmt| Annotation::PrintfFormat { fmt }),
+        any::<u32>().prop_map(|tid| Annotation::ThreadSwitch { tid }),
+        any::<u32>().prop_map(|tid| Annotation::ThreadExit { tid }),
+    ]
+}
+
+fn trace_entry() -> impl Strategy<Value = TraceEntry> {
+    (
+        any::<u32>(),
+        prop_oneof![
+            10 => op_class().prop_map(TraceOp::Op),
+            3 => ctrl_op().prop_map(TraceOp::Ctrl),
+            2 => annotation().prop_map(TraceOp::Annot),
+        ],
+        regset(),
+    )
+        .prop_map(|(pc, op, addr_regs)| TraceEntry { pc, op, addr_regs })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_arbitrary_sequences(
+        entries in vec(trace_entry(), 0..200),
+        chunk_bytes in 1u32..600,
+    ) {
+        let bytes = encode_to_vec(entries.iter().copied(), chunk_bytes);
+        let decoded = decode_from_slice(&bytes).expect("well-formed stream decodes");
+        prop_assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(entries in vec(trace_entry(), 0..100)) {
+        let a = encode_to_vec(entries.iter().copied(), 256);
+        let b = encode_to_vec(entries.iter().copied(), 256);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(
+        entries in vec(trace_entry(), 1..60),
+        cut_frac in 0u32..1000,
+    ) {
+        let bytes = encode_to_vec(entries.iter().copied(), 128);
+        // Cut strictly inside the stream: every prefix must either fail or
+        // decode to a strict prefix of the chunk sequence (cuts at frame
+        // boundaries decode cleanly — by design, a trailing well-formed
+        // prefix is a valid shorter trace).
+        let cut = 1 + (cut_frac as usize * (bytes.len() - 1)) / 1000;
+        match decode_from_slice(&bytes[..cut]) {
+            Ok(prefix) => {
+                prop_assert!(prefix.len() <= entries.len());
+                prop_assert_eq!(&entries[..prefix.len()], &prefix[..]);
+            }
+            Err(TraceError::BadMagic) => prop_assert!(cut < 8, "magic is the first 8 bytes"),
+            Err(TraceError::Corrupt { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directed framing error paths.
+// ---------------------------------------------------------------------------
+
+fn sample_entries() -> Vec<TraceEntry> {
+    vec![
+        TraceEntry::op(0x0804_8000, OpClass::ImmToReg { rd: Reg::Eax }),
+        TraceEntry::op(0x0804_8004, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Ecx })
+            .with_addr_regs(RegSet::from_regs([Reg::Ebx])),
+        TraceEntry::annot(0x0804_8008, Annotation::Malloc { base: 0xa000, size: 64 }),
+        TraceEntry::ctrl(0x0804_800c, CtrlOp::Ret { slot: MemRef::word(0xbfff_fffc) }),
+    ]
+}
+
+/// A stream header followed by one hand-built frame.
+fn raw_stream(records: u32, payload: &[u8], sum: u32) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&records.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    assert!(matches!(TraceReader::new(&b"NOPE0000"[..]), Err(TraceError::BadMagic)));
+    assert!(matches!(TraceReader::new(&b"IG"[..]), Err(TraceError::BadMagic)));
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(TraceReader::new(&bytes[..]), Err(TraceError::UnsupportedVersion(99))));
+}
+
+#[test]
+fn corrupt_checksum_is_detected() {
+    let mut bytes = encode_to_vec(sample_entries(), 64);
+    // Flip one bit in the frame payload (after the 8-byte file header and
+    // 12-byte frame header).
+    let idx = bytes.len() - 1;
+    bytes[idx] ^= 0x40;
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(
+            reason.contains("checksum") || reason.contains("trailing") || reason.contains("ends"),
+            "unexpected reason: {reason}"
+        ),
+        other => panic!("corruption not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn checksum_mismatch_reports_payload_offset() {
+    let payload = [0u8; 4];
+    let bytes = raw_stream(1, &payload, checksum(&payload) ^ 1);
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { offset, reason }) => {
+            assert_eq!(offset, 20, "payload begins after 8B header + 12B frame header");
+            assert!(reason.contains("checksum"));
+        }
+        other => panic!("expected checksum error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_record_frame_is_corrupt() {
+    let payload = [0u8; 2];
+    let bytes = raw_stream(0, &payload, checksum(&payload));
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("zero-record")),
+        other => panic!("expected zero-record error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_payload_is_corrupt() {
+    let bytes = raw_stream(3, &[], checksum(&[]));
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("zero-length")),
+        other => panic!("expected zero-length error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_header_and_payload_are_corrupt() {
+    let bytes = encode_to_vec(sample_entries(), 64);
+    // Inside the frame header.
+    match decode_from_slice(&bytes[..8 + 5]) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("frame header")),
+        other => panic!("expected truncated-header error, got {other:?}"),
+    }
+    // Inside the payload.
+    match decode_from_slice(&bytes[..bytes.len() - 1]) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("payload")),
+        other => panic!("expected truncated-payload error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tag_is_corrupt_even_with_valid_checksum() {
+    // tag 26 does not exist; pc delta 0.
+    let payload = [26u8, 0u8];
+    let bytes = raw_stream(1, &payload, checksum(&payload));
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("unknown record tag")),
+        other => panic!("expected unknown-tag error, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_register_is_corrupt() {
+    // ImmToReg (tag 0), pc delta 0, register index 9.
+    let payload = [0u8, 0u8, 9u8];
+    let bytes = raw_stream(1, &payload, checksum(&payload));
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("register")),
+        other => panic!("expected register-range error, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_payload_bytes_are_corrupt() {
+    // One valid ImmToReg record plus a stray byte, checksummed correctly.
+    let payload = [0u8, 0u8, 3u8, 0xEE];
+    let bytes = raw_stream(1, &payload, checksum(&payload));
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("trailing")),
+        other => panic!("expected trailing-bytes error, got {other:?}"),
+    }
+}
+
+#[test]
+fn inflated_record_count_is_rejected_before_allocation() {
+    // Valid 4-byte payload and checksum, but a record count (the header
+    // is not checksummed) that no 4-byte payload could hold: must be a
+    // typed error, not a huge `Vec::reserve`.
+    let payload = [0u8, 0u8, 3u8, 0xEE];
+    let bytes = raw_stream(u32::MAX, &payload, checksum(&payload));
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("inconsistent")),
+        other => panic!("expected count-consistency error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_field_is_rejected_before_allocation() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("bound")),
+        other => panic!("expected length-bound error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_stream_and_empty_chunks() {
+    // Header-only stream: zero entries.
+    let bytes = encode_to_vec(std::iter::empty(), 64);
+    assert_eq!(decode_from_slice(&bytes).unwrap(), Vec::<TraceEntry>::new());
+    // Writer skips empty batches entirely.
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    w.write_chunk(&[]).unwrap();
+    assert_eq!(w.chunks(), 0);
+    let bytes = w.finish().unwrap();
+    assert_eq!(decode_from_slice(&bytes).unwrap(), Vec::<TraceEntry>::new());
+}
+
+#[test]
+fn reader_preserves_chunk_structure() {
+    let entries = sample_entries();
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    w.write_chunk(&entries[..2]).unwrap();
+    w.write_chunk(&entries[2..]).unwrap();
+    let bytes = w.finish().unwrap();
+    let mut r = TraceReader::new(&bytes[..]).unwrap();
+    let mut chunk = Vec::new();
+    assert!(r.read_chunk_into(&mut chunk).unwrap());
+    assert_eq!(chunk, &entries[..2]);
+    assert!(r.read_chunk_into(&mut chunk).unwrap());
+    assert_eq!(chunk, &entries[2..]);
+    assert!(!r.read_chunk_into(&mut chunk).unwrap());
+    assert!(chunk.is_empty(), "clean EOF leaves the buffer cleared");
+    assert_eq!(r.chunks(), 2);
+    assert_eq!(r.records(), 4);
+}

@@ -1,0 +1,125 @@
+//! Trace-file emission and consumption for the synthetic generators.
+//!
+//! A generated workload is deterministic, but regenerating it couples
+//! every consumer to the generator's code (and its cost). These helpers
+//! turn any benchmark into a durable `igm-trace` artifact — record once,
+//! then replay it into any lifeguard, pool, or accelerator configuration
+//! — and read such artifacts back as plain record streams.
+
+use crate::Benchmark;
+use igm_isa::TraceEntry;
+use igm_lba::chunks;
+use igm_trace::{TraceError, TraceReader, TraceWriter};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// What one emission produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFileSummary {
+    /// Records encoded.
+    pub records: u64,
+    /// Frames (transport chunks) written.
+    pub chunks: u64,
+    /// Encoded stream bytes after the file header (frame headers
+    /// included) — divide by `records` for the bytes/record metric.
+    pub encoded_bytes: u64,
+}
+
+impl TraceFileSummary {
+    /// Encoded bytes per record.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.encoded_bytes as f64 / self.records as f64
+        }
+    }
+}
+
+/// Encodes `trace` into `sink`, one frame per `chunk_bytes`-sized
+/// transport batch.
+pub fn write_trace<W: Write>(
+    trace: impl IntoIterator<Item = TraceEntry>,
+    chunk_bytes: u32,
+    sink: W,
+) -> Result<TraceFileSummary, TraceError> {
+    let mut writer = TraceWriter::new(sink)?;
+    let mut chunker = chunks(trace, chunk_bytes);
+    let mut batch = Vec::new();
+    while chunker.next_into(&mut batch) {
+        writer.write_chunk(&batch)?;
+    }
+    let summary = TraceFileSummary {
+        records: writer.records(),
+        chunks: writer.chunks(),
+        encoded_bytes: writer.stream_bytes(),
+    };
+    writer.finish()?.flush()?;
+    Ok(summary)
+}
+
+/// Decodes a whole recorded trace from `source`.
+pub fn read_trace<R: Read>(source: R) -> Result<Vec<TraceEntry>, TraceError> {
+    TraceReader::new(source)?.read_all()
+}
+
+impl Benchmark {
+    /// Records `n` generated entries to the trace file at `path`,
+    /// chunked at `chunk_bytes`.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use igm_workload::Benchmark;
+    ///
+    /// let summary = Benchmark::Gzip.record_trace_file("gzip.igmt", 50_000, 16 * 1024).unwrap();
+    /// assert_eq!(summary.records, 50_000);
+    /// ```
+    pub fn record_trace_file(
+        self,
+        path: impl AsRef<Path>,
+        n: u64,
+        chunk_bytes: u32,
+    ) -> Result<TraceFileSummary, TraceError> {
+        let file = File::create(path).map_err(TraceError::Io)?;
+        write_trace(self.trace(n), chunk_bytes, BufWriter::new(file))
+    }
+
+    /// Reads back a trace file and verifies it replays the generator
+    /// exactly — recorded artifacts must be indistinguishable from the
+    /// live stream.
+    pub fn load_trace_file(path: impl AsRef<Path>) -> Result<Vec<TraceEntry>, TraceError> {
+        let file = File::open(path).map_err(TraceError::Io)?;
+        read_trace(BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_file_replays_the_generator_exactly() {
+        let mut bytes = Vec::new();
+        let summary = write_trace(Benchmark::Gzip.trace(5_000), 4096, &mut bytes).unwrap();
+        assert_eq!(summary.records, 5_000);
+        assert!(summary.chunks > 1);
+        let live: Vec<TraceEntry> = Benchmark::Gzip.trace(5_000).collect();
+        assert_eq!(read_trace(&bytes[..]).unwrap(), live);
+    }
+
+    #[test]
+    fn encoding_beats_the_in_memory_representation() {
+        for bench in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc] {
+            let mut bytes = Vec::new();
+            let summary = write_trace(bench.trace(20_000), 16 * 1024, &mut bytes).unwrap();
+            let in_memory = std::mem::size_of::<TraceEntry>() as f64;
+            assert!(
+                summary.bytes_per_record() < in_memory,
+                "{bench}: {:.2} B/record not below the {in_memory} B in-memory baseline",
+                summary.bytes_per_record()
+            );
+        }
+    }
+}

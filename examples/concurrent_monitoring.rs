@@ -1,8 +1,14 @@
-//! Four tenant applications, four different lifeguards, one monitor pool.
+//! Four tenant applications, four different lifeguards, one monitor pool —
+//! and **one** ingest thread.
 //!
-//! Each tenant streams its own synthetic benchmark trace through a bounded
-//! log channel into the shared `MonitorPool`; every session owns a private
-//! lifeguard + shadow-memory shard on its worker. Run with:
+//! Earlier revisions dedicated a blocking producer thread to every tenant.
+//! Here the `igm::trace::Ingestor` multiplexes all four sources on the
+//! main thread instead: two in-memory generators, one *recorded trace
+//! file* (captured to a buffer first, the durable-artifact path), and one
+//! readiness-polled pipe fed by an external producer. Each session still
+//! owns a private lifeguard + shadow-memory shard on its worker; a source
+//! whose log channel fills is deferred and retried (per-source
+//! backpressure) while the others keep flowing. Run with:
 //!
 //! ```sh
 //! cargo run --release --example concurrent_monitoring
@@ -10,54 +16,87 @@
 
 use igm::lifeguards::LifeguardKind;
 use igm::runtime::{stats_table, MonitorPool, PoolConfig, SessionConfig};
+use igm::trace::{batch_pipe, encode_to_vec, FileSource, Ingestor, IterSource, TraceReader};
 use igm::workload::{Benchmark, MtBenchmark};
 
 fn main() {
     const N: u64 = 200_000;
+    const CHUNK: u32 = 16 * 1024;
     let pool = MonitorPool::new(PoolConfig::with_workers(4));
     let violations = pool.violation_stream().expect("first taker");
 
-    // (tenant, lifeguard, single-threaded workload or the LockSet MT one)
-    let tenants: [(&str, LifeguardKind, Option<Benchmark>); 4] = [
-        ("gzip", LifeguardKind::AddrCheck, Some(Benchmark::Gzip)),
-        ("mcf", LifeguardKind::MemCheck, Some(Benchmark::Mcf)),
-        ("gcc", LifeguardKind::TaintCheck, Some(Benchmark::Gcc)),
-        ("zchaff", LifeguardKind::LockSet, None),
-    ];
+    // Tenant 1 (mcf/MemCheck) streams from a recorded trace artifact: the
+    // workload is encoded once, then ingested as a file — any run becomes
+    // reproducible from these bytes alone.
+    let recorded = encode_to_vec(Benchmark::Mcf.trace(N), CHUNK);
+    println!(
+        "recorded mcf: {} records -> {} encoded bytes ({:.2} B/record vs {} B in memory)",
+        N,
+        recorded.len(),
+        recorded.len() as f64 / N as f64,
+        std::mem::size_of::<igm::isa::TraceEntry>(),
+    );
 
-    println!("streaming {N} records per tenant through a 4-worker pool…\n");
-    let reports = std::thread::scope(|scope| {
-        let handles: Vec<_> = tenants
-            .iter()
-            .map(|(name, kind, bench)| {
-                let premark = match bench {
-                    Some(b) => b.profile().premark_regions(),
-                    None => MtBenchmark::Zchaff.trace(N).premark_regions(),
-                };
-                let session = pool
-                    .open_session(SessionConfig::new(*name, *kind).synthetic().premark(&premark));
-                let bench = *bench;
-                scope.spawn(move || {
-                    match bench {
-                        Some(b) => session.stream(b.trace(N)).unwrap(),
-                        None => session.stream(MtBenchmark::Zchaff.trace(N)).unwrap(),
-                    }
-                    session.finish()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    // Tenant 2 (zchaff/LockSet) arrives through a readiness-polled pipe
+    // from an external producer thread — the ingest thread never blocks on
+    // it.
+    let (pipe_tx, pipe_rx) = batch_pipe(8);
+    let feeder = std::thread::spawn(move || {
+        for batch in igm::lba::chunks(MtBenchmark::Zchaff.trace(N), CHUNK) {
+            if pipe_tx.send(batch).is_err() {
+                return;
+            }
+        }
     });
 
-    print!("{}", stats_table(&reports));
+    let mut ingestor = Ingestor::new(&pool);
+    ingestor.add_source(
+        SessionConfig::new("gzip", LifeguardKind::AddrCheck)
+            .synthetic()
+            .premark(&Benchmark::Gzip.profile().premark_regions()),
+        IterSource::new(Benchmark::Gzip.trace(N), CHUNK),
+    );
+    ingestor.add_source(
+        SessionConfig::new("mcf", LifeguardKind::MemCheck)
+            .synthetic()
+            .premark(&Benchmark::Mcf.profile().premark_regions()),
+        FileSource::new(TraceReader::new(std::io::Cursor::new(recorded)).expect("own encoding")),
+    );
+    ingestor.add_source(
+        SessionConfig::new("gcc", LifeguardKind::TaintCheck)
+            .synthetic()
+            .premark(&Benchmark::Gcc.profile().premark_regions()),
+        IterSource::new(Benchmark::Gcc.trace(N), CHUNK),
+    );
+    ingestor.add_source(
+        SessionConfig::new("zchaff", LifeguardKind::LockSet)
+            .synthetic()
+            .premark(&MtBenchmark::Zchaff.trace(N).premark_regions()),
+        pipe_rx,
+    );
+
+    println!("\nmultiplexing {} tenants x {N} records on one ingest thread…\n", ingestor.lanes());
+    let report = ingestor.run();
+    feeder.join().unwrap();
+
+    print!("{}", stats_table(&report.sessions));
+
+    println!("\nlane        batches   records   deferred   pending-polls");
+    for (name, lane) in &report.lanes {
+        println!(
+            "{name:<10} {:>8} {:>9} {:>10} {:>15}",
+            lane.batches, lane.records, lane.deferred_sends, lane.pending_polls
+        );
+    }
 
     let pool_stats = pool.stats();
     println!(
-        "\npool: {} sessions, {:.0} records/s aggregate, {} events delivered, {} steals",
+        "\npool: {} sessions, {:.0} records/s aggregate, {} events delivered, {} steals, {} ingest passes",
         pool_stats.sessions_closed,
         pool_stats.records_per_sec(),
         pool_stats.events_delivered,
         pool_stats.steals,
+        report.passes,
     );
     for v in violations.drain().into_iter().take(5) {
         println!("violation [{}/{}]: {:?}", v.tenant, v.lifeguard, v.violation);

@@ -30,6 +30,14 @@
 //!   epoch-chunked parallel checking of a single hot trace with a
 //!   sequential fallback for lifeguards whose metadata does not commute
 //!   (per-lifeguard capability masking, mirroring the paper's Figure 2).
+//! * [`trace`] — the monitored-event stream as a durable artifact: a
+//!   compact binary codec (varint + delta-coded PCs/addresses, framed and
+//!   checksummed chunks), capture/replay of live pool sessions
+//!   (replaying a recorded file reproduces the live run's violations and
+//!   dispatch stats exactly), and the [`trace::Ingestor`] — one OS thread
+//!   multiplexing many tenant sources (generators, trace files,
+//!   readiness-polled pipes) into pool sessions with per-source
+//!   backpressure.
 //! * [`profiling`] — design-space sweeps (the paper's PIN study).
 //!
 //! ## Quickstart
@@ -82,4 +90,5 @@ pub use igm_runtime as runtime;
 pub use igm_shadow as shadow;
 pub use igm_sim as sim;
 pub use igm_timing as timing;
+pub use igm_trace as trace;
 pub use igm_workload as workload;
