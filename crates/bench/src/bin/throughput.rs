@@ -14,7 +14,9 @@
 //! N=200000 cargo run --release -p igm-bench --bin throughput
 //! ```
 
-use igm_lifeguards::LifeguardKind;
+use igm_core::DispatchPipeline;
+use igm_lba::{extract_batch, extract_batch_entries, EventBuf, TraceBatch};
+use igm_lifeguards::{Lifeguard, LifeguardKind};
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
 use igm_trace::{IngestConfig, Ingestor, IterSource};
 use igm_workload::Benchmark;
@@ -154,6 +156,102 @@ fn run_ingest_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize) -
     runs.remove((runs.len() - 1) / 2)
 }
 
+/// One extraction-path comparison: records/sec through the AoS
+/// (`extract_batch_entries` / `dispatch_batch_entries`) and columnar
+/// (`extract_batch` / `dispatch_batch` over `TraceBatch`) pipelines.
+struct ExtractionResult {
+    stage: &'static str,
+    aos_rec_per_sec: f64,
+    columnar_rec_per_sec: f64,
+}
+
+impl ExtractionResult {
+    fn speedup(&self) -> f64 {
+        self.columnar_rec_per_sec / self.aos_rec_per_sec
+    }
+}
+
+/// Median records/sec over `reps` samples of `passes` full sweeps each.
+fn time_passes(n_records: u64, passes: usize, reps: usize, mut sweep: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..passes {
+                sweep();
+            }
+            (passes as u64 * n_records) as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[(samples.len() - 1) / 2]
+}
+
+/// Measures the record→event extraction path (and extraction+dispatch)
+/// AoS vs columnar over one workload, pre-chunked at the transport chunk
+/// size so both sides sweep identical batch boundaries. Batch
+/// construction/decoding is outside the timed region on both sides: this
+/// isolates the extract→dispatch stage the columnar refactor targets.
+fn run_extraction(n: u64, reps: usize) -> Vec<ExtractionResult> {
+    let bench = Benchmark::Gzip;
+    let chunk_bytes = PoolConfig::default().chunk_bytes;
+    let mut chunker = igm_lba::chunks(bench.trace(n), chunk_bytes);
+    let mut entry_chunks: Vec<Vec<igm_isa::TraceEntry>> = Vec::new();
+    let mut buf = Vec::new();
+    while chunker.next_into(&mut buf) {
+        entry_chunks.push(buf.clone());
+    }
+    let batch_chunks: Vec<TraceBatch> =
+        entry_chunks.iter().map(|c| TraceBatch::from_entries(c)).collect();
+    let passes = (2_000_000 / n.max(1)).max(1) as usize;
+    let mut results = Vec::new();
+
+    // Pure extraction: the event mux alone.
+    let mut events = EventBuf::new();
+    let aos = time_passes(n, passes, reps, || {
+        for c in &entry_chunks {
+            extract_batch_entries(c, &mut events);
+        }
+    });
+    let columnar = time_passes(n, passes, reps, || {
+        for b in &batch_chunks {
+            extract_batch(b, &mut events);
+        }
+    });
+    results.push(ExtractionResult {
+        stage: "extract",
+        aos_rec_per_sec: aos,
+        columnar_rec_per_sec: columnar,
+    });
+
+    // Extraction + full dispatch (ETCT/IF gating) per lifeguard.
+    for kind in [LifeguardKind::AddrCheck, LifeguardKind::TaintCheck] {
+        let accel = igm_core::AccelConfig::baseline();
+        let masked = kind.mask_config(&accel);
+        let lifeguard = kind.build_any(&accel);
+        let mut aos_pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
+        let aos = time_passes(n, passes, reps, || {
+            for c in &entry_chunks {
+                aos_pipeline.dispatch_batch_entries(c, &mut events);
+            }
+        });
+        let mut col_pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
+        let columnar = time_passes(n, passes, reps, || {
+            for b in &batch_chunks {
+                col_pipeline.dispatch_batch(b, &mut events);
+            }
+        });
+        results.push(ExtractionResult {
+            stage: match kind {
+                LifeguardKind::AddrCheck => "extract_dispatch_addrcheck",
+                _ => "extract_dispatch_taintcheck",
+            },
+            aos_rec_per_sec: aos,
+            columnar_rec_per_sec: columnar,
+        });
+    }
+    results
+}
+
 fn main() {
     let n = run_scale();
     let reps = repetitions();
@@ -256,14 +354,40 @@ fn main() {
         ));
     }
 
+    // ------------------------------------------------------------------
+    // Extraction path: AoS (`Vec<TraceEntry>`) vs columnar (`TraceBatch`)
+    // through the event mux and the full dispatch pipeline.
+    // ------------------------------------------------------------------
+    println!("\nextraction path: AoS vs columnar (gzip workload, {n} records)\n");
+    println!("{:<28} {:>16} {:>16} {:>9}", "stage", "AoS rec/s", "columnar rec/s", "speedup");
+    let mut extraction_entries = Vec::new();
+    for r in run_extraction(n, reps) {
+        println!(
+            "{:<28} {:>16.0} {:>16.0} {:>8.2}x",
+            r.stage,
+            r.aos_rec_per_sec,
+            r.columnar_rec_per_sec,
+            r.speedup()
+        );
+        extraction_entries.push(format!(
+            "    {{\"stage\": \"{}\", \"aos_rec_per_sec\": {:.0}, \
+             \"columnar_rec_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+            r.stage,
+            r.aos_rec_per_sec,
+            r.columnar_rec_per_sec,
+            r.speedup()
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ]\n}}\n",
         TENANTS.len(),
         n,
         reps,
         entries.join(",\n"),
         ingest_entries.join(",\n"),
-        codec_entries.join(",\n")
+        codec_entries.join(",\n"),
+        extraction_entries.join(",\n")
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("\nwrote BENCH_throughput.json");

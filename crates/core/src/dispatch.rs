@@ -26,7 +26,10 @@ use crate::config::AccelConfig;
 use crate::filter::{IdempotentFilter, IfOutcome, IfStats};
 use crate::it::{InheritanceTracker, ItStats};
 use igm_isa::TraceEntry;
-use igm_lba::{extract_batch, DeliveredEvent, Etct, Event, EventBuf, NUM_EVENT_TYPES};
+use igm_lba::{
+    extract_batch, extract_batch_entries, sweep_batch, DeliveredEvent, Etct, EtctEntry, Event,
+    EventBuf, EventSink, EventType, TraceBatch, NUM_EVENT_TYPES,
+};
 
 /// Aggregate pipeline counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,94 +135,192 @@ impl DispatchPipeline {
         self.filter.as_ref().map(|f| f.stats())
     }
 
-    /// Dispatches a whole chunk of log records through
+    /// Dispatches a whole columnar [`TraceBatch`] through
     /// extraction → IT → ETCT gating → IF in one call, appending every
     /// surviving event to `out` (cleared first; one closed [`EventBuf`]
     /// record per trace entry).
     ///
-    /// This is the hot path: all staging buffers — the extraction arena, the
-    /// post-IT buffer and `out` itself — are reused across batches, so
-    /// steady-state dispatch performs no per-record heap allocation.
-    pub fn dispatch_batch(&mut self, entries: &[TraceEntry], out: &mut EventBuf) {
+    /// This is the hot path: extraction sweeps the batch's columns
+    /// ([`igm_lba::extract_batch`]) and all staging buffers — the
+    /// extraction arena, the post-IT buffer and `out` itself — are reused
+    /// across batches, so steady-state dispatch performs no per-record heap
+    /// allocation.
+    pub fn dispatch_batch(&mut self, batch: &TraceBatch, out: &mut EventBuf) {
+        out.clear();
+        self.stats.records += batch.len() as u64;
+        if self.it.is_some() {
+            // Inheritance Tracking consumes the full raw event stream
+            // record-at-a-time (it may absorb, transform or flush), so the
+            // IT configurations extract into the staging arena first.
+            let mut raw = std::mem::take(&mut self.raw);
+            extract_batch(batch, &mut raw);
+            self.stats.events_extracted += raw.len() as u64;
+            self.gate_into(&raw, out);
+            self.raw = raw;
+        } else {
+            // Fused columnar path: ETCT gating (and the IF) run *inside*
+            // the column sweep. Every emission site knows its event type
+            // statically, so the gate is one precomputed-row test per
+            // site — no per-event type re-derivation, no staging arena,
+            // and events of unregistered types are dropped before their
+            // payloads are even constructed.
+            let mut sink = GateSink {
+                etct: &self.etct,
+                filter: self.filter.as_mut(),
+                stats: &mut self.stats,
+                out,
+            };
+            sweep_batch(batch, &mut sink);
+        }
+    }
+
+    /// Dispatches a chunk still held as an array of structs — the
+    /// compatibility twin of [`DispatchPipeline::dispatch_batch`] for
+    /// callers without a [`TraceBatch`] at hand (and the AoS baseline the
+    /// throughput bench measures the columnar path against). Extraction
+    /// runs the per-record [`igm_lba::extract_batch_entries`] path; gating
+    /// and delivery are shared with the columnar path, so the two are
+    /// event-for-event and counter-for-counter identical.
+    pub fn dispatch_batch_entries(&mut self, entries: &[TraceEntry], out: &mut EventBuf) {
         out.clear();
         self.stats.records += entries.len() as u64;
         let mut raw = std::mem::take(&mut self.raw);
-        let mut post_it = std::mem::take(&mut self.post_it);
-        extract_batch(entries, &mut raw);
+        extract_batch_entries(entries, &mut raw);
         self.stats.events_extracted += raw.len() as u64;
+        self.gate_into(&raw, out);
+        self.raw = raw;
+    }
 
-        for rec in raw.record_slices() {
-            post_it.clear();
-            for dev in rec.iter().copied() {
-                match (&mut self.it, &dev.event) {
-                    (Some(it), Event::Annot(_)) => {
-                        if self.etct.is_registered(dev.event.event_type()) {
-                            // The annotation handler may rewrite metadata
-                            // arbitrarily: materialize all lazy inheritance
-                            // before it runs.
-                            it.flush_all(dev.pc, &mut post_it);
+    /// The shared post-extraction stages: IT (when present), then ETCT
+    /// gating and the Idempotent Filter, record boundaries preserved.
+    fn gate_into(&mut self, raw: &EventBuf, out: &mut EventBuf) {
+        if self.it.is_some() {
+            let mut post_it = std::mem::take(&mut self.post_it);
+            for rec in raw.record_slices() {
+                post_it.clear();
+                for dev in rec.iter().copied() {
+                    match (&mut self.it, &dev.event) {
+                        (Some(it), Event::Annot(_)) => {
+                            if self.etct.is_registered(dev.event.event_type()) {
+                                // The annotation handler may rewrite metadata
+                                // arbitrarily: materialize all lazy inheritance
+                                // before it runs.
+                                it.flush_all(dev.pc, &mut post_it);
+                            }
+                            post_it.push(dev);
                         }
-                        post_it.push(dev);
-                    }
-                    (Some(it), Event::Prop(_)) => it.process(dev.pc, dev.event, &mut post_it),
-                    (Some(it), Event::Check { .. }) => {
-                        // Register-source checks resolve through the IT table,
-                        // but only if the lifeguard cares about this check
-                        // kind.
-                        if self.etct.is_registered(dev.event.event_type()) {
-                            it.process(dev.pc, dev.event, &mut post_it);
-                        } else {
-                            self.stats.unregistered_dropped += 1;
+                        (Some(it), Event::Prop(_)) => it.process(dev.pc, dev.event, &mut post_it),
+                        (Some(it), Event::Check { .. }) => {
+                            // Register-source checks resolve through the IT
+                            // table, but only if the lifeguard cares about
+                            // this check kind.
+                            if self.etct.is_registered(dev.event.event_type()) {
+                                it.process(dev.pc, dev.event, &mut post_it);
+                            } else {
+                                self.stats.unregistered_dropped += 1;
+                            }
                         }
+                        _ => post_it.push(dev),
                     }
-                    _ => post_it.push(dev),
                 }
+                self.deliver(&post_it, out);
+                out.end_record();
             }
+            self.post_it = post_it;
+        } else {
+            // Without IT the post-IT stage is the identity: gate straight
+            // off the extraction arena, no per-event copy through the
+            // staging buffer.
+            for rec in raw.record_slices() {
+                self.deliver(rec, out);
+                out.end_record();
+            }
+        }
+    }
 
-            for dev in post_it.iter().copied() {
-                let et = dev.event.event_type();
-                let row = *self.etct.entry(et);
-                if !row.registered {
-                    self.stats.unregistered_dropped += 1;
+    /// ETCT gating + IF + delivery accounting for one record's events.
+    /// Extraction emits events of one type in runs (all of a record's
+    /// address checks, then its accesses, then its propagation event), so
+    /// the ETCT row is looked up once per run rather than once per event.
+    fn deliver(&mut self, evs: &[DeliveredEvent], out: &mut EventBuf) {
+        let mut run: Option<(EventType, EtctEntry)> = None;
+        for dev in evs.iter().copied() {
+            let et = dev.event.event_type();
+            let row = match run {
+                Some((run_et, row)) if run_et == et => row,
+                _ => {
+                    let row = *self.etct.entry(et);
+                    run = Some((et, row));
+                    row
+                }
+            };
+            if !row.registered {
+                self.stats.unregistered_dropped += 1;
+                continue;
+            }
+            if let Some(f) = &mut self.filter {
+                if f.process(dev.pc, &dev.event, &row.if_cfg) == IfOutcome::Filtered {
+                    self.stats.if_filtered += 1;
                     continue;
                 }
-                if let Some(f) = &mut self.filter {
-                    if f.process(dev.pc, &dev.event, &row.if_cfg) == IfOutcome::Filtered {
-                        self.stats.if_filtered += 1;
-                        continue;
-                    }
-                }
-                self.stats.delivered += 1;
-                self.stats.delivered_by_type[et.index()] += 1;
-                out.push(dev);
             }
-            out.end_record();
+            self.stats.delivered += 1;
+            self.stats.delivered_by_type[et.index()] += 1;
+            out.push(dev);
         }
-
-        self.raw = raw;
-        self.post_it = post_it;
     }
 
     /// Dispatches one log record, invoking `deliver` for every event that
-    /// survives the accelerators. Thin wrapper over
-    /// [`DispatchPipeline::dispatch_batch`] for record-at-a-time callers
-    /// (the co-simulator, tests); streaming consumers should dispatch whole
-    /// chunks instead.
+    /// survives the accelerators. Thin wrapper over the
+    /// [`DispatchPipeline::dispatch_batch_entries`] for record-at-a-time
+    /// callers (the co-simulator, tests); streaming consumers should
+    /// dispatch whole chunks instead.
     pub fn dispatch(&mut self, entry: &TraceEntry, mut deliver: impl FnMut(DeliveredEvent)) {
         let mut single = std::mem::take(&mut self.single);
-        self.dispatch_batch(std::slice::from_ref(entry), &mut single);
+        self.dispatch_batch_entries(std::slice::from_ref(entry), &mut single);
         for dev in single.events().iter().copied() {
             deliver(dev);
         }
         self.single = single;
     }
+}
 
-    /// Convenience wrapper collecting the delivered events of one record.
-    /// Allocates its result; not for the hot path.
-    pub fn dispatch_collect(&mut self, entry: &TraceEntry) -> Vec<DeliveredEvent> {
-        let mut out = Vec::new();
-        self.dispatch(entry, |d| out.push(d));
-        out
+/// The fused ETCT/IF gate as a column-sweep sink (the no-IT hot path of
+/// [`DispatchPipeline::dispatch_batch`]): gating and delivery accounting
+/// happen at the emission sites of [`igm_lba::sweep_batch`], where the
+/// event type is a compile-time constant — the ETCT row lookup is a single
+/// indexed load per site and unregistered events are never constructed.
+struct GateSink<'a> {
+    etct: &'a Etct,
+    filter: Option<&'a mut IdempotentFilter>,
+    stats: &'a mut DispatchStats,
+    out: &'a mut EventBuf,
+}
+
+impl EventSink for GateSink<'_> {
+    #[inline(always)]
+    fn event(&mut self, pc: u32, et: EventType, make: impl FnOnce() -> Event) {
+        self.stats.events_extracted += 1;
+        let row = self.etct.entry(et);
+        if !row.registered {
+            self.stats.unregistered_dropped += 1;
+            return;
+        }
+        let ev = make();
+        if let Some(f) = self.filter.as_deref_mut() {
+            if f.process(pc, &ev, &row.if_cfg) == IfOutcome::Filtered {
+                self.stats.if_filtered += 1;
+                return;
+            }
+        }
+        self.stats.delivered += 1;
+        self.stats.delivered_by_type[et.index()] += 1;
+        self.out.push(DeliveredEvent::new(pc, ev));
+    }
+
+    #[inline(always)]
+    fn end_record(&mut self) {
+        self.out.end_record();
     }
 }
 
@@ -229,6 +330,14 @@ mod tests {
     use crate::it::ItConfig;
     use igm_isa::{Annotation, MemRef, OpClass, Reg};
     use igm_lba::{EventType, IfEventConfig};
+
+    /// Test-local stand-in for the removed per-record `dispatch_collect`:
+    /// one record through the batch path, delivered events collected.
+    fn collect(p: &mut DispatchPipeline, e: &TraceEntry) -> Vec<DeliveredEvent> {
+        let mut out = Vec::new();
+        p.dispatch(e, |d| out.push(d));
+        out
+    }
 
     /// The streaming runtime moves pipelines and accelerator units across
     /// worker threads and clones them per shard; keep that statically true.
@@ -246,11 +355,11 @@ mod tests {
         let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::lma_if());
         let load =
             TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
-        p.dispatch_collect(&load);
+        collect(&mut p, &load);
         let mut q = p.clone();
         assert_eq!(q.stats().records, 1);
         // The clone's IF inherits the warm entry (the load is filtered)...
-        assert_eq!(q.dispatch_collect(&load).len(), 0);
+        assert_eq!(collect(&mut q, &load).len(), 0);
         // ...but the original's counters are unaffected by the clone's run.
         assert_eq!(p.stats().records, 1);
         assert_eq!(q.stats().records, 2);
@@ -290,7 +399,7 @@ mod tests {
         let mut p = DispatchPipeline::new(taint_etct(), &AccelConfig::baseline());
         let load =
             TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
-        let out = p.dispatch_collect(&load);
+        let out = collect(&mut p, &load);
         // MemRead is unregistered for TaintCheck; the propagation event is
         // delivered.
         assert_eq!(out.len(), 1);
@@ -314,7 +423,7 @@ mod tests {
         ];
         let mut out = Vec::new();
         for e in &seq {
-            out.extend(p.dispatch_collect(e));
+            out.extend(collect(&mut p, e));
         }
         // Only the final store reaches software, transformed to mem_to_mem.
         assert_eq!(out.len(), 1);
@@ -326,9 +435,9 @@ mod tests {
         let mut p =
             DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
         let a = MemRef::word(0xa0);
-        p.dispatch_collect(&TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
-        let out = p
-            .dispatch_collect(&TraceEntry::annot(2, Annotation::Malloc { base: 0x9000, size: 64 }));
+        collect(&mut p, &TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
+        let out =
+            collect(&mut p, &TraceEntry::annot(2, Annotation::Malloc { base: 0x9000, size: 64 }));
         // Flush events (one per register) precede the annotation.
         assert_eq!(out.len(), 9);
         assert!(matches!(out[8].event, Event::Annot(Annotation::Malloc { .. })));
@@ -340,9 +449,9 @@ mod tests {
         let mut p =
             DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
         let a = MemRef::word(0xa0);
-        p.dispatch_collect(&TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
+        collect(&mut p, &TraceEntry::op(1, OpClass::MemToReg { src: a, rd: Reg::Eax }));
         // ThreadSwitch is unregistered for TaintCheck.
-        let out = p.dispatch_collect(&TraceEntry::annot(2, Annotation::ThreadSwitch { tid: 1 }));
+        let out = collect(&mut p, &TraceEntry::annot(2, Annotation::ThreadSwitch { tid: 1 }));
         assert!(out.is_empty());
     }
 
@@ -351,13 +460,13 @@ mod tests {
         let mut p = DispatchPipeline::new(addrcheck_etct(), &AccelConfig::lma_if());
         let load =
             TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
-        assert_eq!(p.dispatch_collect(&load).len(), 1);
-        assert_eq!(p.dispatch_collect(&load).len(), 0); // filtered
+        assert_eq!(collect(&mut p, &load).len(), 1);
+        assert_eq!(collect(&mut p, &load).len(), 0); // filtered
         assert_eq!(p.stats().if_filtered, 1);
         // malloc invalidates; the next access re-checks.
         let m = TraceEntry::annot(0x20, Annotation::Malloc { base: 0x9000, size: 16 });
-        assert_eq!(p.dispatch_collect(&m).len(), 1);
-        assert_eq!(p.dispatch_collect(&load).len(), 1);
+        assert_eq!(collect(&mut p, &m).len(), 1);
+        assert_eq!(collect(&mut p, &load).len(), 1);
     }
 
     #[test]
@@ -368,7 +477,7 @@ mod tests {
             DispatchPipeline::new(taint_etct(), &AccelConfig::lma_it(ItConfig::taint_style()));
         let load = TraceEntry::op(1, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax })
             .with_addr_regs(igm_isa::RegSet::from_regs([Reg::Ebx]));
-        let out = p.dispatch_collect(&load);
+        let out = collect(&mut p, &load);
         assert!(out.is_empty());
         assert_eq!(p.it_stats().unwrap().check_in, 0);
     }
@@ -392,15 +501,22 @@ mod tests {
             let mut per_record = DispatchPipeline::new(taint_etct(), &accel);
             let mut reference = Vec::new();
             for e in &seq {
-                reference.extend(per_record.dispatch_collect(e));
+                reference.extend(collect(&mut per_record, e));
             }
 
             let mut batched = DispatchPipeline::new(taint_etct(), &accel);
             let mut out = EventBuf::new();
-            batched.dispatch_batch(&seq, &mut out);
+            batched.dispatch_batch(&TraceBatch::from_entries(&seq), &mut out);
             assert_eq!(out.events(), &reference[..], "{}", accel.label());
             assert_eq!(out.records(), seq.len());
             assert_eq!(batched.stats(), per_record.stats(), "{}", accel.label());
+
+            // The AoS compatibility twin is the same pipeline in disguise.
+            let mut aos = DispatchPipeline::new(taint_etct(), &accel);
+            let mut aos_out = EventBuf::new();
+            aos.dispatch_batch_entries(&seq, &mut aos_out);
+            assert_eq!(aos_out.events(), out.events(), "{}", accel.label());
+            assert_eq!(aos.stats(), batched.stats(), "{}", accel.label());
         }
     }
 
@@ -411,8 +527,8 @@ mod tests {
             TraceEntry::op(0x10, OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Eax });
         let store =
             TraceEntry::op(0x14, OpClass::RegToMem { rs: Reg::Eax, dst: MemRef::word(0x9004) });
-        p.dispatch_collect(&load);
-        p.dispatch_collect(&store);
+        collect(&mut p, &load);
+        collect(&mut p, &store);
         let s = p.stats();
         assert_eq!(s.delivered_by_type[EventType::MemRead.index()], 1);
         assert_eq!(s.delivered_by_type[EventType::MemWrite.index()], 1);

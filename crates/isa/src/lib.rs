@@ -42,7 +42,7 @@ pub mod trace;
 pub use asm::{Program, ProgramBuilder};
 pub use machine::{ExecError, Machine};
 pub use trace::{
-    Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, RegSet, TraceEntry, TraceOp,
+    codes, Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, RegSet, TraceEntry, TraceOp,
 };
 
 use std::fmt;

@@ -10,6 +10,54 @@
 use crate::Reg;
 use std::fmt;
 
+/// Dense per-record *field codes*: the flattened [`TraceOp`] variant
+/// numbering shared by every columnar consumer of the trace — the
+/// structure-of-arrays [`TraceBatch`](../igm_lba) `codes` column and the
+/// `igm-trace` codec's record tags are this same byte, so a decoded chunk's
+/// tag stream and a batch's opcode column line up one-to-one.
+pub mod codes {
+    pub const IMM_TO_REG: u8 = 0;
+    pub const IMM_TO_MEM: u8 = 1;
+    pub const REG_SELF: u8 = 2;
+    pub const MEM_SELF: u8 = 3;
+    pub const REG_TO_REG: u8 = 4;
+    pub const REG_TO_MEM: u8 = 5;
+    pub const MEM_TO_REG: u8 = 6;
+    pub const MEM_TO_MEM: u8 = 7;
+    pub const DEST_REG_OP_REG: u8 = 8;
+    pub const DEST_REG_OP_MEM: u8 = 9;
+    pub const DEST_MEM_OP_REG: u8 = 10;
+    pub const READ_ONLY: u8 = 11;
+    pub const OTHER: u8 = 12;
+    pub const CTRL_DIRECT: u8 = 13;
+    pub const CTRL_INDIRECT: u8 = 14;
+    pub const CTRL_COND: u8 = 15;
+    pub const CTRL_RET: u8 = 16;
+    pub const ANN_MALLOC: u8 = 17;
+    pub const ANN_FREE: u8 = 18;
+    pub const ANN_LOCK: u8 = 19;
+    pub const ANN_UNLOCK: u8 = 20;
+    pub const ANN_READ_INPUT: u8 = 21;
+    pub const ANN_SYSCALL: u8 = 22;
+    pub const ANN_PRINTF: u8 = 23;
+    pub const ANN_THREAD_SWITCH: u8 = 24;
+    pub const ANN_THREAD_EXIT: u8 = 25;
+
+    /// Number of distinct field codes (valid codes are `0..COUNT`).
+    pub const COUNT: u8 = 26;
+    /// First annotation code; `code >= FIRST_ANNOT` ⇔ annotation record.
+    pub const FIRST_ANNOT: u8 = ANN_MALLOC;
+    /// "Absent register" sentinel used wherever an optional register rides
+    /// a nibble or byte (register indices are `0..8`).
+    pub const NO_REG: u8 = 0x0f;
+
+    /// Whether `code` names an annotation record.
+    #[inline]
+    pub fn is_annotation(code: u8) -> bool {
+        code >= FIRST_ANNOT
+    }
+}
+
 /// Size in bytes of a memory access. The framework models 1-, 2- and 4-byte
 /// accesses, the sizes produced by ordinary IA32 integer code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -36,6 +84,29 @@ impl MemSize {
             1 => Some(MemSize::B1),
             2 => Some(MemSize::B2),
             4 => Some(MemSize::B4),
+            _ => None,
+        }
+    }
+
+    /// The dense size code (0/1/2 for 1/2/4-byte accesses) used by the
+    /// columnar `sizes` stream and the trace codec's packed varints.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            MemSize::B1 => 0,
+            MemSize::B2 => 1,
+            MemSize::B4 => 2,
+        }
+    }
+
+    /// Rebuilds a size from its dense code ([`MemSize::code`]); `None` for
+    /// codes other than 0, 1, 2.
+    #[inline]
+    pub fn from_code(code: u8) -> Option<MemSize> {
+        match code {
+            0 => Some(MemSize::B1),
+            1 => Some(MemSize::B2),
+            2 => Some(MemSize::B4),
             _ => None,
         }
     }
@@ -334,6 +405,49 @@ pub enum TraceOp {
     Annot(Annotation),
 }
 
+impl TraceOp {
+    /// The record's dense field code ([`codes`]): the flattened variant id
+    /// every columnar consumer (the SoA `TraceBatch`, the trace codec)
+    /// classifies records by, so those layers never re-match the nested
+    /// enums per record.
+    pub fn field_code(&self) -> u8 {
+        match self {
+            TraceOp::Op(op) => match op {
+                OpClass::ImmToReg { .. } => codes::IMM_TO_REG,
+                OpClass::ImmToMem { .. } => codes::IMM_TO_MEM,
+                OpClass::RegSelf { .. } => codes::REG_SELF,
+                OpClass::MemSelf { .. } => codes::MEM_SELF,
+                OpClass::RegToReg { .. } => codes::REG_TO_REG,
+                OpClass::RegToMem { .. } => codes::REG_TO_MEM,
+                OpClass::MemToReg { .. } => codes::MEM_TO_REG,
+                OpClass::MemToMem { .. } => codes::MEM_TO_MEM,
+                OpClass::DestRegOpReg { .. } => codes::DEST_REG_OP_REG,
+                OpClass::DestRegOpMem { .. } => codes::DEST_REG_OP_MEM,
+                OpClass::DestMemOpReg { .. } => codes::DEST_MEM_OP_REG,
+                OpClass::ReadOnly { .. } => codes::READ_ONLY,
+                OpClass::Other { .. } => codes::OTHER,
+            },
+            TraceOp::Ctrl(c) => match c {
+                CtrlOp::Direct => codes::CTRL_DIRECT,
+                CtrlOp::Indirect { .. } => codes::CTRL_INDIRECT,
+                CtrlOp::CondBranch { .. } => codes::CTRL_COND,
+                CtrlOp::Ret { .. } => codes::CTRL_RET,
+            },
+            TraceOp::Annot(a) => match a {
+                Annotation::Malloc { .. } => codes::ANN_MALLOC,
+                Annotation::Free { .. } => codes::ANN_FREE,
+                Annotation::Lock { .. } => codes::ANN_LOCK,
+                Annotation::Unlock { .. } => codes::ANN_UNLOCK,
+                Annotation::ReadInput { .. } => codes::ANN_READ_INPUT,
+                Annotation::Syscall { .. } => codes::ANN_SYSCALL,
+                Annotation::PrintfFormat { .. } => codes::ANN_PRINTF,
+                Annotation::ThreadSwitch { .. } => codes::ANN_THREAD_SWITCH,
+                Annotation::ThreadExit { .. } => codes::ANN_THREAD_EXIT,
+            },
+        }
+    }
+}
+
 /// One record of the retirement trace: the program counter plus payload.
 ///
 /// This is the information content of an LBA log record *before* compression
@@ -390,6 +504,12 @@ impl TraceEntry {
             TraceOp::Op(o) => o.mem_write(),
             _ => None,
         }
+    }
+
+    /// The record's dense field code (see [`TraceOp::field_code`]).
+    #[inline]
+    pub fn field_code(&self) -> u8 {
+        self.op.field_code()
     }
 }
 

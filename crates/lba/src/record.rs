@@ -63,14 +63,45 @@ pub struct Chunks<I> {
     pending: Option<TraceEntry>,
 }
 
+/// A refillable chunk destination: the one chunking rule in
+/// [`Chunks::fill`] serves both the `Vec<TraceEntry>` staging buffers and
+/// the columnar [`TraceBatch`](crate::TraceBatch) arenas.
+trait ChunkDest {
+    fn clear(&mut self);
+    fn push(&mut self, e: TraceEntry);
+    fn is_empty(&self) -> bool;
+}
+
+impl ChunkDest for Vec<TraceEntry> {
+    fn clear(&mut self) {
+        Vec::clear(self);
+    }
+    fn push(&mut self, e: TraceEntry) {
+        Vec::push(self, e);
+    }
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl ChunkDest for crate::TraceBatch {
+    fn clear(&mut self) {
+        crate::TraceBatch::clear(self);
+    }
+    fn push(&mut self, e: TraceEntry) {
+        crate::TraceBatch::push(self, &e);
+    }
+    fn is_empty(&self) -> bool {
+        crate::TraceBatch::is_empty(self)
+    }
+}
+
 impl<I: Iterator<Item = TraceEntry>> Chunks<I> {
-    /// Fills `batch` (cleared first) with the next size-bounded chunk,
-    /// returning whether one was produced. This is the allocation-free
-    /// twin of the `Iterator` impl: callers that pump chunks through a
-    /// reusable staging buffer — the trace codec's writer, the ingest
-    /// front-end's in-memory sources — reuse one `Vec`'s capacity across
-    /// the whole stream instead of allocating per chunk.
-    pub fn next_into(&mut self, batch: &mut Vec<TraceEntry>) -> bool {
+    /// The single copy of the size-bounded chunking rule: fills `batch`
+    /// (cleared first) with the next chunk, returning whether one was
+    /// produced. A record that does not fit is carried to the next call;
+    /// a single record larger than the whole budget is yielded alone.
+    fn fill<D: ChunkDest>(&mut self, batch: &mut D) -> bool {
         batch.clear();
         let mut used = 0u32;
         if let Some(first) = self.pending.take() {
@@ -90,6 +121,26 @@ impl<I: Iterator<Item = TraceEntry>> Chunks<I> {
             }
         }
         !batch.is_empty()
+    }
+
+    /// Fills `batch` (cleared first) with the next size-bounded chunk,
+    /// returning whether one was produced. This is the allocation-free
+    /// twin of the `Iterator` impl: callers that pump chunks through a
+    /// reusable staging buffer — the trace codec's writer, the ingest
+    /// front-end's in-memory sources — reuse one `Vec`'s capacity across
+    /// the whole stream instead of allocating per chunk.
+    pub fn next_into(&mut self, batch: &mut Vec<TraceEntry>) -> bool {
+        self.fill(batch)
+    }
+
+    /// Fills `batch` (cleared first) with the next size-bounded chunk as a
+    /// structure-of-arrays [`TraceBatch`](crate::TraceBatch) — the native
+    /// producer of the columnar record path. Same chunking rule as
+    /// [`Chunks::next_into`] (they share the implementation); generators
+    /// and the streaming producers feed the transport with batches built
+    /// column-first, no `Vec<TraceEntry>` staging.
+    pub fn next_into_batch(&mut self, batch: &mut crate::TraceBatch) -> bool {
+        self.fill(batch)
     }
 }
 
@@ -151,6 +202,31 @@ mod tests {
             by_into.push(buf.clone());
         }
         assert_eq!(by_iter, by_into);
+    }
+
+    #[test]
+    fn next_into_batch_matches_next_into() {
+        let mut recs = Vec::new();
+        for pc in 0..50u32 {
+            recs.push(TraceEntry::op(pc, OpClass::ImmToReg { rd: Reg::Eax }));
+            if pc % 9 == 0 {
+                recs.push(TraceEntry::annot(pc, Annotation::Lock { lock: pc }));
+            }
+        }
+        let mut by_vec = chunks(recs.iter().copied(), 12);
+        let mut by_batch = chunks(recs.iter().copied(), 12);
+        let mut vec_buf = Vec::new();
+        let mut batch_buf = crate::TraceBatch::new();
+        loop {
+            let a = by_vec.next_into(&mut vec_buf);
+            let b = by_batch.next_into_batch(&mut batch_buf);
+            assert_eq!(a, b, "chunk availability diverged");
+            if !a {
+                break;
+            }
+            assert_eq!(batch_buf.to_entries(), vec_buf, "chunk contents diverged");
+            assert_eq!(batch_buf.compressed_bytes(), batch_bytes(&vec_buf));
+        }
     }
 
     #[test]

@@ -29,12 +29,96 @@
 use crate::pool::{EpochJob, MonitorPool, SessionConfig};
 use igm_core::{AccelConfig, DispatchPipeline};
 use igm_isa::TraceEntry;
-use igm_lba::{Event, EventBuf};
+use igm_lba::{Event, EventBuf, TraceBatch};
 use igm_lifeguards::{AnyLifeguard, CostSink, Lifeguard, LifeguardKind, Violation};
 use std::sync::mpsc;
 
 /// Default records per epoch.
 pub const DEFAULT_EPOCH_RECORDS: usize = 8_192;
+
+/// How epoch record budgets are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochConfig {
+    /// Every epoch holds exactly this many records (the default).
+    Fixed(usize),
+    /// The next epoch's record budget scales with the *check density* the
+    /// previous epoch observed ([`adaptive_next_budget`]): check-heavy
+    /// phases get shorter epochs (snapshots amortize over less replayed
+    /// work, results merge back sooner), check-light phases get longer
+    /// ones (fewer shadow-state snapshots per record). The first epoch
+    /// uses `initial`; every budget is clamped to `[min, max]`.
+    Adaptive {
+        /// First epoch's record budget.
+        initial: usize,
+        /// Lower clamp for every budget.
+        min: usize,
+        /// Upper clamp for every budget.
+        max: usize,
+        /// Check events an epoch should deliver — the feedback target.
+        target_checks: u64,
+    },
+}
+
+impl Default for EpochConfig {
+    fn default() -> EpochConfig {
+        EpochConfig::Fixed(DEFAULT_EPOCH_RECORDS)
+    }
+}
+
+impl EpochConfig {
+    /// A reasonable adaptive configuration centred on
+    /// [`DEFAULT_EPOCH_RECORDS`]: budgets float between 1/8× and 8× the
+    /// default, targeting the check volume a default epoch of a
+    /// typical (≈1 check/record) workload would deliver.
+    pub fn adaptive() -> EpochConfig {
+        EpochConfig::Adaptive {
+            initial: DEFAULT_EPOCH_RECORDS,
+            min: DEFAULT_EPOCH_RECORDS / 8,
+            max: DEFAULT_EPOCH_RECORDS * 8,
+            target_checks: DEFAULT_EPOCH_RECORDS as u64,
+        }
+    }
+
+    fn initial_budget(&self) -> usize {
+        match *self {
+            EpochConfig::Fixed(n) => n,
+            EpochConfig::Adaptive { initial, min, max, .. } => initial.clamp(min, max),
+        }
+    }
+
+    /// The budget following an epoch that held `records` records and
+    /// delivered `checks` check events.
+    fn next_budget(&self, records: usize, checks: u64) -> usize {
+        match *self {
+            EpochConfig::Fixed(n) => n,
+            EpochConfig::Adaptive { min, max, target_checks, .. } => {
+                adaptive_next_budget(records, checks, target_checks, min, max)
+            }
+        }
+    }
+}
+
+/// The adaptive feedback rule: the next epoch's record budget is the
+/// record count at which the *previous* epoch's observed check density
+/// (`checks / records`) would deliver exactly `target_checks` checks,
+/// clamped to `[min, max]`. An epoch that observed no checks at all jumps
+/// straight to `max` (nothing to amortize against), so idle phases are
+/// spanned by the longest epochs the configuration allows.
+pub fn adaptive_next_budget(
+    records: usize,
+    checks: u64,
+    target_checks: u64,
+    min: usize,
+    max: usize,
+) -> usize {
+    if records == 0 || checks == 0 {
+        return max.max(min);
+    }
+    // next = target / density = target * records / checks, in integer
+    // arithmetic (u128 so huge targets cannot overflow).
+    let next = (target_checks as u128 * records as u128 / checks as u128) as usize;
+    next.clamp(min, max)
+}
 
 /// Outcome of an epoch-parallel (or fallen-back sequential) run.
 #[derive(Debug)]
@@ -71,12 +155,30 @@ pub fn monitor_epoch_parallel(
     trace: impl IntoIterator<Item = TraceEntry>,
     epoch_records: usize,
 ) -> EpochReport {
-    assert!(epoch_records > 0, "epochs must hold at least one record");
+    monitor_epoch_parallel_with(pool, cfg, trace, EpochConfig::Fixed(epoch_records))
+}
+
+/// Like [`monitor_epoch_parallel`], with the epoch sizing policy made
+/// explicit — [`EpochConfig::Adaptive`] re-budgets every epoch from the
+/// previous epoch's observed check density.
+pub fn monitor_epoch_parallel_with(
+    pool: &MonitorPool,
+    cfg: &SessionConfig,
+    trace: impl IntoIterator<Item = TraceEntry>,
+    epoch: EpochConfig,
+) -> EpochReport {
+    match epoch {
+        EpochConfig::Fixed(n) => assert!(n > 0, "epochs must hold at least one record"),
+        EpochConfig::Adaptive { initial, min, max, .. } => {
+            assert!(min > 0 && initial > 0, "epochs must hold at least one record");
+            assert!(min <= max, "adaptive epoch bounds must satisfy min <= max");
+        }
+    }
     let accel =
         AccelConfig { it: None, if_geometry: None, ..cfg.lifeguard.mask_config(&cfg.accel) };
     let cfg = SessionConfig { accel, ..cfg.clone() };
     if cfg.lifeguard.epoch_support().parallel_checks {
-        run_parallel(pool, &cfg, trace, epoch_records)
+        run_parallel(pool, &cfg, trace, epoch)
     } else {
         run_fallback(&cfg, trace)
     }
@@ -92,10 +194,10 @@ fn run_fallback(cfg: &SessionConfig, trace: impl IntoIterator<Item = TraceEntry>
     let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &cfg.accel);
     let mut cost = CostSink::new();
     let mut events = EventBuf::new();
-    let mut buf: Vec<TraceEntry> = Vec::with_capacity(crate::pool::INTERNAL_BATCH_RECORDS);
+    let mut buf = TraceBatch::with_capacity(crate::pool::INTERNAL_BATCH_RECORDS);
     let mut records = 0u64;
     for entry in trace {
-        buf.push(entry);
+        buf.push(&entry);
         records += 1;
         if buf.len() == crate::pool::INTERNAL_BATCH_RECORDS {
             crate::pool::pump_records(&mut pipeline, &mut lifeguard, &mut cost, &mut events, &buf);
@@ -119,7 +221,7 @@ fn run_parallel(
     pool: &MonitorPool,
     cfg: &SessionConfig,
     trace: impl IntoIterator<Item = TraceEntry>,
-    epoch_records: usize,
+    epoch: EpochConfig,
 ) -> EpochReport {
     let lifeguard = cfg.build_lifeguard();
     let pipeline = DispatchPipeline::new(lifeguard.etct(), &cfg.accel);
@@ -143,9 +245,9 @@ fn run_parallel(
     // Completed jobs hand their record buffers back through the result;
     // recycling them caps the run at ~max_in_flight epoch-sized
     // allocations total instead of one per epoch.
-    let mut recycled: Vec<Vec<TraceEntry>> = Vec::new();
+    let mut recycled: Vec<TraceBatch> = Vec::new();
     let collect_one = |results: &mut Vec<crate::pool::EpochResult>,
-                       recycled: &mut Vec<Vec<TraceEntry>>| {
+                       recycled: &mut Vec<TraceBatch>| {
         // A worker that panicked drops its job's sender without
         // replying; fail loudly instead of hanging on a result that
         // never comes.
@@ -158,13 +260,18 @@ fn run_parallel(
 
     let mut epochs = 0usize;
     let mut records = 0u64;
-    let mut buf: Vec<TraceEntry> = Vec::with_capacity(epoch_records);
+    let mut budget = epoch.initial_budget();
+    let mut buf = TraceBatch::with_capacity(budget);
     for entry in trace {
-        buf.push(entry);
+        buf.push(&entry);
         records += 1;
-        if buf.len() == epoch_records {
+        if buf.len() >= budget {
+            let epoch_len = buf.len();
             let empty = recycled.pop().unwrap_or_default();
-            dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, &tx);
+            let checks = dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, &tx);
+            // Adaptive sizing: re-budget the next epoch from the check
+            // density this one observed (a no-op under Fixed sizing).
+            budget = epoch.next_budget(epoch_len, checks);
             epochs += 1;
             in_flight += 1;
             while in_flight >= max_in_flight {
@@ -213,18 +320,20 @@ struct Spine {
 }
 
 /// Ships `buf` as epoch `index`: snapshot → advance the spine over the
-/// epoch's updating events (batch-grain) → hand the epoch's record buffer
-/// itself to the parallel check job, leaving the (recycled) `empty`
-/// buffer in its place — no per-epoch record copy.
+/// epoch's updating events (one columnar dispatch pass) → hand the epoch's
+/// record batch itself to the parallel check job, leaving the (recycled)
+/// `empty` arena in its place — no per-epoch record copy. Returns the
+/// number of *check* events the epoch delivered, the signal the adaptive
+/// sizing feedback rule consumes.
 fn dispatch_epoch(
     pool: &MonitorPool,
     cfg: &SessionConfig,
     spine: &mut Spine,
-    buf: &mut Vec<TraceEntry>,
-    mut empty: Vec<TraceEntry>,
+    buf: &mut TraceBatch,
+    mut empty: TraceBatch,
     index: usize,
     tx: &mpsc::Sender<crate::pool::EpochResult>,
-) {
+) -> u64 {
     // The snapshot is an ordinary clone of the spine's shadow state at the
     // epoch *boundary* (AnyLifeguard is Clone), taken before the spine
     // advances; the worker replays the epoch's full event stream against
@@ -237,6 +346,7 @@ fn dispatch_epoch(
     spine.pipeline.dispatch_batch(buf, &mut spine.events);
     spine.updates.clear();
     spine.updates.extend(spine.events.events().iter().filter(|d| !is_check_event(&d.event)));
+    let checks = (spine.events.len() - spine.updates.len()) as u64;
     spine.cost.clear();
     spine.lifeguard.handle_batch(&spine.updates, &mut spine.cost);
     // Spine-side violations are duplicates of what the epoch job will
@@ -246,6 +356,7 @@ fn dispatch_epoch(
     empty.clear();
     let records = std::mem::replace(buf, empty);
     pool.submit_epoch(EpochJob { index, lifeguard: snapshot, pipeline, records, done: tx.clone() });
+    checks
 }
 
 #[cfg(test)]
@@ -259,6 +370,37 @@ mod tests {
         assert!(is_check_event(&Event::MemWrite(MemRef::word(0x9000))));
         assert!(!is_check_event(&Event::Prop(OpClass::ImmToReg { rd: Reg::Eax })));
         assert!(!is_check_event(&Event::Annot(Annotation::Free { base: 0x9000 })));
+    }
+
+    /// Pins the adaptive feedback rule: next budget = the record count at
+    /// which the previous epoch's check density hits the target, clamped.
+    #[test]
+    fn adaptive_feedback_rule_is_pinned() {
+        // Density 0.5 checks/record, target 2_000 checks → 4_000 records.
+        assert_eq!(adaptive_next_budget(1_000, 500, 2_000, 64, 65_536), 4_000);
+        // Density 2.0, same target → 1_000 records.
+        assert_eq!(adaptive_next_budget(1_000, 2_000, 2_000, 64, 65_536), 1_000);
+        // Density exactly at target → budget unchanged.
+        assert_eq!(adaptive_next_budget(8_192, 4_096, 4_096, 64, 65_536), 8_192);
+        // Clamping engages on both sides.
+        assert_eq!(adaptive_next_budget(1_000, 1, 1_000_000, 64, 65_536), 65_536);
+        assert_eq!(adaptive_next_budget(1_000, 1_000_000, 10, 64, 65_536), 64);
+        // A check-free epoch jumps straight to the upper bound.
+        assert_eq!(adaptive_next_budget(1_000, 0, 2_000, 64, 65_536), 65_536);
+        // Degenerate zero-record input cannot divide by zero.
+        assert_eq!(adaptive_next_budget(0, 0, 2_000, 64, 65_536), 65_536);
+    }
+
+    #[test]
+    fn epoch_config_budgets() {
+        let fixed = EpochConfig::Fixed(4_096);
+        assert_eq!(fixed.initial_budget(), 4_096);
+        assert_eq!(fixed.next_budget(4_096, 1), 4_096, "fixed sizing ignores feedback");
+        let adaptive =
+            EpochConfig::Adaptive { initial: 1_024, min: 256, max: 16_384, target_checks: 2_048 };
+        assert_eq!(adaptive.initial_budget(), 1_024);
+        assert_eq!(adaptive.next_budget(1_024, 512), 4_096);
+        assert_eq!(EpochConfig::default(), EpochConfig::Fixed(DEFAULT_EPOCH_RECORDS));
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //!
 //! Three layers:
 //!
-//! * [`spsc`] — the bounded [`log_channel`]: chunked record batches
-//!   ([`igm_lba::chunks`]), byte-accurate occupancy using the paper's
+//! * [`spsc`] — the bounded [`log_channel`]: columnar
+//!   [`igm_lba::TraceBatch`] chunks ([`igm_lba::chunks`]), byte-accurate
+//!   occupancy from the batch's column lengths using the paper's
 //!   compressed-record size model, blocking backpressure with
 //!   producer-stall accounting compatible with the timing model's
-//!   `producer_stall_cycles` semantics.
+//!   `producer_stall_cycles` semantics, and drained batch arenas recycled
+//!   back to the producer side so steady-state streaming allocates
+//!   nothing per chunk.
 //! * [`pool`] — the [`MonitorPool`]: N worker threads with a
 //!   session-grain work-stealing scheduler. A session's lifeguard, dispatch
 //!   pipeline and shadow-memory shard are owned by exactly one worker at a
@@ -63,7 +66,10 @@ pub mod pool;
 pub mod spsc;
 pub mod stats;
 
-pub use epoch::{monitor_epoch_parallel, EpochReport, DEFAULT_EPOCH_RECORDS};
+pub use epoch::{
+    adaptive_next_budget, monitor_epoch_parallel, monitor_epoch_parallel_with, EpochConfig,
+    EpochReport, DEFAULT_EPOCH_RECORDS,
+};
 pub use pool::{
     MonitorPool, PoolConfig, PoolViolation, SessionConfig, SessionHandle, SessionId,
     ViolationStream,

@@ -35,8 +35,7 @@
 use crate::spsc::{log_channel, ChannelStatsSnapshot, LogConsumer, LogProducer, SendError};
 use crate::stats::{PoolStats, PoolStatsSnapshot, SessionReport};
 use igm_core::{AccelConfig, DispatchPipeline};
-use igm_isa::TraceEntry;
-use igm_lba::{chunks, EventBuf};
+use igm_lba::{chunks, EventBuf, TraceBatch};
 use igm_lifeguards::{AnyLifeguard, CostSink, Lifeguard, LifeguardKind, Violation};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -243,7 +242,7 @@ pub(crate) struct EpochJob {
     pub index: usize,
     pub lifeguard: AnyLifeguard,
     pub pipeline: DispatchPipeline,
-    pub records: Vec<TraceEntry>,
+    pub records: TraceBatch,
     pub done: Sender<EpochResult>,
 }
 
@@ -253,9 +252,10 @@ pub(crate) struct EpochResult {
     pub index: usize,
     pub violations: Vec<Violation>,
     pub delivered: u64,
-    /// The job's record buffer, handed back so the epoch driver can
-    /// recycle its capacity for a later epoch instead of reallocating.
-    pub records: Vec<TraceEntry>,
+    /// The job's record batch, handed back so the epoch driver can
+    /// recycle its column capacity for a later epoch instead of
+    /// reallocating.
+    pub records: TraceBatch,
 }
 
 /// One worker's resident-session deque with a lock-free occupancy mirror,
@@ -581,11 +581,14 @@ impl SessionHandle {
     }
 
     /// Publishes one pre-batched chunk of records (blocks on backpressure).
+    /// Accepts anything convertible into a columnar [`TraceBatch`] (a
+    /// `TraceBatch` moves through untouched; a `Vec<TraceEntry>` converts).
     /// Fails once the session is [`close`](SessionHandle::close)d or the
     /// pool has shut down under it.
-    pub fn send_batch(&self, batch: Vec<TraceEntry>) -> Result<(), SendError> {
+    pub fn send_batch(&self, batch: impl Into<TraceBatch>) -> Result<(), SendError> {
+        let batch = batch.into();
         let Some(producer) = self.producer.as_ref() else {
-            return Err(SendError(batch));
+            return Err(SendError(Box::new(batch)));
         };
         let r = producer.send_batch(batch);
         self.shared.ring_worker(self.home.load(Ordering::Relaxed));
@@ -598,10 +601,11 @@ impl SessionHandle {
     /// session is closed or the pool has shut down under it.
     pub fn try_send_batch(
         &self,
-        batch: Vec<TraceEntry>,
-    ) -> Result<Option<Vec<TraceEntry>>, SendError> {
+        batch: impl Into<TraceBatch>,
+    ) -> Result<Option<TraceBatch>, SendError> {
+        let batch = batch.into();
         let Some(producer) = self.producer.as_ref() else {
-            return Err(SendError(batch));
+            return Err(SendError(Box::new(batch)));
         };
         let r = producer.try_send_batch(batch);
         if let Ok(None) = r {
@@ -611,12 +615,28 @@ impl SessionHandle {
     }
 
     /// Streams a whole trace, batching it with [`igm_lba::chunks`] at the
-    /// pool's configured chunk size.
-    pub fn stream(&self, trace: impl IntoIterator<Item = TraceEntry>) -> Result<(), SendError> {
-        for batch in chunks(trace, self.chunk_bytes) {
-            self.send_batch(batch)?;
+    /// pool's configured chunk size. Chunks are built column-first into
+    /// recycled batch arenas ([`SessionHandle::spare_batch`]), so a
+    /// steady-state producer allocates nothing per chunk.
+    pub fn stream(
+        &self,
+        trace: impl IntoIterator<Item = igm_isa::TraceEntry>,
+    ) -> Result<(), SendError> {
+        let mut chunker = chunks(trace, self.chunk_bytes);
+        let mut batch = self.spare_batch();
+        while chunker.next_into_batch(&mut batch) {
+            let next = self.spare_batch();
+            self.send_batch(std::mem::replace(&mut batch, next))?;
         }
         Ok(())
+    }
+
+    /// A recycled (or fresh) batch arena to fill for the next
+    /// [`SessionHandle::send_batch`]: the consumer hands drained arenas
+    /// back through the channel, so their column capacity circulates
+    /// instead of being reallocated per chunk.
+    pub fn spare_batch(&self) -> TraceBatch {
+        self.producer.as_ref().map(LogProducer::spare).unwrap_or_default()
     }
 
     /// Transport counters for this session's log channel.
@@ -692,13 +712,15 @@ impl ActiveSession {
             let Some(batch) = self.consumer.try_recv_batch() else { break };
             processed += 1;
             self.records += batch.len() as u64;
-            // One pipeline pass and one statically-dispatched handler pass
-            // per chunk; `events` and the pipeline's staging buffers are
-            // reused across batches (no per-record allocation).
+            // One columnar pipeline pass and one statically-dispatched
+            // handler pass per chunk; `events` and the pipeline's staging
+            // buffers are reused across batches (no per-record allocation).
             self.pipeline.dispatch_batch(&batch, &mut self.events);
             self.cost.clear();
             self.lifeguard.handle_batch(self.events.events(), &mut self.cost);
             shared.stats.records.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            // Hand the drained arena back to the producer side for refill.
+            self.consumer.recycle(batch);
             let fresh = self.lifeguard.take_violations();
             if !fresh.is_empty() {
                 shared.stats.violations.fetch_add(fresh.len() as u64, Ordering::Relaxed);
@@ -907,31 +929,43 @@ fn run_epoch_job_guarded(job: EpochJob, stats: &PoolStats, scratch: &mut EpochSc
     }
 }
 
-/// Records per dispatch batch on the internal batch-at-a-time paths (epoch
-/// jobs, the sequential epoch fallback): bounds the staging buffer and cost
-/// sink to chunk grain instead of trace/epoch grain.
+/// Records per staging batch on the internal batch-at-a-time paths (the
+/// sequential epoch fallback, `Monitor`-style trace buffering): bounds the
+/// staging buffers to chunk grain instead of trace grain.
 pub(crate) const INTERNAL_BATCH_RECORDS: usize = 1_024;
 
-/// The shared batched pump: `records` through the pipeline and handlers in
-/// [`INTERNAL_BATCH_RECORDS`] chunks, staging buffers reused, cost cleared
-/// per batch.
+/// The shared batched pump: one columnar dispatch pass and one handler
+/// pass over `records`, staging buffers reused, cost cleared per call.
+/// The fallback path bounds its batches to [`INTERNAL_BATCH_RECORDS`];
+/// epoch jobs deliberately dispatch a whole epoch in one sweep and shrink
+/// the worker's staging retention afterwards ([`run_epoch_job`]).
 pub(crate) fn pump_records(
     pipeline: &mut DispatchPipeline,
     lifeguard: &mut AnyLifeguard,
     cost: &mut CostSink,
     events: &mut EventBuf,
-    records: &[TraceEntry],
+    records: &TraceBatch,
 ) {
-    for batch in records.chunks(INTERNAL_BATCH_RECORDS) {
-        pipeline.dispatch_batch(batch, events);
-        cost.clear();
-        lifeguard.handle_batch(events.events(), cost);
-    }
+    pipeline.dispatch_batch(records, events);
+    cost.clear();
+    lifeguard.handle_batch(events.events(), cost);
 }
+
+/// Event-buffer capacity an epoch worker keeps between jobs. An epoch is
+/// dispatched in one whole-batch column sweep, so the staging buffer
+/// reaches epoch grain — a few events per record. The bound is sized so a
+/// default-budget epoch ([`crate::epoch::DEFAULT_EPOCH_RECORDS`] records)
+/// always fits and its capacity is reused job after job with no
+/// shrink/regrow churn; only the outsized epochs of an adaptive run near
+/// its `max` budget trigger a shrink, so one outlier does not pin
+/// megabytes per worker for the worker's lifetime.
+const EPOCH_SCRATCH_RETAIN_EVENTS: usize = 4 * crate::epoch::DEFAULT_EPOCH_RECORDS;
+/// Record-boundary capacity retained alongside (one slot per record).
+const EPOCH_SCRATCH_RETAIN_RECORDS: usize = 2 * crate::epoch::DEFAULT_EPOCH_RECORDS;
 
 fn run_epoch_job(mut job: EpochJob, stats: &PoolStats, scratch: &mut EpochScratch) {
     // Staging buffers come from the worker's persistent scratch — one
-    // allocation per worker lifetime, not one per job.
+    // allocation per worker lifetime in steady state.
     pump_records(
         &mut job.pipeline,
         &mut job.lifeguard,
@@ -939,6 +973,9 @@ fn run_epoch_job(mut job: EpochJob, stats: &PoolStats, scratch: &mut EpochScratc
         &mut scratch.events,
         &job.records,
     );
+    if scratch.events.capacity() > EPOCH_SCRATCH_RETAIN_EVENTS {
+        scratch.events.shrink_to(EPOCH_SCRATCH_RETAIN_EVENTS, EPOCH_SCRATCH_RETAIN_RECORDS);
+    }
     stats.records.fetch_add(job.records.len() as u64, Ordering::Relaxed);
     stats.epoch_jobs.fetch_add(1, Ordering::Relaxed);
     stats.events_delivered.fetch_add(job.pipeline.stats().delivered, Ordering::Relaxed);

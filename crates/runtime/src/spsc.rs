@@ -15,16 +15,18 @@
 //! the transport analogue of the hardware writing compressed records a
 //! cache line at a time.
 
-use igm_isa::TraceEntry;
-use igm_lba::batch_bytes;
+use igm_lba::TraceBatch;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Error returned when sending into a channel whose consumer is gone.
+/// Error returned when sending into a channel whose consumer is gone. The
+/// rejected batch is handed back to the caller (boxed: the error path is
+/// cold, and the nine-column arena would otherwise dominate the size of
+/// every `Result` on the send path).
 #[derive(Debug, PartialEq, Eq)]
-pub struct SendError(pub Vec<TraceEntry>);
+pub struct SendError(pub Box<TraceBatch>);
 
 /// Monotonic counters shared by both endpoints (read via
 /// [`ChannelStatsSnapshot`]).
@@ -67,7 +69,7 @@ pub struct ChannelStatsSnapshot {
 
 #[derive(Debug)]
 struct Inner {
-    queue: VecDeque<Vec<TraceEntry>>,
+    queue: VecDeque<TraceBatch>,
     used_bytes: u32,
     producer_closed: bool,
     consumer_closed: bool,
@@ -80,7 +82,15 @@ struct Shared {
     not_full: Condvar,
     not_empty: Condvar,
     counters: ChannelCounters,
+    /// Drained batch arenas handed back by the consumer for the producer
+    /// side to refill (bounded; see [`SPARE_ARENAS`]). Keeps steady-state
+    /// streaming allocation-free: column capacity circulates through the
+    /// channel instead of being reallocated per chunk.
+    spares: Mutex<Vec<TraceBatch>>,
 }
+
+/// Upper bound on recycled batch arenas parked on a channel.
+const SPARE_ARENAS: usize = 8;
 
 impl Shared {
     fn snapshot(&self) -> ChannelStatsSnapshot {
@@ -131,6 +141,7 @@ pub fn log_channel(capacity_bytes: u32) -> (LogProducer, LogConsumer) {
         not_full: Condvar::new(),
         not_empty: Condvar::new(),
         counters: ChannelCounters::default(),
+        spares: Mutex::new(Vec::new()),
     });
     (LogProducer { shared: Arc::clone(&shared) }, LogConsumer { shared })
 }
@@ -146,14 +157,15 @@ impl LogProducer {
     /// stall). A batch larger than the whole capacity is admitted once the
     /// buffer drains empty, so progress is always possible. Fails only when
     /// the consumer endpoint is gone.
-    pub fn send_batch(&self, batch: Vec<TraceEntry>) -> Result<(), SendError> {
+    pub fn send_batch(&self, batch: impl Into<TraceBatch>) -> Result<(), SendError> {
+        let batch = batch.into();
         if batch.is_empty() {
             return Ok(());
         }
-        let bytes = batch_bytes(&batch);
+        let bytes = batch.compressed_bytes();
         let mut inner = self.shared.inner.lock().unwrap();
         if inner.consumer_closed {
-            return Err(SendError(batch));
+            return Err(SendError(Box::new(batch)));
         }
         if inner.used_bytes + bytes > self.shared.capacity_bytes && !inner.queue.is_empty() {
             // Producer stall: the log buffer is full.
@@ -170,7 +182,7 @@ impl LogProducer {
                 .stall_nanos
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             if inner.consumer_closed {
-                return Err(SendError(batch));
+                return Err(SendError(Box::new(batch)));
             }
         }
         self.publish(inner, batch, bytes);
@@ -186,15 +198,16 @@ impl LogProducer {
     /// empty, so progress is always possible.
     pub fn try_send_batch(
         &self,
-        batch: Vec<TraceEntry>,
-    ) -> Result<Option<Vec<TraceEntry>>, SendError> {
+        batch: impl Into<TraceBatch>,
+    ) -> Result<Option<TraceBatch>, SendError> {
+        let batch = batch.into();
         if batch.is_empty() {
             return Ok(None);
         }
-        let bytes = batch_bytes(&batch);
+        let bytes = batch.compressed_bytes();
         let inner = self.shared.inner.lock().unwrap();
         if inner.consumer_closed {
-            return Err(SendError(batch));
+            return Err(SendError(Box::new(batch)));
         }
         if inner.used_bytes + bytes > self.shared.capacity_bytes && !inner.queue.is_empty() {
             self.shared.counters.refused_sends.fetch_add(1, Ordering::Relaxed);
@@ -207,12 +220,7 @@ impl LogProducer {
     /// The shared enqueue-and-account tail of both send paths: admits
     /// `batch` (size pre-computed as `bytes`) under the held lock, updates
     /// every occupancy/throughput counter, and wakes the consumer.
-    fn publish(
-        &self,
-        mut inner: std::sync::MutexGuard<'_, Inner>,
-        batch: Vec<TraceEntry>,
-        bytes: u32,
-    ) {
+    fn publish(&self, mut inner: std::sync::MutexGuard<'_, Inner>, batch: TraceBatch, bytes: u32) {
         inner.used_bytes += bytes;
         let c = &self.shared.counters;
         c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
@@ -228,6 +236,14 @@ impl LogProducer {
     /// Current counters.
     pub fn stats(&self) -> ChannelStatsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// Pops a recycled batch arena the consumer handed back (empty, column
+    /// capacity intact), or a fresh one when none is parked. Producers that
+    /// refill spares instead of allocating keep the steady-state transport
+    /// allocation-free.
+    pub fn spare(&self) -> TraceBatch {
+        self.shared.spares.lock().unwrap().pop().unwrap_or_default()
     }
 }
 
@@ -247,9 +263,9 @@ pub struct LogConsumer {
 }
 
 impl LogConsumer {
-    fn take(&self, inner: &mut Inner) -> Option<Vec<TraceEntry>> {
+    fn take(&self, inner: &mut Inner) -> Option<TraceBatch> {
         let batch = inner.queue.pop_front()?;
-        inner.used_bytes -= batch_bytes(&batch);
+        inner.used_bytes -= batch.compressed_bytes();
         let c = &self.shared.counters;
         c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
         c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
@@ -257,7 +273,7 @@ impl LogConsumer {
     }
 
     /// Removes the oldest batch without blocking.
-    pub fn try_recv_batch(&self) -> Option<Vec<TraceEntry>> {
+    pub fn try_recv_batch(&self) -> Option<TraceBatch> {
         let mut inner = self.shared.inner.lock().unwrap();
         let batch = self.take(&mut inner)?;
         drop(inner);
@@ -267,7 +283,7 @@ impl LogConsumer {
 
     /// Removes the oldest batch, blocking while the channel is empty.
     /// Returns `None` once the producer is gone and the buffer drained.
-    pub fn recv_batch(&self) -> Option<Vec<TraceEntry>> {
+    pub fn recv_batch(&self) -> Option<TraceBatch> {
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
             if let Some(batch) = self.take(&mut inner) {
@@ -300,6 +316,17 @@ impl LogConsumer {
     pub fn stats(&self) -> ChannelStatsSnapshot {
         self.shared.snapshot()
     }
+
+    /// Hands a drained batch arena back for the producer side to refill
+    /// (cleared here; dropped instead once [`SPARE_ARENAS`] are already
+    /// parked).
+    pub fn recycle(&self, mut batch: TraceBatch) {
+        let mut spares = self.shared.spares.lock().unwrap();
+        if spares.len() < SPARE_ARENAS {
+            batch.clear();
+            spares.push(batch);
+        }
+    }
 }
 
 impl Drop for LogConsumer {
@@ -321,7 +348,7 @@ impl Drop for LogConsumer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igm_isa::{OpClass, Reg};
+    use igm_isa::{OpClass, Reg, TraceEntry};
 
     fn rec(pc: u32) -> TraceEntry {
         TraceEntry::op(pc, OpClass::ImmToReg { rd: Reg::Eax })
@@ -330,9 +357,9 @@ mod tests {
     #[test]
     fn backpressure_blocks_until_drained() {
         let (tx, rx) = log_channel(8);
-        tx.send_batch((0..8).map(rec).collect()).unwrap(); // exactly full
+        tx.send_batch((0..8).map(rec).collect::<Vec<_>>()).unwrap(); // exactly full
         let producer = std::thread::spawn(move || {
-            tx.send_batch((8..12).map(rec).collect()).unwrap();
+            tx.send_batch((8..12).map(rec).collect::<Vec<_>>()).unwrap();
             tx.stats().stall_events
         });
         // Give the producer time to hit the stall path.
@@ -350,8 +377,9 @@ mod tests {
     #[test]
     fn consumer_drop_unblocks_producer() {
         let (tx, rx) = log_channel(4);
-        tx.send_batch((0..4).map(rec).collect()).unwrap();
-        let producer = std::thread::spawn(move || tx.send_batch((4..8).map(rec).collect()));
+        tx.send_batch((0..4).map(rec).collect::<Vec<_>>()).unwrap();
+        let producer =
+            std::thread::spawn(move || tx.send_batch((4..8).map(rec).collect::<Vec<_>>()));
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(rx);
         let err = producer.join().unwrap().unwrap_err();
@@ -361,10 +389,10 @@ mod tests {
     #[test]
     fn try_send_refuses_when_full_and_hands_batch_back() {
         let (tx, rx) = log_channel(8);
-        assert_eq!(tx.try_send_batch((0..8).map(rec).collect()), Ok(None));
+        assert_eq!(tx.try_send_batch((0..8).map(rec).collect::<Vec<_>>()), Ok(None));
         // Full: the batch comes back instead of blocking.
-        let refused = tx.try_send_batch((8..12).map(rec).collect()).unwrap();
-        assert_eq!(refused.as_ref().map(Vec::len), Some(4));
+        let refused = tx.try_send_batch((8..12).map(rec).collect::<Vec<_>>()).unwrap();
+        assert_eq!(refused.as_ref().map(TraceBatch::len), Some(4));
         assert_eq!(tx.stats().refused_sends, 1);
         assert_eq!(tx.stats().stall_events, 0, "refusal is not a stall");
         // Drain, then the retry succeeds.
@@ -380,7 +408,7 @@ mod tests {
     #[test]
     fn oversized_batch_is_admitted_when_empty() {
         let (tx, rx) = log_channel(2);
-        tx.send_batch((0..10).map(rec).collect()).unwrap();
+        tx.send_batch((0..10).map(rec).collect::<Vec<_>>()).unwrap();
         assert_eq!(rx.recv_batch().unwrap().len(), 10);
     }
 

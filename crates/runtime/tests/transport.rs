@@ -3,7 +3,7 @@
 //! contention, and backpressure engages at capacity.
 
 use igm_isa::{Annotation, OpClass, Reg, TraceEntry};
-use igm_lba::{batch_bytes, chunks};
+use igm_lba::chunks;
 use igm_lifeguards::LifeguardKind;
 use igm_runtime::{log_channel, MonitorPool, PoolConfig, SessionConfig};
 use std::time::Duration;
@@ -33,10 +33,11 @@ fn channel_preserves_the_stream_under_contention() {
         let mut got = Vec::with_capacity(n as usize);
         while let Some(batch) = rx.recv_batch() {
             assert!(
-                batch_bytes(&batch) <= capacity.max(chunk),
+                batch.compressed_bytes() <= capacity.max(chunk),
                 "batch exceeds both capacity and chunk bound"
             );
-            got.extend(batch);
+            got.extend(batch.iter());
+            rx.recycle(batch);
         }
         producer.join().unwrap();
         let want: Vec<TraceEntry> = (0..n).map(rec).collect();
@@ -142,12 +143,12 @@ fn pool_serves_concurrent_tenants_with_isolated_shards() {
 fn shutdown_with_live_handle_terminates_instead_of_deadlocking() {
     let pool = MonitorPool::new(PoolConfig::with_workers(2));
     let session = pool.open_session(SessionConfig::new("abandoned", LifeguardKind::AddrCheck));
-    session.send_batch((0..100).map(rec).collect()).unwrap();
+    session.send_batch((0..100).map(rec).collect::<Vec<_>>()).unwrap();
     // Shutdown with the producer handle still open: must return promptly
     // (the session is terminated, not waited on forever)...
     pool.shutdown();
     // ...and the orphaned handle's sends now fail instead of blocking.
-    assert!(session.send_batch((0..10).map(rec).collect()).is_err());
+    assert!(session.send_batch((0..10).map(rec).collect::<Vec<_>>()).is_err());
     // The terminated session still produced a report for what was drained.
     let report = session.finish();
     assert_eq!(report.records, 100);

@@ -72,7 +72,7 @@ fn sequential_violations(kind: LifeguardKind, trace: &[TraceEntry]) -> Vec<Viola
     let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &kind.mask_config(&accel));
     let mut events = EventBuf::new();
     let mut cost = CostSink::new();
-    pipeline.dispatch_batch(trace, &mut events);
+    pipeline.dispatch_batch(&igm_lba::TraceBatch::from_entries(trace), &mut events);
     lifeguard.handle_batch(events.events(), &mut cost);
     lifeguard.take_violations()
 }

@@ -8,7 +8,7 @@
 
 use igm_core::{AccelConfig, DispatchPipeline, DispatchStats};
 use igm_isa::TraceEntry;
-use igm_lba::EventBuf;
+use igm_lba::{EventBuf, TraceBatch};
 use igm_lifeguards::{CostSink, Lifeguard, Violation};
 
 /// Records per dispatch batch in [`Monitor::observe_all`].
@@ -21,6 +21,8 @@ pub struct Monitor<L: Lifeguard> {
     pipeline: DispatchPipeline,
     cost: CostSink,
     events: EventBuf,
+    /// Column conversion arena for the entry-slice compatibility paths.
+    batch: TraceBatch,
 }
 
 impl<L: Lifeguard> Monitor<L> {
@@ -29,16 +31,33 @@ impl<L: Lifeguard> Monitor<L> {
     pub fn new(lifeguard: L, accel: &AccelConfig) -> Monitor<L> {
         let masked = lifeguard.kind().mask_config(accel);
         let pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
-        Monitor { lifeguard, pipeline, cost: CostSink::new(), events: EventBuf::new() }
+        Monitor {
+            lifeguard,
+            pipeline,
+            cost: CostSink::new(),
+            events: EventBuf::new(),
+            batch: TraceBatch::new(),
+        }
     }
 
-    /// Observes a whole chunk of retired-instruction records on the
-    /// batch-grain hot path: one pipeline pass, one handler pass, staging
-    /// buffers reused across calls.
-    pub fn observe_batch(&mut self, entries: &[TraceEntry]) {
-        self.pipeline.dispatch_batch(entries, &mut self.events);
+    /// Observes a whole columnar [`TraceBatch`] on the hot path: one
+    /// column-sweep pipeline pass, one handler pass, staging buffers
+    /// reused across calls.
+    pub fn observe_trace_batch(&mut self, batch: &TraceBatch) {
+        self.pipeline.dispatch_batch(batch, &mut self.events);
         self.cost.clear();
         self.lifeguard.handle_batch(self.events.events(), &mut self.cost);
+    }
+
+    /// Observes a whole chunk of retired-instruction records held as an
+    /// entry slice (compatibility path: the records are scattered into a
+    /// reused column arena first).
+    pub fn observe_batch(&mut self, entries: &[TraceEntry]) {
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        batch.extend_entries(entries.iter().copied());
+        self.observe_trace_batch(&batch);
+        self.batch = batch;
     }
 
     /// Observes one retired-instruction record.
@@ -46,36 +65,38 @@ impl<L: Lifeguard> Monitor<L> {
         self.observe_batch(std::slice::from_ref(entry));
     }
 
-    /// Observes a whole trace, batching it at [`OBSERVE_BATCH_RECORDS`]
-    /// grain.
+    /// Observes a whole trace, buffering it column-first at
+    /// [`OBSERVE_BATCH_RECORDS`] grain.
     pub fn observe_all<I: IntoIterator<Item = TraceEntry>>(&mut self, trace: I) {
-        let mut buf: Vec<TraceEntry> = Vec::with_capacity(OBSERVE_BATCH_RECORDS);
+        let mut buf = std::mem::take(&mut self.batch);
+        buf.clear();
         for e in trace {
-            buf.push(e);
+            buf.push(&e);
             if buf.len() == OBSERVE_BATCH_RECORDS {
-                self.observe_batch(&buf);
+                self.observe_trace_batch(&buf);
                 buf.clear();
             }
         }
         if !buf.is_empty() {
-            self.observe_batch(&buf);
+            self.observe_trace_batch(&buf);
         }
+        self.batch = buf;
     }
 
     /// Observes a recorded trace stream ([`igm_trace`] format), decoding
-    /// frame by frame into a reusable buffer and dispatching each frame as
-    /// one batch — the captured chunk structure is preserved, so a
+    /// each frame straight into a reusable column arena and dispatching it
+    /// as one batch — the captured chunk structure is preserved, so a
     /// recorded artifact monitors exactly like the live stream it teed.
     /// Returns the number of records observed.
     pub fn observe_reader<R: std::io::Read>(
         &mut self,
         reader: &mut igm_trace::TraceReader<R>,
     ) -> Result<u64, igm_trace::TraceError> {
-        let mut chunk = Vec::new();
+        let mut chunk = TraceBatch::new();
         let mut records = 0u64;
-        while reader.read_chunk_into(&mut chunk)? {
+        while reader.read_chunk_into_batch(&mut chunk)? {
             records += chunk.len() as u64;
-            self.observe_batch(&chunk);
+            self.observe_trace_batch(&chunk);
         }
         Ok(records)
     }

@@ -13,7 +13,7 @@
 
 use crate::codec::{TraceError, TraceReader, TraceWriter};
 use igm_isa::TraceEntry;
-use igm_lba::chunks;
+use igm_lba::{chunks, TraceBatch};
 use igm_runtime::{MonitorPool, SendError, SessionConfig, SessionHandle, SessionReport};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -111,22 +111,28 @@ impl<W: Write> CaptureSession<W> {
         Ok(CaptureSession { session, writer: TraceWriter::new(sink)?, chunk_bytes })
     }
 
-    /// Publishes one pre-batched chunk: one trace frame, then the live
-    /// send (blocking on pool backpressure). The frame is written first so
-    /// the file never misses a batch the pool processed.
-    pub fn send_batch(&mut self, batch: Vec<TraceEntry>) -> Result<(), CaptureError> {
-        self.writer.write_chunk(&batch)?;
+    /// Publishes one pre-batched columnar chunk: one trace frame encoded
+    /// straight from the batch's columns, then the live send (blocking on
+    /// pool backpressure). The frame is written first so the file never
+    /// misses a batch the pool processed.
+    pub fn send_batch(&mut self, batch: impl Into<TraceBatch>) -> Result<(), CaptureError> {
+        let batch = batch.into();
+        self.writer.write_chunk_batch(&batch)?;
         self.session.send_batch(batch)?;
         Ok(())
     }
 
-    /// Streams a whole trace, batching at the pool's chunk size.
+    /// Streams a whole trace, batching at the pool's chunk size into
+    /// recycled batch arenas.
     pub fn stream(
         &mut self,
         trace: impl IntoIterator<Item = TraceEntry>,
     ) -> Result<(), CaptureError> {
-        for batch in chunks(trace, self.chunk_bytes) {
-            self.send_batch(batch)?;
+        let mut chunker = chunks(trace, self.chunk_bytes);
+        let mut batch = self.session.spare_batch();
+        while chunker.next_into_batch(&mut batch) {
+            let next = self.session.spare_batch();
+            self.send_batch(std::mem::replace(&mut batch, next))?;
         }
         Ok(())
     }
@@ -167,11 +173,13 @@ pub fn replay_reader<R: Read>(
     reader: &mut TraceReader<R>,
 ) -> Result<SessionReport, CaptureError> {
     let session = pool.open_session(cfg);
-    let mut chunk: Vec<TraceEntry> = Vec::new();
-    while reader.read_chunk_into(&mut chunk)? {
-        // The channel takes ownership of each batch; hand over the decoded
-        // buffer and let the next read grow a fresh one.
-        session.send_batch(std::mem::take(&mut chunk))?;
+    let mut chunk = TraceBatch::new();
+    while reader.read_chunk_into_batch(&mut chunk)? {
+        // Frames decode directly into the batch's columns; the channel
+        // takes ownership of each batch, and the next one starts from a
+        // recycled arena the worker handed back.
+        let next = session.spare_batch();
+        session.send_batch(std::mem::replace(&mut chunk, next))?;
     }
     Ok(session.finish())
 }

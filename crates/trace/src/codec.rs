@@ -42,9 +42,8 @@
 //! frame per transport batch keeps capture and replay chunk-for-chunk
 //! identical with the live session that produced the file.
 
-use igm_isa::{
-    Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, Reg, RegSet, TraceEntry, TraceOp,
-};
+use igm_isa::{codes, MemSize, Reg, TraceEntry};
+use igm_lba::TraceBatch;
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -187,43 +186,46 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn reg(&mut self) -> Result<Reg, TraceError> {
+    /// One register index byte, validated.
+    fn reg(&mut self) -> Result<u8, TraceError> {
         let b = self.byte()?;
-        match Reg::try_from_index(b as usize) {
-            Some(r) => Ok(r),
-            None => self.corrupt("register index out of range"),
+        if Reg::try_from_index(b as usize).is_none() {
+            return self.corrupt("register index out of range");
         }
+        Ok(b)
     }
 
-    fn reg_pair(&mut self) -> Result<(Reg, Reg), TraceError> {
+    /// One packed register pair (`rs << 4 | rd`), both nibbles validated.
+    fn reg_pair(&mut self) -> Result<u8, TraceError> {
         let b = self.byte()?;
-        match (Reg::try_from_index((b >> 4) as usize), Reg::try_from_index((b & 0x0f) as usize)) {
-            (Some(a), Some(c)) => Ok((a, c)),
-            _ => self.corrupt("register index out of range"),
+        if Reg::try_from_index((b >> 4) as usize).is_none()
+            || Reg::try_from_index((b & 0x0f) as usize).is_none()
+        {
+            return self.corrupt("register index out of range");
         }
+        Ok(b)
     }
 
-    fn opt_reg(&mut self) -> Result<Option<Reg>, TraceError> {
+    /// One optional-register byte: a register index or [`codes::NO_REG`].
+    fn opt_reg(&mut self) -> Result<u8, TraceError> {
         let b = self.byte()?;
-        if b == NO_REG {
-            return Ok(None);
+        if b != codes::NO_REG && Reg::try_from_index(b as usize).is_none() {
+            return self.corrupt("register index out of range");
         }
-        match Reg::try_from_index(b as usize) {
-            Some(r) => Ok(Some(r)),
-            None => self.corrupt("register index out of range"),
-        }
+        Ok(b)
     }
 
-    fn mem_ref(&mut self, st: &mut CodecState) -> Result<MemRef, TraceError> {
+    /// Decodes one sized memory reference off the shared address stream,
+    /// returning the absolute address and its dense size code — exactly
+    /// one [`TraceBatch`] `addrs`/`sizes` slot.
+    fn mem_parts(&mut self, st: &mut CodecState) -> Result<(u32, u8), TraceError> {
         let v = self.varint()?;
-        let size = match v & 0x3 {
-            0 => MemSize::B1,
-            1 => MemSize::B2,
-            2 => MemSize::B4,
-            _ => return self.corrupt("memory access size code out of range"),
-        };
+        let size_code = (v & 0x3) as u8;
+        if MemSize::from_code(size_code).is_none() {
+            return self.corrupt("memory access size code out of range");
+        }
         let addr = self.resolve_addr(st, unzigzag(v >> 2))?;
-        Ok(MemRef::new(addr, size))
+        Ok((addr, size_code))
     }
 
     fn addr(&mut self, st: &mut CodecState) -> Result<u32, TraceError> {
@@ -256,46 +258,10 @@ impl<'a> Cursor<'a> {
 /// Tag bit set when the entry carries a non-empty `addr_regs` set.
 const TAG_ADDR_REGS: u8 = 0x80;
 
-/// `Option<Reg>` "absent" marker (register indices are `0..8`).
-const NO_REG: u8 = 0x0f;
-
-// Flattened variant tags.
-const T_IMM_TO_REG: u8 = 0;
-const T_IMM_TO_MEM: u8 = 1;
-const T_REG_SELF: u8 = 2;
-const T_MEM_SELF: u8 = 3;
-const T_REG_TO_REG: u8 = 4;
-const T_REG_TO_MEM: u8 = 5;
-const T_MEM_TO_REG: u8 = 6;
-const T_MEM_TO_MEM: u8 = 7;
-const T_DEST_REG_OP_REG: u8 = 8;
-const T_DEST_REG_OP_MEM: u8 = 9;
-const T_DEST_MEM_OP_REG: u8 = 10;
-const T_READ_ONLY: u8 = 11;
-const T_OTHER: u8 = 12;
-const T_CTRL_DIRECT: u8 = 13;
-const T_CTRL_INDIRECT: u8 = 14;
-const T_CTRL_COND: u8 = 15;
-const T_CTRL_RET: u8 = 16;
-const T_ANN_MALLOC: u8 = 17;
-const T_ANN_FREE: u8 = 18;
-const T_ANN_LOCK: u8 = 19;
-const T_ANN_UNLOCK: u8 = 20;
-const T_ANN_READ_INPUT: u8 = 21;
-const T_ANN_SYSCALL: u8 = 22;
-const T_ANN_PRINTF: u8 = 23;
-const T_ANN_THREAD_SWITCH: u8 = 24;
-const T_ANN_THREAD_EXIT: u8 = 25;
-
-fn put_mem_ref(out: &mut Vec<u8>, st: &mut CodecState, m: MemRef) {
-    let code = match m.size {
-        MemSize::B1 => 0u64,
-        MemSize::B2 => 1,
-        MemSize::B4 => 2,
-    };
-    let delta = zigzag(m.addr as i64 - st.prev_addr as i64);
-    put_varint(out, delta << 2 | code);
-    st.prev_addr = m.addr;
+fn put_mem_parts(out: &mut Vec<u8>, st: &mut CodecState, addr: u32, size_code: u8) {
+    let delta = zigzag(addr as i64 - st.prev_addr as i64);
+    put_varint(out, delta << 2 | size_code as u64);
+    st.prev_addr = addr;
 }
 
 fn put_addr(out: &mut Vec<u8>, st: &mut CodecState, addr: u32) {
@@ -303,136 +269,128 @@ fn put_addr(out: &mut Vec<u8>, st: &mut CodecState, addr: u32) {
     st.prev_addr = addr;
 }
 
-fn encode_entry(out: &mut Vec<u8>, st: &mut CodecState, e: &TraceEntry) {
-    let tag_at = out.len();
-    let mut tag = match &e.op {
-        TraceOp::Op(op) => match op {
-            OpClass::ImmToReg { .. } => T_IMM_TO_REG,
-            OpClass::ImmToMem { .. } => T_IMM_TO_MEM,
-            OpClass::RegSelf { .. } => T_REG_SELF,
-            OpClass::MemSelf { .. } => T_MEM_SELF,
-            OpClass::RegToReg { .. } => T_REG_TO_REG,
-            OpClass::RegToMem { .. } => T_REG_TO_MEM,
-            OpClass::MemToReg { .. } => T_MEM_TO_REG,
-            OpClass::MemToMem { .. } => T_MEM_TO_MEM,
-            OpClass::DestRegOpReg { .. } => T_DEST_REG_OP_REG,
-            OpClass::DestRegOpMem { .. } => T_DEST_REG_OP_MEM,
-            OpClass::DestMemOpReg { .. } => T_DEST_MEM_OP_REG,
-            OpClass::ReadOnly { .. } => T_READ_ONLY,
-            OpClass::Other { .. } => T_OTHER,
-        },
-        TraceOp::Ctrl(c) => match c {
-            CtrlOp::Direct => T_CTRL_DIRECT,
-            CtrlOp::Indirect { .. } => T_CTRL_INDIRECT,
-            CtrlOp::CondBranch { .. } => T_CTRL_COND,
-            CtrlOp::Ret { .. } => T_CTRL_RET,
-        },
-        TraceOp::Annot(a) => match a {
-            Annotation::Malloc { .. } => T_ANN_MALLOC,
-            Annotation::Free { .. } => T_ANN_FREE,
-            Annotation::Lock { .. } => T_ANN_LOCK,
-            Annotation::Unlock { .. } => T_ANN_UNLOCK,
-            Annotation::ReadInput { .. } => T_ANN_READ_INPUT,
-            Annotation::Syscall { .. } => T_ANN_SYSCALL,
-            Annotation::PrintfFormat { .. } => T_ANN_PRINTF,
-            Annotation::ThreadSwitch { .. } => T_ANN_THREAD_SWITCH,
-            Annotation::ThreadExit { .. } => T_ANN_THREAD_EXIT,
-        },
-    };
-    if !e.addr_regs.is_empty() {
-        tag |= TAG_ADDR_REGS;
+/// Encodes one chunk's worth of [`TraceBatch`] columns into `out`. The
+/// record tags are the batch's `codes` column (plus the addr-regs bit),
+/// the pc and address delta streams are the `pcs` and `addrs` columns
+/// re-delta'd, and payload bytes come straight off the `regs`/`flags`
+/// columns — the wire format and the columnar layout correspond
+/// stream-for-stream, so this is a set of cursor walks, not a per-record
+/// re-match of the trace vocabulary.
+fn encode_batch(out: &mut Vec<u8>, batch: &TraceBatch) {
+    let mut st = CodecState::default();
+    let pcs = batch.pcs();
+    let rcodes = batch.codes();
+    let aregs = batch.addr_regs_bits();
+    let regs = batch.reg_bytes();
+    let flags = batch.flag_bytes();
+    let addrs = batch.addrs();
+    let sizes = batch.size_codes();
+    let vals = batch.vals();
+    let (mut ai, mut vi) = (0usize, 0usize);
+    macro_rules! mem {
+        () => {{
+            put_mem_parts(out, &mut st, addrs[ai], sizes[ai]);
+            ai += 1;
+        }};
     }
-    out.push(tag);
-    put_varint(out, zigzag(e.pc as i64 - st.prev_pc as i64));
-    st.prev_pc = e.pc;
-    if !e.addr_regs.is_empty() {
-        out.push(e.addr_regs.bits());
+    macro_rules! plain_addr {
+        () => {{
+            put_addr(out, &mut st, addrs[ai]);
+            ai += 1;
+        }};
     }
-    match &e.op {
-        TraceOp::Op(op) => match *op {
-            OpClass::ImmToReg { rd } | OpClass::RegSelf { rd } => out.push(rd.index() as u8),
-            OpClass::ImmToMem { dst } | OpClass::MemSelf { dst } => put_mem_ref(out, st, dst),
-            OpClass::RegToReg { rs, rd } | OpClass::DestRegOpReg { rs, rd } => {
-                out.push((rs.index() as u8) << 4 | rd.index() as u8)
+    macro_rules! val {
+        () => {{
+            let v = vals[vi];
+            vi += 1;
+            v
+        }};
+    }
+    for i in 0..batch.len() {
+        let code = rcodes[i];
+        let areg = aregs[i];
+        out.push(code | if areg != 0 { TAG_ADDR_REGS } else { 0 });
+        put_varint(out, zigzag(pcs[i] as i64 - st.prev_pc as i64));
+        st.prev_pc = pcs[i];
+        if areg != 0 {
+            out.push(areg);
+        }
+        match code {
+            codes::IMM_TO_REG | codes::REG_SELF => out.push(regs[i] & 0x0f),
+            codes::IMM_TO_MEM | codes::MEM_SELF => mem!(),
+            codes::REG_TO_REG | codes::DEST_REG_OP_REG => out.push(regs[i]),
+            codes::REG_TO_MEM | codes::DEST_MEM_OP_REG => {
+                out.push(regs[i] & 0x0f);
+                mem!();
             }
-            OpClass::RegToMem { rs, dst } | OpClass::DestMemOpReg { rs, dst } => {
-                out.push(rs.index() as u8);
-                put_mem_ref(out, st, dst);
+            codes::MEM_TO_REG | codes::DEST_REG_OP_MEM => {
+                mem!();
+                out.push(regs[i] & 0x0f);
             }
-            OpClass::MemToReg { src, rd } | OpClass::DestRegOpMem { src, rd } => {
-                put_mem_ref(out, st, src);
-                out.push(rd.index() as u8);
+            codes::MEM_TO_MEM => {
+                mem!();
+                mem!();
             }
-            OpClass::MemToMem { src, dst } => {
-                put_mem_ref(out, st, src);
-                put_mem_ref(out, st, dst);
-            }
-            OpClass::ReadOnly { src, reads } => {
-                out.push(src.is_some() as u8);
-                out.push(reads.bits());
-                if let Some(m) = src {
-                    put_mem_ref(out, st, m);
+            codes::READ_ONLY => {
+                out.push(flags[i]);
+                out.push(regs[i]);
+                if flags[i] & 1 != 0 {
+                    mem!();
                 }
             }
-            OpClass::Other { reads, writes, mem_read, mem_write } => {
-                out.push(mem_read.is_some() as u8 | (mem_write.is_some() as u8) << 1);
-                out.push(reads.bits());
-                out.push(writes.bits());
-                if let Some(m) = mem_read {
-                    put_mem_ref(out, st, m);
+            codes::OTHER => {
+                out.push(flags[i]);
+                out.push(regs[i]);
+                out.push(val!() as u8);
+                if flags[i] & 1 != 0 {
+                    mem!();
                 }
-                if let Some(m) = mem_write {
-                    put_mem_ref(out, st, m);
+                if flags[i] & 2 != 0 {
+                    mem!();
                 }
             }
-        },
-        TraceOp::Ctrl(c) => match *c {
-            CtrlOp::Direct => {}
-            CtrlOp::Indirect { target } => match target {
-                JumpTarget::Reg(r) => {
-                    out.push(0);
-                    out.push(r.index() as u8);
-                }
-                JumpTarget::Mem(m) => {
+            codes::CTRL_DIRECT => {}
+            codes::CTRL_INDIRECT => {
+                if flags[i] & 1 != 0 {
                     out.push(1);
-                    put_mem_ref(out, st, m);
-                }
-            },
-            CtrlOp::CondBranch { input } => {
-                out.push(input.map_or(NO_REG, |r| r.index() as u8));
-            }
-            CtrlOp::Ret { slot } => put_mem_ref(out, st, slot),
-        },
-        TraceOp::Annot(a) => match *a {
-            Annotation::Malloc { base, size } => {
-                put_addr(out, st, base);
-                put_varint(out, size as u64);
-            }
-            Annotation::Free { base } => put_addr(out, st, base),
-            Annotation::Lock { lock } | Annotation::Unlock { lock } => put_addr(out, st, lock),
-            Annotation::ReadInput { base, len } => {
-                put_addr(out, st, base);
-                put_varint(out, len as u64);
-            }
-            Annotation::Syscall { arg_reg, arg_mem } => {
-                out.push(arg_reg.is_some() as u8 | (arg_mem.is_some() as u8) << 1);
-                if let Some(r) = arg_reg {
-                    out.push(r.index() as u8);
-                }
-                if let Some(m) = arg_mem {
-                    put_mem_ref(out, st, m);
+                    mem!();
+                } else {
+                    out.push(0);
+                    out.push(regs[i] & 0x0f);
                 }
             }
-            Annotation::PrintfFormat { fmt } => put_mem_ref(out, st, fmt),
-            Annotation::ThreadSwitch { tid } | Annotation::ThreadExit { tid } => {
-                put_varint(out, tid as u64)
+            codes::CTRL_COND => out.push(regs[i]),
+            codes::CTRL_RET | codes::ANN_PRINTF => mem!(),
+            codes::ANN_MALLOC | codes::ANN_READ_INPUT => {
+                plain_addr!();
+                put_varint(out, val!() as u64);
             }
-        },
+            codes::ANN_FREE | codes::ANN_LOCK | codes::ANN_UNLOCK => plain_addr!(),
+            codes::ANN_SYSCALL => {
+                out.push(flags[i]);
+                if flags[i] & 1 != 0 {
+                    out.push(regs[i] & 0x0f);
+                }
+                if flags[i] & 2 != 0 {
+                    mem!();
+                }
+            }
+            codes::ANN_THREAD_SWITCH | codes::ANN_THREAD_EXIT => put_varint(out, val!() as u64),
+            c => unreachable!("invalid field code {c} in TraceBatch"),
+        }
     }
-    debug_assert!(out.len() > tag_at);
 }
 
-fn decode_entry(cur: &mut Cursor<'_>, st: &mut CodecState) -> Result<TraceEntry, TraceError> {
+/// Decodes one record from the chunk payload **directly into** `out`'s
+/// columns: tag byte → `codes`, pc delta → `pcs`, payload bytes →
+/// `regs`/`flags`, the shared address-delta stream → `addrs`/`sizes`,
+/// immediates → `vals`. No intermediate `TraceEntry` is materialized; the
+/// wire streams and the columns line up one-to-one.
+fn decode_record(
+    cur: &mut Cursor<'_>,
+    st: &mut CodecState,
+    out: &mut TraceBatch,
+) -> Result<(), TraceError> {
     let tag = cur.byte()?;
     let pc_delta = unzigzag(cur.varint()?);
     let pc = match u32::try_from(st.prev_pc as i64 + pc_delta) {
@@ -445,102 +403,96 @@ fn decode_entry(cur: &mut Cursor<'_>, st: &mut CodecState) -> Result<TraceEntry,
         if bits == 0 {
             return cur.corrupt("addr_regs flag set but bitmap empty");
         }
-        RegSet::from_bits(bits)
+        bits
     } else {
-        RegSet::EMPTY
+        0
     };
-    let op = match tag & !TAG_ADDR_REGS {
-        T_IMM_TO_REG => TraceOp::Op(OpClass::ImmToReg { rd: cur.reg()? }),
-        T_IMM_TO_MEM => TraceOp::Op(OpClass::ImmToMem { dst: cur.mem_ref(st)? }),
-        T_REG_SELF => TraceOp::Op(OpClass::RegSelf { rd: cur.reg()? }),
-        T_MEM_SELF => TraceOp::Op(OpClass::MemSelf { dst: cur.mem_ref(st)? }),
-        T_REG_TO_REG => {
-            let (rs, rd) = cur.reg_pair()?;
-            TraceOp::Op(OpClass::RegToReg { rs, rd })
+    let code = tag & !TAG_ADDR_REGS;
+    let mut regs = 0u8;
+    let mut flags = 0u8;
+    macro_rules! mem {
+        () => {{
+            let (addr, size_code) = cur.mem_parts(st)?;
+            out.push_raw_addr(addr, size_code);
+        }};
+    }
+    macro_rules! plain_addr {
+        () => {{
+            let addr = cur.addr(st)?;
+            out.push_raw_addr(addr, 2);
+        }};
+    }
+    match code {
+        codes::IMM_TO_REG | codes::REG_SELF => regs = cur.reg()?,
+        codes::IMM_TO_MEM | codes::MEM_SELF => mem!(),
+        codes::REG_TO_REG | codes::DEST_REG_OP_REG => regs = cur.reg_pair()?,
+        codes::REG_TO_MEM | codes::DEST_MEM_OP_REG => {
+            regs = cur.reg()?;
+            mem!();
         }
-        T_REG_TO_MEM => {
-            let rs = cur.reg()?;
-            TraceOp::Op(OpClass::RegToMem { rs, dst: cur.mem_ref(st)? })
+        codes::MEM_TO_REG | codes::DEST_REG_OP_MEM => {
+            mem!();
+            regs = cur.reg()?;
         }
-        T_MEM_TO_REG => {
-            let src = cur.mem_ref(st)?;
-            TraceOp::Op(OpClass::MemToReg { src, rd: cur.reg()? })
+        codes::MEM_TO_MEM => {
+            mem!();
+            mem!();
         }
-        T_MEM_TO_MEM => {
-            let src = cur.mem_ref(st)?;
-            TraceOp::Op(OpClass::MemToMem { src, dst: cur.mem_ref(st)? })
-        }
-        T_DEST_REG_OP_REG => {
-            let (rs, rd) = cur.reg_pair()?;
-            TraceOp::Op(OpClass::DestRegOpReg { rs, rd })
-        }
-        T_DEST_REG_OP_MEM => {
-            let src = cur.mem_ref(st)?;
-            TraceOp::Op(OpClass::DestRegOpMem { src, rd: cur.reg()? })
-        }
-        T_DEST_MEM_OP_REG => {
-            let rs = cur.reg()?;
-            TraceOp::Op(OpClass::DestMemOpReg { rs, dst: cur.mem_ref(st)? })
-        }
-        T_READ_ONLY => {
-            let flags = cur.byte()?;
+        codes::READ_ONLY => {
+            flags = cur.byte()?;
             if flags > 1 {
                 return cur.corrupt("read_only flags byte out of range");
             }
-            let reads = RegSet::from_bits(cur.byte()?);
-            let src = if flags & 1 != 0 { Some(cur.mem_ref(st)?) } else { None };
-            TraceOp::Op(OpClass::ReadOnly { src, reads })
+            regs = cur.byte()?;
+            if flags & 1 != 0 {
+                mem!();
+            }
         }
-        T_OTHER => {
-            let flags = cur.byte()?;
+        codes::OTHER => {
+            flags = cur.byte()?;
             if flags > 3 {
                 return cur.corrupt("other flags byte out of range");
             }
-            let reads = RegSet::from_bits(cur.byte()?);
-            let writes = RegSet::from_bits(cur.byte()?);
-            let mem_read = if flags & 1 != 0 { Some(cur.mem_ref(st)?) } else { None };
-            let mem_write = if flags & 2 != 0 { Some(cur.mem_ref(st)?) } else { None };
-            TraceOp::Op(OpClass::Other { reads, writes, mem_read, mem_write })
+            regs = cur.byte()?;
+            out.push_raw_val(cur.byte()? as u32);
+            if flags & 1 != 0 {
+                mem!();
+            }
+            if flags & 2 != 0 {
+                mem!();
+            }
         }
-        T_CTRL_DIRECT => TraceOp::Ctrl(CtrlOp::Direct),
-        T_CTRL_INDIRECT => {
-            let target = match cur.byte()? {
-                0 => JumpTarget::Reg(cur.reg()?),
-                1 => JumpTarget::Mem(cur.mem_ref(st)?),
-                _ => return cur.corrupt("jump target kind out of range"),
-            };
-            TraceOp::Ctrl(CtrlOp::Indirect { target })
+        codes::CTRL_DIRECT => {}
+        codes::CTRL_INDIRECT => match cur.byte()? {
+            0 => regs = cur.reg()?,
+            1 => {
+                flags = 1;
+                mem!();
+            }
+            _ => return cur.corrupt("jump target kind out of range"),
+        },
+        codes::CTRL_COND => regs = cur.opt_reg()?,
+        codes::CTRL_RET | codes::ANN_PRINTF => mem!(),
+        codes::ANN_MALLOC | codes::ANN_READ_INPUT => {
+            plain_addr!();
+            out.push_raw_val(cur.u32_varint()?);
         }
-        T_CTRL_COND => TraceOp::Ctrl(CtrlOp::CondBranch { input: cur.opt_reg()? }),
-        T_CTRL_RET => TraceOp::Ctrl(CtrlOp::Ret { slot: cur.mem_ref(st)? }),
-        T_ANN_MALLOC => {
-            let base = cur.addr(st)?;
-            let size = cur.u32_varint()?;
-            TraceOp::Annot(Annotation::Malloc { base, size })
-        }
-        T_ANN_FREE => TraceOp::Annot(Annotation::Free { base: cur.addr(st)? }),
-        T_ANN_LOCK => TraceOp::Annot(Annotation::Lock { lock: cur.addr(st)? }),
-        T_ANN_UNLOCK => TraceOp::Annot(Annotation::Unlock { lock: cur.addr(st)? }),
-        T_ANN_READ_INPUT => {
-            let base = cur.addr(st)?;
-            let len = cur.u32_varint()?;
-            TraceOp::Annot(Annotation::ReadInput { base, len })
-        }
-        T_ANN_SYSCALL => {
-            let flags = cur.byte()?;
+        codes::ANN_FREE | codes::ANN_LOCK | codes::ANN_UNLOCK => plain_addr!(),
+        codes::ANN_SYSCALL => {
+            flags = cur.byte()?;
             if flags > 3 {
                 return cur.corrupt("syscall flags byte out of range");
             }
-            let arg_reg = if flags & 1 != 0 { Some(cur.reg()?) } else { None };
-            let arg_mem = if flags & 2 != 0 { Some(cur.mem_ref(st)?) } else { None };
-            TraceOp::Annot(Annotation::Syscall { arg_reg, arg_mem })
+            regs = if flags & 1 != 0 { cur.reg()? } else { codes::NO_REG };
+            if flags & 2 != 0 {
+                mem!();
+            }
         }
-        T_ANN_PRINTF => TraceOp::Annot(Annotation::PrintfFormat { fmt: cur.mem_ref(st)? }),
-        T_ANN_THREAD_SWITCH => TraceOp::Annot(Annotation::ThreadSwitch { tid: cur.u32_varint()? }),
-        T_ANN_THREAD_EXIT => TraceOp::Annot(Annotation::ThreadExit { tid: cur.u32_varint()? }),
+        codes::ANN_THREAD_SWITCH | codes::ANN_THREAD_EXIT => out.push_raw_val(cur.u32_varint()?),
         _ => return cur.corrupt("unknown record tag"),
-    };
-    Ok(TraceEntry { pc, op, addr_regs })
+    }
+    out.push_raw_record(pc, code, addr_regs, regs, flags);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -554,6 +506,9 @@ fn decode_entry(cur: &mut Cursor<'_>, st: &mut CodecState) -> Result<TraceEntry,
 pub struct TraceWriter<W: Write> {
     w: W,
     buf: Vec<u8>,
+    /// Conversion arena for the array-of-structs [`TraceWriter::write_chunk`]
+    /// compatibility path (reused across chunks).
+    scratch: TraceBatch,
     chunks: u64,
     records: u64,
     /// Frame bytes written after the file header (headers + payloads).
@@ -565,20 +520,26 @@ impl<W: Write> TraceWriter<W> {
     pub fn new(mut w: W) -> io::Result<TraceWriter<W>> {
         w.write_all(&MAGIC)?;
         w.write_all(&FORMAT_VERSION.to_le_bytes())?;
-        Ok(TraceWriter { w, buf: Vec::new(), chunks: 0, records: 0, stream_bytes: 0 })
+        Ok(TraceWriter {
+            w,
+            buf: Vec::new(),
+            scratch: TraceBatch::new(),
+            chunks: 0,
+            records: 0,
+            stream_bytes: 0,
+        })
     }
 
-    /// Encodes `batch` as one frame. An empty batch writes nothing (the
-    /// format has no empty frames).
-    pub fn write_chunk(&mut self, batch: &[TraceEntry]) -> io::Result<()> {
+    /// Encodes one columnar [`TraceBatch`] as one frame — the canonical
+    /// encoder: the batch's delta-friendly columns are re-delta'd straight
+    /// onto the wire ([`encode_batch`]). An empty batch writes nothing
+    /// (the format has no empty frames).
+    pub fn write_chunk_batch(&mut self, batch: &TraceBatch) -> io::Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
         self.buf.clear();
-        let mut st = CodecState::default();
-        for e in batch {
-            encode_entry(&mut self.buf, &mut st, e);
-        }
+        encode_batch(&mut self.buf, batch);
         let records = u32::try_from(batch.len()).expect("batch fits a u32 record count");
         let len = u32::try_from(self.buf.len()).expect("frame payload fits a u32 length");
         self.w.write_all(&records.to_le_bytes())?;
@@ -589,6 +550,18 @@ impl<W: Write> TraceWriter<W> {
         self.records += batch.len() as u64;
         self.stream_bytes += 12 + self.buf.len() as u64;
         Ok(())
+    }
+
+    /// Encodes an array-of-structs `batch` as one frame (compatibility
+    /// wrapper: scatters the records into a reused column arena and
+    /// encodes that, so there is exactly one encoder).
+    pub fn write_chunk(&mut self, batch: &[TraceEntry]) -> io::Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_entries(batch.iter().copied());
+        let r = self.write_chunk_batch(&scratch);
+        self.scratch = scratch;
+        r
     }
 
     /// Flushes and returns the underlying writer.
@@ -623,6 +596,9 @@ impl<W: Write> TraceWriter<W> {
 pub struct TraceReader<R: Read> {
     r: R,
     buf: Vec<u8>,
+    /// Conversion arena for the array-of-structs
+    /// [`TraceReader::read_chunk_into`] compatibility path.
+    scratch: TraceBatch,
     offset: u64,
     chunks: u64,
     records: u64,
@@ -648,12 +624,22 @@ impl<R: Read> TraceReader<R> {
         if version != FORMAT_VERSION {
             return Err(TraceError::UnsupportedVersion(version));
         }
-        Ok(TraceReader { r, buf: Vec::new(), offset: 8, chunks: 0, records: 0 })
+        Ok(TraceReader {
+            r,
+            buf: Vec::new(),
+            scratch: TraceBatch::new(),
+            offset: 8,
+            chunks: 0,
+            records: 0,
+        })
     }
 
-    /// Decodes the next frame into `out` (cleared first). Returns `false`
-    /// on a clean end of stream, `true` when `out` holds a chunk.
-    pub fn read_chunk_into(&mut self, out: &mut Vec<TraceEntry>) -> Result<bool, TraceError> {
+    /// Decodes the next frame **directly into** `out`'s columns (cleared
+    /// first) — the canonical decoder: no intermediate `Vec<TraceEntry>`
+    /// is built, the frame's delta streams land in the batch's
+    /// `pcs`/`addrs` columns one-to-one ([`decode_record`]). Returns
+    /// `false` on a clean end of stream, `true` when `out` holds a chunk.
+    pub fn read_chunk_into_batch(&mut self, out: &mut TraceBatch) -> Result<bool, TraceError> {
         out.clear();
         let mut header = [0u8; 12];
         match read_exact_or_eof(&mut self.r, &mut header) {
@@ -716,9 +702,8 @@ impl<R: Read> TraceReader<R> {
         }
         let mut cur = Cursor { bytes: &self.buf, pos: 0, base: payload_at };
         let mut st = CodecState::default();
-        out.reserve(records as usize);
         for _ in 0..records {
-            out.push(decode_entry(&mut cur, &mut st)?);
+            decode_record(&mut cur, &mut st, out)?;
         }
         if cur.pos != self.buf.len() {
             return Err(TraceError::Corrupt {
@@ -730,6 +715,21 @@ impl<R: Read> TraceReader<R> {
         self.chunks += 1;
         self.records += records as u64;
         Ok(true)
+    }
+
+    /// Decodes the next frame into an array-of-structs buffer
+    /// (compatibility wrapper over
+    /// [`TraceReader::read_chunk_into_batch`]: the columns are decoded
+    /// once, then viewed back out as entries).
+    pub fn read_chunk_into(&mut self, out: &mut Vec<TraceEntry>) -> Result<bool, TraceError> {
+        out.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = self.read_chunk_into_batch(&mut scratch);
+        if let Ok(true) = r {
+            out.extend(scratch.iter());
+        }
+        self.scratch = scratch;
+        r
     }
 
     /// Decodes the whole remaining stream, chunk structure flattened.
@@ -774,9 +774,9 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
 pub fn encode_to_vec(trace: impl IntoIterator<Item = TraceEntry>, chunk_bytes: u32) -> Vec<u8> {
     let mut w = TraceWriter::new(Vec::new()).expect("writing to a Vec cannot fail");
     let mut chunker = igm_lba::chunks(trace, chunk_bytes);
-    let mut batch = Vec::new();
-    while chunker.next_into(&mut batch) {
-        w.write_chunk(&batch).expect("writing to a Vec cannot fail");
+    let mut batch = TraceBatch::new();
+    while chunker.next_into_batch(&mut batch) {
+        w.write_chunk_batch(&batch).expect("writing to a Vec cannot fail");
     }
     w.finish().expect("flushing a Vec cannot fail")
 }

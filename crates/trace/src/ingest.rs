@@ -19,7 +19,7 @@
 
 use crate::codec::{TraceError, TraceReader};
 use igm_isa::TraceEntry;
-use igm_lba::Chunks;
+use igm_lba::{Chunks, TraceBatch};
 use igm_runtime::{MonitorPool, SessionConfig, SessionHandle, SessionReport};
 use std::fs::File;
 use std::io::{BufReader, Read};
@@ -43,13 +43,14 @@ pub enum SourceStatus {
 /// Implementations must not block: a source with nothing available
 /// returns [`SourceStatus::Pending`] and the ingest thread moves on.
 pub trait TraceSource: Send {
-    /// Fills `out` (cleared by the callee) with the next batch.
-    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError>;
+    /// Fills `out` (cleared by the callee) with the next columnar batch.
+    fn next_batch(&mut self, out: &mut TraceBatch) -> Result<SourceStatus, TraceError>;
 }
 
 /// An in-memory source: any record iterator, chunked at `chunk_bytes`
-/// into transport batches ([`igm_lba::chunks`] via the allocation-free
-/// [`Chunks::next_into`]).
+/// into columnar transport batches ([`igm_lba::chunks`] via the
+/// allocation-free [`Chunks::next_into_batch`] — the generator produces
+/// batches natively, no `Vec<TraceEntry>` staging).
 #[derive(Debug)]
 pub struct IterSource<I> {
     chunker: Chunks<I>,
@@ -66,8 +67,8 @@ impl<I: Iterator<Item = TraceEntry>> IterSource<I> {
 }
 
 impl<I: Iterator<Item = TraceEntry> + Send> TraceSource for IterSource<I> {
-    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError> {
-        if self.chunker.next_into(out) {
+    fn next_batch(&mut self, out: &mut TraceBatch) -> Result<SourceStatus, TraceError> {
+        if self.chunker.next_into_batch(out) {
             Ok(SourceStatus::Ready)
         } else {
             Ok(SourceStatus::Done)
@@ -98,8 +99,8 @@ impl FileSource<BufReader<File>> {
 }
 
 impl<R: Read + Send> TraceSource for FileSource<R> {
-    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError> {
-        if self.reader.read_chunk_into(out)? {
+    fn next_batch(&mut self, out: &mut TraceBatch) -> Result<SourceStatus, TraceError> {
+        if self.reader.read_chunk_into_batch(out)? {
             Ok(SourceStatus::Ready)
         } else {
             Ok(SourceStatus::Done)
@@ -119,20 +120,25 @@ pub fn batch_pipe(depth: usize) -> (PipeSender, PipeSource) {
 /// Producer endpoint of [`batch_pipe`].
 #[derive(Debug, Clone)]
 pub struct PipeSender {
-    tx: SyncSender<Vec<TraceEntry>>,
+    tx: SyncSender<TraceBatch>,
 }
 
 impl PipeSender {
-    /// Queues one batch, blocking while the pipe is full. Returns the
-    /// batch if the ingest side is gone.
-    pub fn send(&self, batch: Vec<TraceEntry>) -> Result<(), Vec<TraceEntry>> {
-        self.tx.send(batch).map_err(|e| e.0)
+    /// Queues one batch (anything convertible into a [`TraceBatch`]),
+    /// blocking while the pipe is full. Returns the batch if the ingest
+    /// side is gone.
+    // The "error" is the refused batch arena itself and refusal is the hot
+    // backpressure path — boxing it would add an allocation per refusal.
+    #[allow(clippy::result_large_err)]
+    pub fn send(&self, batch: impl Into<TraceBatch>) -> Result<(), TraceBatch> {
+        self.tx.send(batch.into()).map_err(|e| e.0)
     }
 
     /// Queues one batch without blocking; returns it if the pipe is full
     /// or the ingest side is gone.
-    pub fn try_send(&self, batch: Vec<TraceEntry>) -> Result<(), Vec<TraceEntry>> {
-        self.tx.try_send(batch).map_err(|e| match e {
+    #[allow(clippy::result_large_err)]
+    pub fn try_send(&self, batch: impl Into<TraceBatch>) -> Result<(), TraceBatch> {
+        self.tx.try_send(batch.into()).map_err(|e| match e {
             TrySendError::Full(b) | TrySendError::Disconnected(b) => b,
         })
     }
@@ -141,11 +147,11 @@ impl PipeSender {
 /// Consumer endpoint of [`batch_pipe`]: a readiness-polled pipe source.
 #[derive(Debug)]
 pub struct PipeSource {
-    rx: Receiver<Vec<TraceEntry>>,
+    rx: Receiver<TraceBatch>,
 }
 
 impl TraceSource for PipeSource {
-    fn next_batch(&mut self, out: &mut Vec<TraceEntry>) -> Result<SourceStatus, TraceError> {
+    fn next_batch(&mut self, out: &mut TraceBatch) -> Result<SourceStatus, TraceError> {
         out.clear();
         match self.rx.try_recv() {
             Ok(batch) => {
@@ -197,11 +203,12 @@ struct Lane {
     source: Box<dyn TraceSource>,
     session: Option<SessionHandle>,
     /// A batch refused by backpressure, awaiting retry.
-    staged: Option<Vec<TraceEntry>>,
-    /// Pull staging buffer: sources decode/chunk straight into it, then
-    /// ownership of the filled `Vec` transfers to the log channel (the
-    /// transport owns its batches, so the capacity travels with them).
-    scratch: Vec<TraceEntry>,
+    staged: Option<TraceBatch>,
+    /// Pull staging arena: sources decode/chunk their columns straight
+    /// into it, then ownership of the filled batch transfers to the log
+    /// channel (the transport owns its batches); the lane refills the
+    /// arena from the session's recycled spares.
+    scratch: TraceBatch,
     source_done: bool,
     /// Source exhausted and channel closed; the worker is draining in the
     /// background and the report is collected after the scheduling loop.
@@ -284,7 +291,7 @@ impl<'p> Ingestor<'p> {
             source: Box::new(source),
             session: Some(session),
             staged: None,
-            scratch: Vec::new(),
+            scratch: TraceBatch::new(),
             source_done: false,
             closed: false,
             stats: LaneStats::default(),
@@ -357,7 +364,17 @@ impl Lane {
                         return true;
                     }
                     match self.source.next_batch(&mut self.scratch) {
-                        Ok(SourceStatus::Ready) => std::mem::take(&mut self.scratch),
+                        Ok(SourceStatus::Ready) => {
+                            // Hand the filled arena to the channel and
+                            // refill the staging slot from the session's
+                            // recycled spares.
+                            let spare = self
+                                .session
+                                .as_ref()
+                                .map(SessionHandle::spare_batch)
+                                .unwrap_or_default();
+                            std::mem::replace(&mut self.scratch, spare)
+                        }
                         Ok(SourceStatus::Pending) => {
                             self.stats.pending_polls += 1;
                             return progress;

@@ -9,12 +9,15 @@
 //! FireGuard-style fabrics treat the monitored-event stream as a
 //! serialized artifact in its own right. Three layers:
 //!
-//! * [`codec`] — a compact binary encoding of [`igm_isa::TraceEntry`]:
+//! * [`codec`] — a compact binary encoding of the trace record stream:
 //!   LEB128 varints, per-chunk delta-coded program counters and data
-//!   addresses, one framed + checksummed chunk per transport batch.
-//!   [`TraceWriter`]/[`TraceReader`] stream over any `Write`/`Read`;
-//!   [`TraceReader::read_chunk_into`] decodes into a reusable buffer on
-//!   the runtime's allocation-conscious batch path. Typical generated
+//!   addresses, one framed + checksummed chunk per transport batch. The
+//!   wire streams correspond one-to-one with the columnar
+//!   [`igm_lba::TraceBatch`] layout: [`TraceWriter::write_chunk_batch`]
+//!   encodes straight from the columns and
+//!   [`TraceReader::read_chunk_into_batch`] decodes straight into them —
+//!   no intermediate `Vec<TraceEntry>` on either side (the entry-slice
+//!   APIs remain as thin conversion wrappers). Typical generated
 //!   workloads encode to ~3–5 bytes/record, far under the in-memory
 //!   `size_of::<TraceEntry>()`.
 //! * [`capture`] — [`CaptureSession`] tees a live pool session's batches

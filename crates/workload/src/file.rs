@@ -8,7 +8,7 @@
 
 use crate::Benchmark;
 use igm_isa::TraceEntry;
-use igm_lba::chunks;
+use igm_lba::{chunks, TraceBatch};
 use igm_trace::{TraceError, TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -46,9 +46,9 @@ pub fn write_trace<W: Write>(
 ) -> Result<TraceFileSummary, TraceError> {
     let mut writer = TraceWriter::new(sink)?;
     let mut chunker = chunks(trace, chunk_bytes);
-    let mut batch = Vec::new();
-    while chunker.next_into(&mut batch) {
-        writer.write_chunk(&batch)?;
+    let mut batch = TraceBatch::new();
+    while chunker.next_into_batch(&mut batch) {
+        writer.write_chunk_batch(&batch)?;
     }
     let summary = TraceFileSummary {
         records: writer.records(),

@@ -4,14 +4,21 @@
 //! faults in shadow chunks and warms accelerator state), re-dispatching and
 //! re-handling the same batch must leave the allocation counter untouched —
 //! extraction arena, post-IT buffer, delivered-event buffer and handler
-//! cost sink are all reused.
+//! cost sink are all reused. Both dispatch front doors are covered: the
+//! columnar `dispatch_batch` over a `TraceBatch` and the array-of-structs
+//! `dispatch_batch_entries` compatibility path.
 
 use igm::accel::{AccelConfig, DispatchPipeline, ItConfig};
 use igm::isa::{MemRef, OpClass, Reg, TraceEntry};
-use igm::lba::EventBuf;
+use igm::lba::{EventBuf, TraceBatch};
 use igm::lifeguards::{CostSink, Lifeguard, LifeguardKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The two tests below share one process-wide allocation counter, so they
+/// must not run concurrently (each would observe the other's allocations).
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Counts every allocation-path entry (alloc, alloc_zeroed, realloc).
 struct CountingAllocator;
@@ -64,8 +71,9 @@ fn steady_batch(n: u32) -> Vec<TraceEntry> {
 }
 
 #[test]
-fn steady_state_batch_dispatch_allocates_nothing() {
-    let batch = steady_batch(2_048);
+fn steady_state_columnar_dispatch_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    let batch = TraceBatch::from_entries(&steady_batch(2_048));
     for kind in LifeguardKind::ALL {
         for accel in [AccelConfig::baseline(), AccelConfig::full(ItConfig::taint_style())] {
             let masked = kind.mask_config(&accel);
@@ -89,8 +97,8 @@ fn steady_state_batch_dispatch_allocates_nothing() {
                 violations.first()
             );
 
-            // Measured steady-state pass: the whole batch through
-            // extraction → IT → ETCT → IF → handlers, zero allocations.
+            // Measured steady-state pass: the whole batch through the
+            // column sweeps → IT → ETCT → IF → handlers, zero allocations.
             let before = ALLOCATIONS.load(Ordering::Relaxed);
             pipeline.dispatch_batch(&batch, &mut events);
             cost.clear();
@@ -99,11 +107,52 @@ fn steady_state_batch_dispatch_allocates_nothing() {
             assert_eq!(
                 after - before,
                 0,
-                "{kind} / {}: {} allocation(s) on the steady-state dispatch path",
+                "{kind} / {}: {} allocation(s) on the steady-state columnar dispatch path",
                 accel.label(),
                 after - before
             );
             assert!(!events.is_empty(), "{kind}: events must actually flow");
         }
     }
+}
+
+/// The batch can also be *built* allocation-free at steady state: clearing
+/// a warm arena and re-scattering the same records must not touch the
+/// allocator (column capacity is retained), and the AoS compatibility
+/// dispatch stays zero-alloc too.
+#[test]
+fn steady_state_batch_build_and_aos_dispatch_allocate_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    let entries = steady_batch(2_048);
+    let kind = LifeguardKind::AddrCheck;
+    let accel = AccelConfig::baseline();
+    let mut lifeguard = kind.build_any(&accel);
+    lifeguard.premark_region(HEAP, 0x1000);
+    let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &kind.mask_config(&accel));
+    let mut cost = CostSink::new();
+    let mut events = EventBuf::new();
+    let mut batch = TraceBatch::new();
+
+    for _ in 0..2 {
+        batch.clear();
+        batch.extend_entries(entries.iter().copied());
+        pipeline.dispatch_batch(&batch, &mut events);
+        cost.clear();
+        lifeguard.handle_batch(events.events(), &mut cost);
+        pipeline.dispatch_batch_entries(&entries, &mut events);
+        cost.clear();
+        lifeguard.handle_batch(events.events(), &mut cost);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    batch.clear();
+    batch.extend_entries(entries.iter().copied());
+    pipeline.dispatch_batch(&batch, &mut events);
+    cost.clear();
+    lifeguard.handle_batch(events.events(), &mut cost);
+    pipeline.dispatch_batch_entries(&entries, &mut events);
+    cost.clear();
+    lifeguard.handle_batch(events.events(), &mut cost);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "batch refill + AoS dispatch must be allocation-free");
 }

@@ -1,12 +1,15 @@
 //! Batch-grain dispatch must be a pure refactor of per-record dispatch:
-//! for every lifeguard and accelerator configuration, `dispatch_batch` over
-//! arbitrary chunkings of a generated trace yields the identical delivered
+//! for every lifeguard and accelerator configuration, columnar
+//! `dispatch_batch` over arbitrary chunkings of a generated trace — each
+//! chunk scattered into a `TraceBatch` — yields the identical delivered
 //! event sequence, identical `DispatchStats`, identical handler costs and
-//! identical violations as record-at-a-time `dispatch`.
+//! identical violations as record-at-a-time `dispatch` (the PR 2 AoS
+//! path). The same property run also pins the `TraceBatch` round trip:
+//! `from_entries` → view iterator is the identity on every chunk.
 
 use igm::accel::{AccelConfig, DispatchPipeline, ItConfig};
 use igm::isa::{Annotation, CtrlOp, JumpTarget, MemRef, MemSize, Reg, TraceEntry};
-use igm::lba::{DeliveredEvent, EventBuf};
+use igm::lba::{DeliveredEvent, EventBuf, TraceBatch};
 use igm::lifeguards::{CostSink, Lifeguard, LifeguardKind};
 use proptest::prelude::*;
 
@@ -113,15 +116,21 @@ proptest! {
                     ref_delivered.extend(record_events);
                 }
 
-                // Batched: the same trace in `chunk`-record batches through
-                // the hot path, pipeline state carrying across batches.
+                // Batched: the same trace in `chunk`-record columnar
+                // batches through the hot path, pipeline state carrying
+                // across batches.
                 let mut lifeguard = kind.build_any(&accel);
                 let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &masked);
                 let mut cost = CostSink::new();
                 let mut events = EventBuf::new();
                 let mut delivered: Vec<DeliveredEvent> = Vec::new();
+                let mut columns = TraceBatch::new();
                 for batch in trace.chunks(chunk) {
-                    pipeline.dispatch_batch(batch, &mut events);
+                    columns.clear();
+                    columns.extend_entries(batch.iter().copied());
+                    // SoA round trip is the identity on every chunk.
+                    prop_assert_eq!(&columns.to_entries()[..], batch);
+                    pipeline.dispatch_batch(&columns, &mut events);
                     prop_assert_eq!(events.records(), batch.len());
                     lifeguard.handle_batch(events.events(), &mut cost);
                     delivered.extend(events.events().iter().copied());

@@ -76,6 +76,25 @@ fn epoch_parallel_taintcheck_matches_sequential_monitor() {
             "epoch-parallel (epoch={epoch_records}) must equal sequential order and content"
         );
     }
+
+    // Adaptive epoch sizing re-budgets every epoch from observed check
+    // density; whatever cuts it picks, the merged result must still equal
+    // the sequential reference exactly.
+    let report = igm::runtime::monitor_epoch_parallel_with(
+        &pool,
+        &SessionConfig::new("hot-app-adaptive", LifeguardKind::TaintCheck),
+        trace.iter().copied(),
+        igm::runtime::EpochConfig::Adaptive {
+            initial: 1_000,
+            min: 500,
+            max: 8_192,
+            target_checks: 2_000,
+        },
+    );
+    assert!(report.parallel);
+    assert_eq!(report.records, trace.len() as u64);
+    assert!(report.epochs >= trace.len() / 8_192, "adaptive epochs must cover the trace");
+    assert_eq!(report.violations, seq_violations, "adaptive sizing must not change results");
     pool.shutdown();
 }
 
