@@ -2,10 +2,12 @@
 //! 1, 2, 4 and 8 workers × {AddrCheck, TaintCheck}, eight concurrent tenant
 //! sessions each, plus the transport/scheduler counters that explain the
 //! scaling (total producer stalls and stalled nanoseconds, work-stealing
-//! session migrations). Two further sections measure the `igm-trace`
-//! subsystem: single-thread multiplexed **ingest** throughput (one
-//! `Ingestor` driving all eight tenants, vs. eight producer threads) and
-//! the **codec**'s encoded bytes/record against the in-memory and
+//! session migrations). Further sections measure the trace subsystems:
+//! single-thread multiplexed **ingest** throughput (one `Ingestor`
+//! driving all eight tenants, vs. eight producer threads), cross-host
+//! **net ingest** (four loopback `TraceForwarder` clients through one
+//! `IngestServer` thread, with credit-stall and deferred-send counts),
+//! and the **codec**'s encoded bytes/record against the in-memory and
 //! compressed-model baselines. Emits `BENCH_throughput.json` so future
 //! changes have a perf trajectory to compare against.
 //!
@@ -17,6 +19,7 @@
 use igm_core::DispatchPipeline;
 use igm_lba::{extract_batch, extract_batch_entries, EventBuf, TraceBatch};
 use igm_lifeguards::{Lifeguard, LifeguardKind};
+use igm_net::{ForwarderConfig, IngestServer, NetServerConfig, TraceForwarder};
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
 use igm_trace::{IngestConfig, Ingestor, IterSource};
 use igm_workload::Benchmark;
@@ -152,6 +155,81 @@ fn run_ingest_once(kind: LifeguardKind, workers: usize, n: u64) -> IngestResult 
 fn run_ingest_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize) -> IngestResult {
     let mut runs: Vec<IngestResult> =
         (0..reps).map(|_| run_ingest_once(kind, workers, n)).collect();
+    runs.sort_by(|a, b| a.records_per_sec.total_cmp(&b.records_per_sec));
+    runs.remove((runs.len() - 1) / 2)
+}
+
+/// One cross-host (loopback) ingest measurement.
+struct NetResult {
+    records_per_sec: f64,
+    /// Server-side sends refused by full log channels (lane backpressure).
+    deferred_sends: u64,
+    /// Client-side stalls waiting for credit grants.
+    credit_stalls: u64,
+}
+
+/// Streams `clients` loopback tenants through a **single** server thread
+/// (accept + handshake + credit flow + multiplexed ingest) into a pool of
+/// `workers` shards, each tenant from its own forwarder thread.
+fn run_net_once(kind: LifeguardKind, workers: usize, clients: usize, n: u64) -> NetResult {
+    let traces: Vec<(Benchmark, Vec<_>)> =
+        TENANTS.iter().cycle().take(clients).map(|b| (*b, b.trace(n).collect())).collect();
+    let chunk_bytes = std::env::var("CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PoolConfig::default().chunk_bytes);
+    let pool = MonitorPool::new(PoolConfig { chunk_bytes, ..PoolConfig::with_workers(workers) });
+    let server =
+        IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let start = Instant::now();
+    let (report, credit_stalls) = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bench, trace))| {
+                scope.spawn(move || {
+                    let cfg = SessionConfig::new(format!("{}-{i}", bench.name()), kind)
+                        .synthetic()
+                        .premark(&bench.profile().premark_regions());
+                    let fcfg = ForwarderConfig { chunk_bytes, ..ForwarderConfig::default() };
+                    let mut fwd = TraceForwarder::connect_with(addr, &cfg, fcfg).expect("connect");
+                    fwd.stream(trace).expect("stream");
+                    fwd.finish().expect("clean FIN")
+                })
+            })
+            .collect();
+        let report = server.serve_connections(clients);
+        let mut credit_stalls = 0u64;
+        for h in handles {
+            let r = h.join().expect("client completes");
+            assert_eq!(r.server_records, r.stats.records, "records lost in flight");
+            credit_stalls += r.stats.credit_stalls;
+        }
+        (report, credit_stalls)
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(report.ingest.errors.is_empty(), "loopback lanes cannot fail");
+    assert_eq!(report.ingest.records(), clients as u64 * n, "server lost records");
+    let deferred_sends = report.ingest.lanes.iter().map(|(_, l)| l.deferred_sends).sum();
+    pool.shutdown();
+    NetResult {
+        records_per_sec: report.ingest.records() as f64 / elapsed,
+        deferred_sends,
+        credit_stalls,
+    }
+}
+
+/// Median loopback-ingest run (same selection rule as [`run_median`]).
+fn run_net_median(
+    kind: LifeguardKind,
+    workers: usize,
+    clients: usize,
+    n: u64,
+    reps: usize,
+) -> NetResult {
+    let mut runs: Vec<NetResult> =
+        (0..reps).map(|_| run_net_once(kind, workers, clients, n)).collect();
     runs.sort_by(|a, b| a.records_per_sec.total_cmp(&b.records_per_sec));
     runs.remove((runs.len() - 1) / 2)
 }
@@ -326,6 +404,38 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // Cross-host ingest: loopback clients → one server thread → pool.
+    // ------------------------------------------------------------------
+    const NET_CLIENTS: usize = 4;
+    println!("\ncross-host ingest: {NET_CLIENTS} loopback clients, 1 server thread, 4 workers\n");
+    println!(
+        "{:<12} {:>8} {:>16} {:>10} {:>14}",
+        "lifeguard", "clients", "records/s", "deferred", "credit-stalls"
+    );
+    let mut net_entries = Vec::new();
+    for kind in lifeguards {
+        let r = run_net_median(kind, 4, NET_CLIENTS, n, reps);
+        println!(
+            "{:<12} {:>8} {:>16.0} {:>10} {:>14}",
+            kind.name(),
+            NET_CLIENTS,
+            r.records_per_sec,
+            r.deferred_sends,
+            r.credit_stalls
+        );
+        net_entries.push(format!(
+            "    {{\"lifeguard\": \"{}\", \"clients\": {}, \"server_threads\": 1, \
+             \"workers\": 4, \"net_records_per_sec\": {:.0}, \"deferred_sends\": {}, \
+             \"credit_stalls\": {}}}",
+            kind.name(),
+            NET_CLIENTS,
+            r.records_per_sec,
+            r.deferred_sends,
+            r.credit_stalls
+        ));
+    }
+
+    // ------------------------------------------------------------------
     // Codec density: encoded bytes/record per tenant workload, against
     // the in-memory representation and the paper's compressed-size model.
     // ------------------------------------------------------------------
@@ -380,12 +490,13 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ]\n}}\n",
         TENANTS.len(),
         n,
         reps,
         entries.join(",\n"),
         ingest_entries.join(",\n"),
+        net_entries.join(",\n"),
         codec_entries.join(",\n"),
         extraction_entries.join(",\n")
     );

@@ -184,6 +184,51 @@ pub fn replay_reader<R: Read>(
     Ok(session.finish())
 }
 
+/// Replays only the records in `range` (0-based record numbers over the
+/// whole trace) through a fresh session on `pool`, using `index` to seek
+/// straight to the first frame the window touches — the prefix is never
+/// decoded. Frames decode independently (delta streams reset per frame),
+/// so this is exact; edge frames are trimmed to the window.
+///
+/// A window replay observes the records without their prefix, so lifeguard
+/// state (and therefore violations) can differ from the same range inside
+/// a full replay — this is an inspection tool, not a determinism claim.
+/// Record numbers past the end of the trace are simply absent.
+pub fn replay_window<R: Read + io::Seek>(
+    pool: &MonitorPool,
+    cfg: SessionConfig,
+    reader: &mut TraceReader<R>,
+    index: &crate::index::TraceIndex,
+    range: std::ops::Range<u64>,
+) -> Result<SessionReport, CaptureError> {
+    let session = pool.open_session(cfg);
+    let end = range.end.min(index.total_records());
+    if range.start >= end {
+        return Ok(session.finish());
+    }
+    let entry = *index.frame_for_record(range.start).expect("start record is inside the trace");
+    reader.seek_to_frame(&entry)?;
+    // Record number of the next frame's first record.
+    let mut pos = entry.first_record;
+    let mut chunk = TraceBatch::new();
+    while pos < end && reader.read_chunk_into_batch(&mut chunk)? {
+        let n = chunk.len();
+        let skip = range.start.saturating_sub(pos).min(n as u64) as usize;
+        let take_end = (end - pos).min(n as u64) as usize;
+        if skip == 0 && take_end == n {
+            let next = session.spare_batch();
+            session.send_batch(std::mem::replace(&mut chunk, next))?;
+        } else {
+            // Edge frame: trim to the window through the entry view.
+            let mut trimmed = session.spare_batch();
+            trimmed.extend_entries(chunk.iter().skip(skip).take(take_end - skip));
+            session.send_batch(trimmed)?;
+        }
+        pos += n as u64;
+    }
+    Ok(session.finish())
+}
+
 /// Replays a trace file at `path` through a fresh session on `pool`.
 pub fn replay_file(
     pool: &MonitorPool,

@@ -55,7 +55,11 @@ pub const FORMAT_VERSION: u32 = 1;
 
 /// Upper bound accepted for one frame's payload, so a corrupt length field
 /// cannot drive a multi-gigabyte allocation before the checksum catches it.
-const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+pub const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Bytes of frame header preceding every frame payload (`records`,
+/// `payload_len`, `checksum`, each `u32` LE).
+pub const FRAME_HEADER_BYTES: usize = 12;
 
 /// Errors produced while reading or writing a trace stream.
 #[derive(Debug)]
@@ -496,6 +500,130 @@ fn decode_record(
 }
 
 // ---------------------------------------------------------------------------
+// Single-frame encode/decode (shared by the writer/reader and `igm-net`,
+// whose wire protocol carries these frames verbatim).
+// ---------------------------------------------------------------------------
+
+/// Appends one complete frame — header plus encoded payload — for `batch`
+/// to `out`. An empty batch appends nothing (the format has no empty
+/// frames). This is the single canonical frame encoder:
+/// [`TraceWriter::write_chunk_batch`] writes its output to the stream, and
+/// `igm-net` ships it verbatim inside chunk messages.
+pub fn encode_frame(out: &mut Vec<u8>, batch: &TraceBatch) {
+    if batch.is_empty() {
+        return;
+    }
+    let start = out.len();
+    out.resize(start + FRAME_HEADER_BYTES, 0);
+    encode_batch(out, batch);
+    let records = u32::try_from(batch.len()).expect("batch fits a u32 record count");
+    let payload = start + FRAME_HEADER_BYTES;
+    let len = u32::try_from(out.len() - payload).expect("frame payload fits a u32 length");
+    let sum = checksum(&out[payload..]);
+    out[start..start + 4].copy_from_slice(&records.to_le_bytes());
+    out[start + 4..start + 8].copy_from_slice(&len.to_le_bytes());
+    out[start + 8..start + 12].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Validates one frame header's fields (shared by every decode path).
+/// `offset` is the header's position in the stream, for error reporting.
+pub(crate) fn validate_frame_header(records: u32, len: u32, offset: u64) -> Result<(), TraceError> {
+    if records == 0 {
+        return Err(TraceError::Corrupt { offset, reason: "zero-record frame" });
+    }
+    if len == 0 {
+        return Err(TraceError::Corrupt { offset, reason: "zero-length frame payload" });
+    }
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(TraceError::Corrupt {
+            offset,
+            reason: "frame payload length exceeds the format bound",
+        });
+    }
+    // Every record encodes to at least two bytes (tag + pc varint), so a
+    // count inconsistent with the payload length is corruption. The
+    // checksum covers only the payload, not the header — this check must
+    // precede any length-driven allocation, or a flipped count field could
+    // drive a multi-gigabyte allocation instead of a typed error.
+    if records as u64 * 2 > len as u64 {
+        return Err(TraceError::Corrupt {
+            offset,
+            reason: "record count inconsistent with frame payload length",
+        });
+    }
+    Ok(())
+}
+
+/// Verifies a frame payload's checksum and decodes its records into
+/// `out`'s columns (appended; callers clear first if they want a fresh
+/// batch). `payload_at` is the payload's stream offset for error
+/// reporting.
+fn decode_frame_payload(
+    records: u32,
+    sum: u32,
+    payload: &[u8],
+    payload_at: u64,
+    out: &mut TraceBatch,
+) -> Result<(), TraceError> {
+    if checksum(payload) != sum {
+        return Err(TraceError::Corrupt { offset: payload_at, reason: "frame checksum mismatch" });
+    }
+    let mut cur = Cursor { bytes: payload, pos: 0, base: payload_at };
+    let mut st = CodecState::default();
+    for _ in 0..records {
+        decode_record(&mut cur, &mut st, out)?;
+    }
+    if cur.pos != payload.len() {
+        return Err(TraceError::Corrupt {
+            offset: payload_at + cur.pos as u64,
+            reason: "frame payload has trailing bytes",
+        });
+    }
+    Ok(())
+}
+
+/// Decodes exactly one complete frame from the start of `bytes` into
+/// `out`'s columns (cleared first), returning the bytes consumed. The
+/// frame must be whole and `bytes` must hold nothing else: truncation and
+/// trailing bytes are both [`TraceError::Corrupt`]. `stream_offset` is
+/// where `bytes[0]` sits in the surrounding stream, for error reporting —
+/// the inverse of [`encode_frame`], used by `igm-net` to decode the frame
+/// carried in one chunk message.
+pub fn decode_frame(
+    bytes: &[u8],
+    stream_offset: u64,
+    out: &mut TraceBatch,
+) -> Result<usize, TraceError> {
+    out.clear();
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err(TraceError::Corrupt {
+            offset: stream_offset + bytes.len() as u64,
+            reason: "stream ends inside a frame header",
+        });
+    }
+    let records = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let sum = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    validate_frame_header(records, len, stream_offset)?;
+    let payload_at = stream_offset + FRAME_HEADER_BYTES as u64;
+    let total = FRAME_HEADER_BYTES + len as usize;
+    if bytes.len() < total {
+        return Err(TraceError::Corrupt {
+            offset: stream_offset + bytes.len() as u64,
+            reason: "stream ends inside a frame payload",
+        });
+    }
+    if bytes.len() > total {
+        return Err(TraceError::Corrupt {
+            offset: stream_offset + total as u64,
+            reason: "frame payload has trailing bytes",
+        });
+    }
+    decode_frame_payload(records, sum, &bytes[FRAME_HEADER_BYTES..total], payload_at, out)?;
+    Ok(total)
+}
+
+// ---------------------------------------------------------------------------
 // Writer / reader.
 // ---------------------------------------------------------------------------
 
@@ -513,6 +641,11 @@ pub struct TraceWriter<W: Write> {
     records: u64,
     /// Frame bytes written after the file header (headers + payloads).
     stream_bytes: u64,
+    /// Frame-offset index built as frames are written, when requested via
+    /// [`TraceWriter::with_index`] (opt-in: long-lived tee/capture
+    /// writers that never read it should not accumulate an entry per
+    /// frame forever).
+    index: Option<crate::index::TraceIndex>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -527,28 +660,37 @@ impl<W: Write> TraceWriter<W> {
             chunks: 0,
             records: 0,
             stream_bytes: 0,
+            index: None,
         })
+    }
+
+    /// Like [`TraceWriter::new`], but also builds the frame-offset index
+    /// as frames are written ([`TraceWriter::index`]) — byte-identical to
+    /// what [`crate::index::TraceIndex::scan`] would rebuild from the
+    /// finished stream, at one small entry per frame.
+    pub fn with_index(w: W) -> io::Result<TraceWriter<W>> {
+        let mut writer = TraceWriter::new(w)?;
+        writer.index = Some(crate::index::TraceIndex::new());
+        Ok(writer)
     }
 
     /// Encodes one columnar [`TraceBatch`] as one frame — the canonical
     /// encoder: the batch's delta-friendly columns are re-delta'd straight
-    /// onto the wire ([`encode_batch`]). An empty batch writes nothing
+    /// onto the wire ([`encode_frame`]). An empty batch writes nothing
     /// (the format has no empty frames).
     pub fn write_chunk_batch(&mut self, batch: &TraceBatch) -> io::Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
         self.buf.clear();
-        encode_batch(&mut self.buf, batch);
-        let records = u32::try_from(batch.len()).expect("batch fits a u32 record count");
-        let len = u32::try_from(self.buf.len()).expect("frame payload fits a u32 length");
-        self.w.write_all(&records.to_le_bytes())?;
-        self.w.write_all(&len.to_le_bytes())?;
-        self.w.write_all(&checksum(&self.buf).to_le_bytes())?;
+        encode_frame(&mut self.buf, batch);
         self.w.write_all(&self.buf)?;
+        if let Some(index) = self.index.as_mut() {
+            index.push_frame(8 + self.stream_bytes, batch.len() as u32);
+        }
         self.chunks += 1;
         self.records += batch.len() as u64;
-        self.stream_bytes += 12 + self.buf.len() as u64;
+        self.stream_bytes += self.buf.len() as u64;
         Ok(())
     }
 
@@ -584,6 +726,16 @@ impl<W: Write> TraceWriter<W> {
     /// — the numerator of the bytes-per-record metric.
     pub fn stream_bytes(&self) -> u64 {
         self.stream_bytes
+    }
+
+    /// The frame-offset index accumulated so far (`None` unless the
+    /// writer was opened with [`TraceWriter::with_index`]) — one entry
+    /// per frame written, byte-identical to what
+    /// [`crate::index::TraceIndex::scan`] rebuilds from the finished
+    /// stream. Save it as a sidecar ([`crate::index::TraceIndex::save`])
+    /// to enable seeking replays.
+    pub fn index(&self) -> Option<&crate::index::TraceIndex> {
+        self.index.as_ref()
     }
 }
 
@@ -656,33 +808,8 @@ impl<R: Read> TraceReader<R> {
         let records = u32::from_le_bytes(header[0..4].try_into().unwrap());
         let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
         let sum = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        if records == 0 {
-            return Err(TraceError::Corrupt { offset: self.offset, reason: "zero-record frame" });
-        }
-        if len == 0 {
-            return Err(TraceError::Corrupt {
-                offset: self.offset,
-                reason: "zero-length frame payload",
-            });
-        }
-        if len > MAX_PAYLOAD_BYTES {
-            return Err(TraceError::Corrupt {
-                offset: self.offset,
-                reason: "frame payload length exceeds the format bound",
-            });
-        }
-        // Every record encodes to at least two bytes (tag + pc varint), so
-        // a count inconsistent with the payload length is corruption. The
-        // checksum covers only the payload, not the header — this check
-        // must precede the `reserve` below, or a flipped count field could
-        // drive a multi-gigabyte allocation instead of a typed error.
-        if records as u64 * 2 > len as u64 {
-            return Err(TraceError::Corrupt {
-                offset: self.offset,
-                reason: "record count inconsistent with frame payload length",
-            });
-        }
-        let payload_at = self.offset + 12;
+        validate_frame_header(records, len, self.offset)?;
+        let payload_at = self.offset + FRAME_HEADER_BYTES as u64;
         self.buf.resize(len as usize, 0);
         match read_exact_or_eof(&mut self.r, &mut self.buf) {
             Ok(n) if n < len as usize => {
@@ -694,23 +821,7 @@ impl<R: Read> TraceReader<R> {
             Ok(_) => {}
             Err(e) => return Err(TraceError::Io(e)),
         }
-        if checksum(&self.buf) != sum {
-            return Err(TraceError::Corrupt {
-                offset: payload_at,
-                reason: "frame checksum mismatch",
-            });
-        }
-        let mut cur = Cursor { bytes: &self.buf, pos: 0, base: payload_at };
-        let mut st = CodecState::default();
-        for _ in 0..records {
-            decode_record(&mut cur, &mut st, out)?;
-        }
-        if cur.pos != self.buf.len() {
-            return Err(TraceError::Corrupt {
-                offset: payload_at + cur.pos as u64,
-                reason: "frame payload has trailing bytes",
-            });
-        }
+        decode_frame_payload(records, sum, &self.buf, payload_at, out)?;
         self.offset = payload_at + len as u64;
         self.chunks += 1;
         self.records += records as u64;
@@ -753,10 +864,24 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
+impl<R: Read + io::Seek> TraceReader<R> {
+    /// Repositions the reader at the frame described by `entry` (an
+    /// [`IndexEntry`](crate::index::IndexEntry) from a
+    /// [`TraceIndex`](crate::index::TraceIndex)), so the next
+    /// [`TraceReader::read_chunk_into_batch`] decodes that frame — no
+    /// prefix decoding. Frames decode independently (both delta streams
+    /// reset at frame boundaries), so any frame is a valid entry point.
+    pub fn seek_to_frame(&mut self, entry: &crate::index::IndexEntry) -> Result<(), TraceError> {
+        self.r.seek(io::SeekFrom::Start(entry.offset)).map_err(TraceError::Io)?;
+        self.offset = entry.offset;
+        Ok(())
+    }
+}
+
 /// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF,
 /// returns 0) and "some but not enough" (returns the short count) from
 /// I/O errors.
-fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+pub(crate) fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {

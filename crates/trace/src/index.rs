@@ -1,0 +1,231 @@
+//! Sidecar frame-offset indexes for random-access replay windows.
+//!
+//! A trace file is a sequence of self-contained frames (both delta streams
+//! reset at every frame boundary), so any frame is a valid decode entry
+//! point — but finding the frame that holds record *k* normally means
+//! decoding every frame before it. A [`TraceIndex`] is the missing
+//! directory: one `(byte offset, records)` entry per frame, built as the
+//! stream is written ([`TraceWriter::with_index`](crate::TraceWriter::with_index))
+//! or rebuilt afterwards by [`TraceIndex::scan`] in one pass that reads
+//! only frame *headers*, skipping every payload, and saved as a compact
+//! sidecar file.
+//!
+//! With an index, [`replay_window`](crate::capture::replay_window) seeks a
+//! [`TraceReader`](crate::TraceReader) straight to the first frame of a
+//! record-range window and decodes only the frames the window touches —
+//! the prefix is never decoded.
+
+use crate::codec::{checksum, TraceError, FRAME_HEADER_BYTES, MAGIC};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The four magic bytes opening every index sidecar.
+pub const INDEX_MAGIC: [u8; 4] = *b"IGMX";
+
+/// Current index format version.
+pub const INDEX_VERSION: u32 = 1;
+
+/// One frame's directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Byte offset of the frame header in the trace stream (the 8-byte
+    /// file header included, so the offset seeks directly).
+    pub offset: u64,
+    /// Records decoded by every frame before this one.
+    pub first_record: u64,
+    /// Records in this frame.
+    pub records: u32,
+}
+
+/// A frame-offset directory over one trace stream.
+///
+/// # Example
+///
+/// ```
+/// use igm_trace::{encode_to_vec, TraceIndex};
+/// use igm_workload::Benchmark;
+///
+/// let bytes = encode_to_vec(Benchmark::Gzip.trace(5_000), 2048);
+/// let index = TraceIndex::scan(&bytes[..]).unwrap();
+/// assert_eq!(index.total_records(), 5_000);
+/// // The frame holding record 3_000, located without decoding anything.
+/// let entry = index.frame_for_record(3_000).unwrap();
+/// assert!(entry.first_record <= 3_000);
+/// assert!(3_000 < entry.first_record + entry.records as u64);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceIndex {
+    entries: Vec<IndexEntry>,
+    total_records: u64,
+}
+
+impl TraceIndex {
+    /// An empty index.
+    pub fn new() -> TraceIndex {
+        TraceIndex::default()
+    }
+
+    /// Appends one frame's entry (called by the writer as frames land).
+    pub(crate) fn push_frame(&mut self, offset: u64, records: u32) {
+        self.entries.push(IndexEntry { offset, first_record: self.total_records, records });
+        self.total_records += records as u64;
+    }
+
+    /// The per-frame directory, in stream order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Frames indexed.
+    pub fn frames(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records across all indexed frames.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// The entry of the frame containing record number `record` (0-based
+    /// over the whole trace), or `None` past the end.
+    pub fn frame_for_record(&self, record: u64) -> Option<&IndexEntry> {
+        if record >= self.total_records {
+            return None;
+        }
+        let i = self.entries.partition_point(|e| e.first_record + e.records as u64 <= record);
+        self.entries.get(i)
+    }
+
+    /// Builds the index from a finished trace stream in one scan that
+    /// reads frame *headers* only — every payload is skipped, not decoded
+    /// (payload integrity is still the reader's job at replay time).
+    pub fn scan<R: Read>(mut r: R) -> Result<TraceIndex, TraceError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => TraceError::BadMagic,
+            _ => TraceError::Io(e),
+        })?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut ver = [0u8; 4];
+        r.read_exact(&mut ver).map_err(TraceError::Io)?;
+        let version = u32::from_le_bytes(ver);
+        if version != crate::FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let mut index = TraceIndex::new();
+        let mut offset = 8u64;
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        loop {
+            match read_exact_or_eof(&mut r, &mut header)? {
+                0 => return Ok(index),
+                n if n < header.len() => {
+                    return Err(TraceError::Corrupt {
+                        offset: offset + n as u64,
+                        reason: "stream ends inside a frame header",
+                    })
+                }
+                _ => {}
+            }
+            let records = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            crate::codec::validate_frame_header(records, len, offset)?;
+            // Skip the payload without materializing it.
+            let skipped = io::copy(&mut r.by_ref().take(len as u64), &mut io::sink())
+                .map_err(TraceError::Io)?;
+            if skipped < len as u64 {
+                return Err(TraceError::Corrupt {
+                    offset: offset + FRAME_HEADER_BYTES as u64 + skipped,
+                    reason: "stream ends inside a frame payload",
+                });
+            }
+            index.push_frame(offset, records);
+            offset += FRAME_HEADER_BYTES as u64 + len as u64;
+        }
+    }
+
+    /// Scans the trace file at `path`.
+    pub fn scan_file(path: impl AsRef<Path>) -> Result<TraceIndex, TraceError> {
+        TraceIndex::scan(BufReader::new(File::open(path).map_err(TraceError::Io)?))
+    }
+
+    /// Serializes the index: `IGMX`, version, frame count, then one
+    /// `(offset u64, records u32)` LE pair per frame, closed by an
+    /// FNV-1a-32 checksum over the entry bytes.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&INDEX_MAGIC)?;
+        w.write_all(&INDEX_VERSION.to_le_bytes())?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        let mut body = Vec::with_capacity(self.entries.len() * 12);
+        for e in &self.entries {
+            body.extend_from_slice(&e.offset.to_le_bytes());
+            body.extend_from_slice(&e.records.to_le_bytes());
+        }
+        w.write_all(&body)?;
+        w.write_all(&checksum(&body).to_le_bytes())?;
+        w.flush()
+    }
+
+    /// Writes the sidecar file at `path`.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save(BufWriter::new(File::create(path)?))
+    }
+
+    /// Deserializes an index written by [`TraceIndex::save`].
+    pub fn load<R: Read>(mut r: R) -> Result<TraceIndex, TraceError> {
+        let corrupt = |reason| TraceError::Corrupt { offset: 0, reason };
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => corrupt("index sidecar truncated"),
+            _ => TraceError::Io(e),
+        })?;
+        if magic != INDEX_MAGIC {
+            return Err(corrupt("not an igm trace index (bad magic)"));
+        }
+        let mut word = [0u8; 4];
+        r.read_exact(&mut word).map_err(TraceError::Io)?;
+        let version = u32::from_le_bytes(word);
+        if version != INDEX_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let mut count = [0u8; 8];
+        r.read_exact(&mut count).map_err(TraceError::Io)?;
+        let count = u64::from_le_bytes(count);
+        // 12 bytes per entry: a corrupt count cannot drive an allocation
+        // larger than what the stream actually holds.
+        let mut body = Vec::new();
+        r.by_ref().take(count.saturating_mul(12)).read_to_end(&mut body).map_err(TraceError::Io)?;
+        if body.len() as u64 != count.saturating_mul(12) {
+            return Err(corrupt("index sidecar truncated"));
+        }
+        r.read_exact(&mut word).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => corrupt("index sidecar truncated"),
+            _ => TraceError::Io(e),
+        })?;
+        if checksum(&body) != u32::from_le_bytes(word) {
+            return Err(corrupt("index sidecar checksum mismatch"));
+        }
+        let mut index = TraceIndex::new();
+        for chunk in body.chunks_exact(12) {
+            let offset = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+            let records = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+            if records == 0 {
+                return Err(corrupt("index entry with zero records"));
+            }
+            index.push_frame(offset, records);
+        }
+        Ok(index)
+    }
+
+    /// Reads the sidecar file at `path`.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<TraceIndex, TraceError> {
+        TraceIndex::load(BufReader::new(File::open(path).map_err(TraceError::Io)?))
+    }
+}
+
+/// Like `read_exact`, but distinguishes clean EOF (0) and short reads.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, TraceError> {
+    crate::codec::read_exact_or_eof(r, buf).map_err(TraceError::Io)
+}

@@ -17,14 +17,14 @@
 //! per-lane accounting ([`LaneStats`]) of how often each source was
 //! ready, pending, or deferred by backpressure.
 
-use crate::codec::{TraceError, TraceReader};
+use crate::codec::{TraceError, TraceReader, TraceWriter};
 use igm_isa::TraceEntry;
 use igm_lba::{Chunks, TraceBatch};
-use igm_runtime::{MonitorPool, SessionConfig, SessionHandle, SessionReport};
+use igm_runtime::{ChannelStatsSnapshot, MonitorPool, SessionConfig, SessionHandle, SessionReport};
 use std::fs::File;
-use std::io::{BufReader, Read};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::time::Duration;
 
 /// What a [`TraceSource`] produced for one poll.
@@ -38,6 +38,31 @@ pub enum SourceStatus {
     Done,
 }
 
+/// One readiness poll of a nonblocking lane endpoint — the shared
+/// classification behind every readiness-polled [`TraceSource`]
+/// ([`PipeSource`] over an in-process pipe, `igm-net`'s socket lanes):
+/// the endpoint either delivered a whole batch into the caller's arena,
+/// had nothing available yet, or its peer is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePoll {
+    /// A batch was delivered into the caller's arena.
+    Delivered,
+    /// Nothing available; poll again next turn.
+    Idle,
+    /// The endpoint is exhausted or its peer disconnected cleanly.
+    Closed,
+}
+
+impl From<LanePoll> for SourceStatus {
+    fn from(poll: LanePoll) -> SourceStatus {
+        match poll {
+            LanePoll::Delivered => SourceStatus::Ready,
+            LanePoll::Idle => SourceStatus::Pending,
+            LanePoll::Closed => SourceStatus::Done,
+        }
+    }
+}
+
 /// A pull-based supplier of record batches, polled by the [`Ingestor`].
 ///
 /// Implementations must not block: a source with nothing available
@@ -45,6 +70,20 @@ pub enum SourceStatus {
 pub trait TraceSource: Send {
     /// Fills `out` (cleared by the callee) with the next columnar batch.
     fn next_batch(&mut self, out: &mut TraceBatch) -> Result<SourceStatus, TraceError>;
+
+    /// Whether this source consumes [`TraceSource::transport_feedback`].
+    /// The scheduler skips the per-turn occupancy snapshot entirely for
+    /// sources that do not (the default), keeping the hot local-ingest
+    /// loop free of flow-control overhead.
+    fn wants_transport_feedback(&self) -> bool {
+        false
+    }
+
+    /// Transport feedback, called once per scheduling turn with the lane's
+    /// log-channel occupancy snapshot and capacity. Flow-controlled
+    /// sources (`igm-net`'s socket lanes) turn the channel's drain into
+    /// send credits for their remote producer; everything else ignores it.
+    fn transport_feedback(&mut self, _occupancy: &ChannelStatsSnapshot, _capacity_bytes: u32) {}
 }
 
 /// An in-memory source: any record iterator, chunked at `chunk_bytes`
@@ -153,14 +192,15 @@ pub struct PipeSource {
 impl TraceSource for PipeSource {
     fn next_batch(&mut self, out: &mut TraceBatch) -> Result<SourceStatus, TraceError> {
         out.clear();
-        match self.rx.try_recv() {
+        let poll = match self.rx.try_recv() {
             Ok(batch) => {
                 *out = batch;
-                Ok(SourceStatus::Ready)
+                LanePoll::Delivered
             }
-            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(SourceStatus::Pending),
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => Ok(SourceStatus::Done),
-        }
+            Err(TryRecvError::Empty) => LanePoll::Idle,
+            Err(TryRecvError::Disconnected) => LanePoll::Closed,
+        };
+        Ok(poll.into())
     }
 }
 
@@ -202,6 +242,13 @@ struct Lane {
     name: String,
     source: Box<dyn TraceSource>,
     session: Option<SessionHandle>,
+    /// Tee-at-ingest: every batch pulled from the source is also encoded
+    /// as one trace frame before publication, so piped and remote tenants
+    /// leave on-disk artifacts exactly like [`crate::CaptureSession`]s.
+    tee: Option<TraceWriter<Box<dyn Write + Send>>>,
+    /// Cached [`TraceSource::wants_transport_feedback`] (skips the
+    /// per-turn occupancy snapshot and virtual call for local sources).
+    wants_feedback: bool,
     /// A batch refused by backpressure, awaiting retry.
     staged: Option<TraceBatch>,
     /// Pull staging arena: sources decode/chunk their columns straight
@@ -267,6 +314,18 @@ pub struct Ingestor<'p> {
     pool: &'p MonitorPool,
     cfg: IngestConfig,
     lanes: Vec<Lane>,
+    passes: u64,
+}
+
+/// What one [`Ingestor::pass`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassOutcome {
+    /// Whether any lane published a batch or finished this pass (when
+    /// false, every open lane was pending or deferred — a driving loop
+    /// should briefly back off instead of spinning).
+    pub progress: bool,
+    /// Lanes still open after the pass.
+    pub open: usize,
 }
 
 impl<'p> Ingestor<'p> {
@@ -278,18 +337,50 @@ impl<'p> Ingestor<'p> {
     /// A front-end with explicit scheduling parameters.
     pub fn with_config(pool: &'p MonitorPool, cfg: IngestConfig) -> Ingestor<'p> {
         assert!(cfg.batches_per_turn > 0, "a lane must be allowed at least one batch per turn");
-        Ingestor { pool, cfg, lanes: Vec::new() }
+        Ingestor { pool, cfg, lanes: Vec::new(), passes: 0 }
     }
 
     /// Registers a tenant: opens a session under `cfg` and attaches
-    /// `source` to it. Lanes run when [`Ingestor::run`] is called.
+    /// `source` to it. Lanes run when [`Ingestor::run`] (or the stepwise
+    /// [`Ingestor::pass`]) drives them; sources may be added between
+    /// passes, which is how `igm-net`'s server plugs freshly accepted
+    /// connections into a running front-end.
     pub fn add_source(&mut self, cfg: SessionConfig, source: impl TraceSource + 'static) {
+        self.add_lane(cfg, Box::new(source), None);
+    }
+
+    /// Like [`Ingestor::add_source`], but also tees every batch the lane
+    /// publishes into `sink` as standard trace frames (one frame per
+    /// batch, in source order) — the ingest-side counterpart of
+    /// [`crate::CaptureSession`], so piped and remote tenants leave
+    /// on-disk artifacts too. The sink is flushed when the lane closes; a
+    /// tee write failure fails only this lane.
+    pub fn add_source_teed(
+        &mut self,
+        cfg: SessionConfig,
+        source: impl TraceSource + 'static,
+        sink: impl Write + Send + 'static,
+    ) -> Result<(), TraceError> {
+        let writer = TraceWriter::new(Box::new(sink) as Box<dyn Write + Send>)?;
+        self.add_lane(cfg, Box::new(source), Some(writer));
+        Ok(())
+    }
+
+    fn add_lane(
+        &mut self,
+        cfg: SessionConfig,
+        source: Box<dyn TraceSource>,
+        tee: Option<TraceWriter<Box<dyn Write + Send>>>,
+    ) {
         let name = cfg.name.clone();
         let session = self.pool.open_session(cfg);
+        let wants_feedback = source.wants_transport_feedback();
         self.lanes.push(Lane {
             name,
-            source: Box::new(source),
+            source,
             session: Some(session),
+            tee,
+            wants_feedback,
             staged: None,
             scratch: TraceBatch::new(),
             source_done: false,
@@ -304,34 +395,53 @@ impl<'p> Ingestor<'p> {
         self.lanes.len()
     }
 
+    /// The configured idle backoff (what [`Ingestor::run`] sleeps after a
+    /// no-progress pass; external driving loops should do the same).
+    pub fn idle_backoff(&self) -> Duration {
+        self.cfg.idle_backoff
+    }
+
+    /// One scheduling pass over every open lane. External drivers (the
+    /// `igm-net` server loop) interleave this with their own work —
+    /// accepting connections, registering new lanes — and back off on
+    /// [`PassOutcome::progress`]` == false`.
+    pub fn pass(&mut self) -> PassOutcome {
+        self.passes += 1;
+        let mut open = 0usize;
+        let mut progress = false;
+        for lane in &mut self.lanes {
+            if lane.closed || lane.session.is_none() {
+                continue;
+            }
+            progress |= lane.turn(self.cfg.batches_per_turn);
+            open += usize::from(!(lane.closed || lane.session.is_none()));
+        }
+        PassOutcome { progress, open }
+    }
+
     /// Drives every lane to completion on the calling thread and returns
     /// the combined report.
     pub fn run(mut self) -> IngestReport {
-        let mut passes = 0u64;
         loop {
-            passes += 1;
-            let mut open = 0usize;
-            let mut progress = false;
-            for lane in &mut self.lanes {
-                if lane.closed || lane.session.is_none() {
-                    continue;
-                }
-                open += 1;
-                progress |= lane.turn(self.cfg.batches_per_turn);
-            }
-            if open == 0 {
+            let pass = self.pass();
+            if pass.open == 0 {
                 break;
             }
-            if !progress {
+            if !pass.progress {
                 // Every open lane is pending or deferred: yield the core
                 // briefly instead of spinning on try_send/try_recv.
                 std::thread::sleep(self.cfg.idle_backoff);
             }
         }
-        // Collect the reports only now: a lane completing mid-run closed
-        // its channel without blocking (the worker drains concurrently),
-        // so one finished tenant never stalled the others. All sources are
-        // done here, so waiting for the finalizers is all that is left.
+        self.finish()
+    }
+
+    /// Collects the finished lanes into the combined report. A lane
+    /// completing mid-run closed its channel without blocking (the worker
+    /// drains concurrently), so one finished tenant never stalled the
+    /// others; callers invoke this once every source is done, and only the
+    /// session finalizers are waited on here.
+    pub fn finish(self) -> IngestReport {
         let mut sessions = Vec::new();
         let mut lanes = Vec::new();
         let mut errors = Vec::new();
@@ -344,7 +454,7 @@ impl<'p> Ingestor<'p> {
             }
             lanes.push((lane.name, lane.stats));
         }
-        IngestReport { sessions, lanes, errors, passes }
+        IngestReport { sessions, lanes, errors, passes: self.passes }
     }
 }
 
@@ -353,6 +463,17 @@ impl Lane {
     /// whether anything was published or the lane finished.
     fn turn(&mut self, budget: usize) -> bool {
         self.stats.turns += 1;
+        // Occupancy → credit hookup: hand flow-controlled sources the log
+        // channel's drain state once per turn, before pulling work, so a
+        // remote producer's credits track the pool's consumption. Local
+        // sources opt out (`wants_feedback` cached at registration), so
+        // the hot in-process loop never pays for the snapshot.
+        if self.wants_feedback {
+            if let Some(session) = self.session.as_ref() {
+                self.source
+                    .transport_feedback(&session.channel_stats(), session.channel_capacity_bytes());
+            }
+        }
         let mut progress = false;
         for _ in 0..budget {
             // Retry a backpressure-deferred batch before pulling new work.
@@ -365,6 +486,19 @@ impl Lane {
                     }
                     match self.source.next_batch(&mut self.scratch) {
                         Ok(SourceStatus::Ready) => {
+                            // Tee before the first publish attempt: the
+                            // staged-retry path re-enters above, so each
+                            // batch is encoded exactly once, in source
+                            // order — the same frame-per-batch layout a
+                            // CaptureSession writes.
+                            if let Some(tee) = self.tee.as_mut() {
+                                if let Err(e) = tee.write_chunk_batch(&self.scratch) {
+                                    self.error = Some(TraceError::Io(e));
+                                    self.source_done = true;
+                                    self.close();
+                                    return true;
+                                }
+                            }
                             // Hand the filled arena to the channel and
                             // refill the staging slot from the session's
                             // recycled spares.
@@ -427,6 +561,13 @@ impl Lane {
     /// keeps servicing the other lanes; the report is collected after the
     /// scheduling loop.
     fn close(&mut self) {
+        if let Some(tee) = self.tee.take() {
+            // Flush the teed artifact; a flush failure is a lane error
+            // (unless the lane already failed for a better reason).
+            if let Err(e) = tee.finish() {
+                self.error.get_or_insert(TraceError::Io(e));
+            }
+        }
         if let Some(session) = self.session.as_mut() {
             session.close();
         }

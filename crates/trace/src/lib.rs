@@ -24,11 +24,18 @@
 //!   into a trace file; [`replay_file`]/[`replay_reader`] feed a recorded
 //!   file back through a fresh [`igm_runtime::MonitorPool`] session and
 //!   reproduce the live run's violations and dispatch stats exactly.
+//! * [`index`] — [`TraceIndex`]: a sidecar frame-offset directory (built
+//!   by the writer on request, or by a header-only scan) that lets
+//!   [`replay_window`] seek straight to a record-range window without
+//!   decoding the prefix.
 //! * [`ingest`] — [`Ingestor`]: **one** OS thread multiplexing many
 //!   tenant [`TraceSource`]s (in-memory generators, trace files,
-//!   readiness-polled pipes) into pool sessions via non-blocking sends,
-//!   with per-source backpressure staging and fairness accounting —
-//!   replacing the one-blocking-thread-per-tenant ingestion pattern.
+//!   readiness-polled pipes, `igm-net` sockets) into pool sessions via
+//!   non-blocking sends, with per-source backpressure staging and
+//!   fairness accounting — replacing the one-blocking-thread-per-tenant
+//!   ingestion pattern. Any lane can be teed to a trace sink
+//!   ([`Ingestor::add_source_teed`]), so piped and remote tenants leave
+//!   on-disk artifacts too.
 //!
 //! Any scenario becomes reproducible from an artifact: record it once
 //! (capture, or [`codec::encode_to_vec`] from a generator), then replay
@@ -36,14 +43,18 @@
 
 pub mod capture;
 pub mod codec;
+pub mod index;
 pub mod ingest;
 
-pub use capture::{capture_to_file, replay_file, replay_reader, CaptureError, CaptureSession};
-pub use codec::{
-    checksum, decode_from_slice, encode_to_vec, TraceError, TraceReader, TraceWriter,
-    FORMAT_VERSION, MAGIC,
+pub use capture::{
+    capture_to_file, replay_file, replay_reader, replay_window, CaptureError, CaptureSession,
 };
+pub use codec::{
+    checksum, decode_frame, decode_from_slice, encode_frame, encode_to_vec, TraceError,
+    TraceReader, TraceWriter, FORMAT_VERSION, FRAME_HEADER_BYTES, MAGIC, MAX_PAYLOAD_BYTES,
+};
+pub use index::{IndexEntry, TraceIndex, INDEX_MAGIC, INDEX_VERSION};
 pub use ingest::{
-    batch_pipe, FileSource, IngestConfig, IngestReport, Ingestor, IterSource, LaneStats,
-    PipeSender, PipeSource, SourceStatus, TraceSource,
+    batch_pipe, FileSource, IngestConfig, IngestReport, Ingestor, IterSource, LanePoll, LaneStats,
+    PassOutcome, PipeSender, PipeSource, SourceStatus, TraceSource,
 };

@@ -1,0 +1,138 @@
+//! The sidecar frame-offset index: writer-built == scan-built, sidecar
+//! round trip, and seeking replay windows without decoding the prefix.
+
+use igm_lba::TraceBatch;
+use igm_lifeguards::LifeguardKind;
+use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
+use igm_trace::{replay_window, TraceError, TraceIndex, TraceReader, TraceWriter, INDEX_VERSION};
+use igm_workload::Benchmark;
+use std::io::Cursor;
+
+const N: u64 = 12_000;
+const CHUNK: u32 = 2_048;
+
+/// Encodes a workload and returns (trace bytes, writer-built index).
+fn encoded() -> (Vec<u8>, TraceIndex) {
+    let mut w = TraceWriter::with_index(Vec::new()).unwrap();
+    let mut chunker = igm_lba::chunks(Benchmark::Gzip.trace(N), CHUNK);
+    let mut batch = TraceBatch::new();
+    while chunker.next_into_batch(&mut batch) {
+        w.write_chunk_batch(&batch).unwrap();
+    }
+    let index = w.index().expect("index tracking requested").clone();
+    (w.finish().unwrap(), index)
+}
+
+#[test]
+fn writer_index_matches_a_header_scan() {
+    let (bytes, written) = encoded();
+    let scanned = TraceIndex::scan(&bytes[..]).unwrap();
+    assert_eq!(written, scanned);
+    assert!(written.frames() > 1, "the workload must span several frames");
+    assert_eq!(written.total_records(), N);
+    // Entries partition the record space contiguously.
+    let mut next = 0u64;
+    for e in written.entries() {
+        assert_eq!(e.first_record, next);
+        assert!(e.records > 0);
+        next += e.records as u64;
+    }
+    assert_eq!(next, N);
+}
+
+#[test]
+fn sidecar_round_trips_and_rejects_damage() {
+    let (_, index) = encoded();
+    let mut sidecar = Vec::new();
+    index.save(&mut sidecar).unwrap();
+    assert_eq!(TraceIndex::load(&sidecar[..]).unwrap(), index);
+
+    // Bad magic.
+    let mut bad = sidecar.clone();
+    bad[0] = b'Z';
+    assert!(matches!(TraceIndex::load(&bad[..]), Err(TraceError::Corrupt { .. })));
+    // Wrong version.
+    let mut bad = sidecar.clone();
+    bad[4..8].copy_from_slice(&(INDEX_VERSION + 1).to_le_bytes());
+    assert!(matches!(TraceIndex::load(&bad[..]), Err(TraceError::UnsupportedVersion(_))));
+    // Flipped entry byte: checksum catches it.
+    let mut bad = sidecar.clone();
+    let mid = 16 + (bad.len() - 20) / 2;
+    bad[mid] ^= 0xff;
+    assert!(matches!(TraceIndex::load(&bad[..]), Err(TraceError::Corrupt { .. })));
+    // Truncation.
+    let bad = &sidecar[..sidecar.len() - 3];
+    assert!(matches!(TraceIndex::load(bad), Err(TraceError::Corrupt { .. })));
+}
+
+#[test]
+fn frame_lookup_finds_every_record() {
+    let (_, index) = encoded();
+    for record in [0, 1, N / 3, N / 2, N - 1] {
+        let e = index.frame_for_record(record).unwrap();
+        assert!(e.first_record <= record && record < e.first_record + e.records as u64);
+    }
+    assert!(index.frame_for_record(N).is_none());
+}
+
+#[test]
+fn seeked_window_decodes_exactly_the_requested_records() {
+    let (bytes, index) = encoded();
+    let full = igm_trace::decode_from_slice(&bytes).unwrap();
+
+    for (start, end) in [(0u64, 100u64), (N / 2 - 7, N / 2 + 1_311), (N - 259, N), (N - 1, N + 50)]
+    {
+        let mut reader = TraceReader::new(Cursor::new(&bytes)).unwrap();
+        let entry = index.frame_for_record(start).unwrap();
+        reader.seek_to_frame(entry).unwrap();
+        // Decode frames from the seek point, trimming to the window.
+        let mut got = Vec::new();
+        let mut pos = entry.first_record;
+        let mut batch = TraceBatch::new();
+        let end_clamped = end.min(N);
+        while pos < end_clamped && reader.read_chunk_into_batch(&mut batch).unwrap() {
+            let n = batch.len() as u64;
+            let skip = start.saturating_sub(pos).min(n) as usize;
+            let take = (end_clamped - pos).min(n) as usize;
+            got.extend(batch.iter().skip(skip).take(take.saturating_sub(skip)));
+            pos += n;
+        }
+        assert_eq!(
+            got,
+            full[start as usize..end_clamped as usize],
+            "window [{start}, {end}) diverges from the full decode"
+        );
+    }
+}
+
+#[test]
+fn replay_window_matches_a_trimmed_local_run() {
+    let (bytes, index) = encoded();
+    let full = igm_trace::decode_from_slice(&bytes).unwrap();
+    let pool = MonitorPool::new(PoolConfig::with_workers(2));
+    let cfg = SessionConfig::new("window", LifeguardKind::TaintCheck)
+        .synthetic()
+        .premark(&Benchmark::Gzip.profile().premark_regions());
+
+    let (start, end) = (N / 3 + 5, 2 * N / 3 - 9);
+    // Reference: stream exactly the window's records locally.
+    let reference = {
+        let session = pool.open_session(cfg.clone());
+        session.stream(full[start as usize..end as usize].iter().copied()).unwrap();
+        session.finish()
+    };
+    // Seeked replay of the same window straight off the artifact.
+    let mut reader = TraceReader::new(Cursor::new(&bytes)).unwrap();
+    let replayed = replay_window(&pool, cfg, &mut reader, &index, start..end).unwrap();
+
+    assert_eq!(replayed.records, end - start);
+    assert_eq!(replayed.records, reference.records);
+    assert_eq!(replayed.violations, reference.violations);
+
+    // An empty or out-of-range window is simply empty.
+    let mut reader = TraceReader::new(Cursor::new(&bytes)).unwrap();
+    let cfg2 = SessionConfig::new("empty", LifeguardKind::AddrCheck).synthetic();
+    let empty = replay_window(&pool, cfg2, &mut reader, &index, N + 10..N + 20).unwrap();
+    assert_eq!(empty.records, 0);
+    pool.shutdown();
+}

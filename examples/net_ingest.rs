@@ -1,0 +1,131 @@
+//! Distributed monitoring over loopback: one ingest server, four remote
+//! tenants, one `MonitorPool`.
+//!
+//! Each "remote" application connects with a `TraceForwarder`, handshakes
+//! its tenant configuration (lifeguard, accelerators, premarked regions),
+//! and streams its record log as codec frames under the server's byte
+//! credits — the software analogue of the paper's application-core →
+//! lifeguard-core log transport, stretched across a socket. The server
+//! thread accepts all four connections and multiplexes them through the
+//! shared `Ingestor` into the pool. One tenant carries a buggy epilogue;
+//! the example re-runs it locally and aborts unless the network path
+//! reproduced the local violations and dispatch stats exactly (this is
+//! the CI loopback smoke). Run with:
+//!
+//! ```sh
+//! cargo run --release --example net_ingest
+//! ```
+
+use igm::isa::{Annotation, MemRef, OpClass, Reg, TraceEntry};
+use igm::lifeguards::LifeguardKind;
+use igm::net::{ForwarderConfig, IngestServer, NetServerConfig, TraceForwarder};
+use igm::runtime::{stats_table, MonitorPool, PoolConfig, SessionConfig};
+use igm::workload::Benchmark;
+
+const N: u64 = 100_000;
+const CHUNK: u32 = 16 * 1024;
+
+/// An out-of-bounds heap read appended to gzip's trace: AddrCheck must
+/// flag it identically on the local and network paths.
+fn buggy_gzip() -> Vec<TraceEntry> {
+    let mut trace: Vec<TraceEntry> = Benchmark::Gzip.trace(N).collect();
+    trace.extend([
+        TraceEntry::annot(0x9100_0000, Annotation::Malloc { base: 0x0a00_0000, size: 64 }),
+        TraceEntry::op(
+            0x9100_0008,
+            OpClass::MemToReg { src: MemRef::word(0x0a00_0040), rd: Reg::Edx },
+        ),
+        TraceEntry::annot(0x9100_0014, Annotation::Free { base: 0x0a00_0000 }),
+    ]);
+    trace
+}
+
+fn tenant_cfg(bench: Benchmark, kind: LifeguardKind) -> SessionConfig {
+    SessionConfig::new(bench.name(), kind).synthetic().premark(&bench.profile().premark_regions())
+}
+
+fn main() {
+    let pool = MonitorPool::new(PoolConfig { chunk_bytes: CHUNK, ..PoolConfig::with_workers(4) });
+
+    // Local reference run of the buggy tenant, for the equivalence check.
+    let local = {
+        let session = pool.open_session(tenant_cfg(Benchmark::Gzip, LifeguardKind::AddrCheck));
+        session.stream(buggy_gzip()).expect("pool alive");
+        session.finish()
+    };
+    assert!(!local.violations.is_empty(), "the epilogue must trip AddrCheck locally");
+
+    let server =
+        IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    println!("ingest server on {addr}; 4 tenants x {N} records over loopback\n");
+
+    let tenants: [(Benchmark, LifeguardKind); 4] = [
+        (Benchmark::Gzip, LifeguardKind::AddrCheck),
+        (Benchmark::Mcf, LifeguardKind::MemCheck),
+        (Benchmark::Gcc, LifeguardKind::TaintCheck),
+        (Benchmark::Vpr, LifeguardKind::TaintCheckDetailed),
+    ];
+    let clients: Vec<_> = tenants
+        .into_iter()
+        .map(|(bench, kind)| {
+            std::thread::spawn(move || {
+                let fcfg = ForwarderConfig { chunk_bytes: CHUNK, ..ForwarderConfig::default() };
+                let mut fwd = TraceForwarder::connect_with(addr, &tenant_cfg(bench, kind), fcfg)
+                    .expect("connect");
+                if matches!(bench, Benchmark::Gzip) {
+                    fwd.stream(buggy_gzip()).expect("stream");
+                } else {
+                    fwd.stream(bench.trace(N)).expect("stream");
+                }
+                (bench.name(), fwd.finish().expect("clean FIN"))
+            })
+        })
+        .collect();
+
+    // One thread: accept, handshake, credit flow, multiplexed ingest.
+    let report = server.serve_connections(clients.len());
+    let client_reports: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    assert!(report.ingest.errors.is_empty(), "lane errors: {:?}", report.ingest.errors);
+    assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+    print!("{}", stats_table(&report.ingest.sessions));
+
+    println!("\nlane        batches   records   deferred   pending-polls");
+    for (name, lane) in &report.ingest.lanes {
+        println!(
+            "{name:<10} {:>8} {:>9} {:>10} {:>15}",
+            lane.batches, lane.records, lane.deferred_sends, lane.pending_polls
+        );
+    }
+    println!("\nclient      chunks    frame-bytes   credit-stalls   stall-ms");
+    for (name, r) in &client_reports {
+        println!(
+            "{name:<10} {:>7} {:>13} {:>15} {:>10.1}",
+            r.stats.chunks,
+            r.stats.frame_bytes,
+            r.stats.credit_stalls,
+            r.stats.credit_stall_nanos as f64 / 1e6,
+        );
+        assert_eq!(r.server_records, r.stats.records, "{name}: records lost in flight");
+    }
+
+    // The network transport must be semantically invisible: the remote
+    // gzip run reproduces the local one exactly.
+    let remote = report
+        .ingest
+        .sessions
+        .iter()
+        .find(|s| s.name == Benchmark::Gzip.name())
+        .expect("gzip session");
+    assert_eq!(remote.records, local.records, "record counts diverge");
+    assert_eq!(remote.violations, local.violations, "violations diverge");
+    assert_eq!(remote.dispatch, local.dispatch, "dispatch stats diverge");
+    println!(
+        "\nnetwork path == local path for gzip/AddrCheck: {} records, {} violations, \
+         dispatch stats identical",
+        remote.records,
+        remote.violations.len()
+    );
+    pool.shutdown();
+}

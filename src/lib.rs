@@ -34,10 +34,19 @@
 //!   compact binary codec (varint + delta-coded PCs/addresses, framed and
 //!   checksummed chunks), capture/replay of live pool sessions
 //!   (replaying a recorded file reproduces the live run's violations and
-//!   dispatch stats exactly), and the [`trace::Ingestor`] — one OS thread
+//!   dispatch stats exactly), sidecar frame-offset indexes for seeking
+//!   replay windows, and the [`trace::Ingestor`] — one OS thread
 //!   multiplexing many tenant sources (generators, trace files,
 //!   readiness-polled pipes) into pool sessions with per-source
-//!   backpressure.
+//!   backpressure, optionally teeing any lane to a trace file.
+//! * [`net`] — cross-host trace ingest: a length-delimited wire protocol
+//!   carrying the codec's frames verbatim, the multi-tenant
+//!   [`net::IngestServer`] (one thread accepts N connections and plugs
+//!   each into the shared `Ingestor` as a readiness-polled socket lane)
+//!   and the [`net::TraceForwarder`] client, with credit-based
+//!   backpressure sized from the pool's log-channel occupancy — a remote
+//!   run reproduces the local run's violations and dispatch stats
+//!   exactly.
 //! * [`profiling`] — design-space sweeps (the paper's PIN study).
 //!
 //! ## Quickstart
@@ -85,6 +94,7 @@ pub use igm_core as accel;
 pub use igm_isa as isa;
 pub use igm_lba as lba;
 pub use igm_lifeguards as lifeguards;
+pub use igm_net as net;
 pub use igm_profiling as profiling;
 pub use igm_runtime as runtime;
 pub use igm_shadow as shadow;

@@ -162,6 +162,71 @@ fn single_thread_ingestor_multiplexes_many_sources() {
 }
 
 #[test]
+fn tee_at_ingest_leaves_replayable_artifacts_for_piped_lanes() {
+    const N: u64 = 7_000;
+    let pool = MonitorPool::new(PoolConfig::with_workers(2));
+    let mut ingestor = Ingestor::new(&pool);
+
+    // Two teed lanes: an in-memory generator (with the buggy epilogue, so
+    // the replay equality is over non-empty violations) and a
+    // readiness-polled pipe — the lane kinds that previously left no
+    // artifact.
+    let gen_sink = std::env::temp_dir().join(format!("igm_tee_gen_{}.igmt", std::process::id()));
+    let pipe_sink = std::env::temp_dir().join(format!("igm_tee_pipe_{}.igmt", std::process::id()));
+    let trace = workload_for(LifeguardKind::AddrCheck, N);
+    ingestor
+        .add_source_teed(
+            session_cfg(LifeguardKind::AddrCheck, "generated"),
+            IterSource::new(trace, 4096),
+            std::fs::File::create(&gen_sink).unwrap(),
+        )
+        .unwrap();
+    let (pipe_tx, pipe_rx) = batch_pipe(4);
+    let feeder = std::thread::spawn(move || {
+        for batch in igm::lba::chunks(Benchmark::Mcf.trace(N), 4096) {
+            if pipe_tx.send(batch).is_err() {
+                return;
+            }
+        }
+    });
+    ingestor
+        .add_source_teed(
+            SessionConfig::new("piped", LifeguardKind::TaintCheck)
+                .synthetic()
+                .premark(&Benchmark::Mcf.profile().premark_regions()),
+            pipe_rx,
+            std::fs::File::create(&pipe_sink).unwrap(),
+        )
+        .unwrap();
+
+    let report = ingestor.run();
+    feeder.join().unwrap();
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    // Each artifact replays to results identical to its live lane.
+    for (name, sink, cfg) in [
+        ("generated", &gen_sink, session_cfg(LifeguardKind::AddrCheck, "generated-replay")),
+        (
+            "piped",
+            &pipe_sink,
+            SessionConfig::new("piped-replay", LifeguardKind::TaintCheck)
+                .synthetic()
+                .premark(&Benchmark::Mcf.profile().premark_regions()),
+        ),
+    ] {
+        let live = report.sessions.iter().find(|s| s.name == name).unwrap();
+        let replayed = igm::trace::replay_file(&pool, cfg, sink).unwrap();
+        assert_eq!(replayed.records, live.records, "{name}: record counts diverge");
+        assert_eq!(replayed.violations, live.violations, "{name}: violations diverge");
+        assert_eq!(replayed.dispatch, live.dispatch, "{name}: dispatch stats diverge");
+        std::fs::remove_file(sink).unwrap();
+    }
+    let generated = report.sessions.iter().find(|s| s.name == "generated").unwrap();
+    assert!(!generated.violations.is_empty(), "epilogue must trip AddrCheck");
+    pool.shutdown();
+}
+
+#[test]
 fn ingestor_contains_a_corrupt_source_to_its_lane() {
     let pool = MonitorPool::new(PoolConfig::with_workers(2));
     let mut ingestor = Ingestor::new(&pool);
