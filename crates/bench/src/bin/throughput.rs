@@ -20,9 +20,11 @@ use igm_core::DispatchPipeline;
 use igm_lba::{extract_batch, extract_batch_entries, EventBuf, TraceBatch};
 use igm_lifeguards::{Lifeguard, LifeguardKind};
 use igm_net::{ForwarderConfig, IngestServer, NetServerConfig, TraceForwarder};
+use igm_obs::MetricsRegistry;
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
 use igm_trace::{IngestConfig, Ingestor, IterSource};
 use igm_workload::Benchmark;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One configuration's measurements.
@@ -232,6 +234,114 @@ fn run_net_median(
         (0..reps).map(|_| run_net_once(kind, workers, clients, n)).collect();
     runs.sort_by(|a, b| a.records_per_sec.total_cmp(&b.records_per_sec));
     runs.remove((runs.len() - 1) / 2)
+}
+
+/// Streams all eight tenants through a pool whose registry has latency
+/// timers on or off, returning aggregate records/sec — the cost of the
+/// observability layer's clock reads on the dispatch hot path. (Counters
+/// and gauges stay live either way; they are what the pool's own stats
+/// are made of.)
+fn run_obs_once(kind: LifeguardKind, workers: usize, n: u64, timers: bool) -> f64 {
+    let traces: Vec<(Benchmark, Vec<_>)> =
+        TENANTS.iter().map(|b| (*b, b.trace(n).collect())).collect();
+    let chunk_bytes = std::env::var("CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PoolConfig::default().chunk_bytes);
+    let pool = MonitorPool::new(PoolConfig {
+        chunk_bytes,
+        metrics: Some(Arc::new(MetricsRegistry::with_timers(timers))),
+        ..PoolConfig::with_workers(workers)
+    });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .into_iter()
+            .map(|(bench, trace)| {
+                let session = pool.open_session(
+                    SessionConfig::new(bench.name(), kind)
+                        .synthetic()
+                        .premark(&bench.profile().premark_regions()),
+                );
+                scope.spawn(move || {
+                    session.stream(trace).expect("pool alive");
+                    session.finish()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("tenant completes");
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    pool.shutdown();
+    (TENANTS.len() as u64 * n) as f64 / elapsed
+}
+
+/// Median records/sec of `reps` observability-configured runs.
+fn run_obs_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize, timers: bool) -> f64 {
+    let mut runs: Vec<f64> = (0..reps).map(|_| run_obs_once(kind, workers, n, timers)).collect();
+    runs.sort_by(f64::total_cmp);
+    runs[(runs.len() - 1) / 2]
+}
+
+/// One lifeguard's dispatch-latency profile, read back from its pool's
+/// `igm_dispatch_batch_nanos` histogram.
+struct DispatchProfile {
+    kind: LifeguardKind,
+    count: u64,
+    mean_nanos: f64,
+    p50_nanos: u64,
+    p90_nanos: u64,
+    p99_nanos: u64,
+}
+
+/// Streams four tenants per lifeguard kind through a 4-worker pool with
+/// its own registry and snapshots the per-kind batch-dispatch histogram
+/// (AddrCheck is the flat-scaling baseline the others compare against).
+fn run_dispatch_profile(n: u64) -> Vec<DispatchProfile> {
+    let chunk_bytes = std::env::var("CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PoolConfig::default().chunk_bytes);
+    LifeguardKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let registry = Arc::new(MetricsRegistry::new());
+            let pool = MonitorPool::new(PoolConfig {
+                chunk_bytes,
+                metrics: Some(registry.clone()),
+                ..PoolConfig::with_workers(4)
+            });
+            std::thread::scope(|scope| {
+                for bench in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Vpr] {
+                    let session = pool.open_session(
+                        SessionConfig::new(bench.name(), kind)
+                            .synthetic()
+                            .premark(&bench.profile().premark_regions()),
+                    );
+                    scope.spawn(move || {
+                        session.stream(bench.trace(n)).expect("pool alive");
+                        session.finish()
+                    });
+                }
+            });
+            let snap = registry.snapshot();
+            let sample = snap
+                .histogram_sample("igm_dispatch_batch_nanos", Some(("lifeguard", kind.name())))
+                .expect("dispatch histogram registered");
+            pool.shutdown();
+            let h = &sample.hist;
+            DispatchProfile {
+                kind,
+                count: h.count(),
+                mean_nanos: h.mean(),
+                p50_nanos: h.quantile(0.5),
+                p90_nanos: h.quantile(0.9),
+                p99_nanos: h.quantile(0.99),
+            }
+        })
+        .collect()
 }
 
 /// One extraction-path comparison: records/sec through the AoS
@@ -489,8 +599,60 @@ fn main() {
         ));
     }
 
+    // ------------------------------------------------------------------
+    // Observability overhead: the same TaintCheck pool run with latency
+    // timers on (instrumented) vs off (registry-disabled). Counters stay
+    // live in both — the delta is the hot-path clock reads.
+    // ------------------------------------------------------------------
+    println!("\nmetrics overhead: TaintCheck, 4 workers, timers on vs off\n");
+    let instrumented = run_obs_median(LifeguardKind::TaintCheck, 4, n, reps, true);
+    let disabled = run_obs_median(LifeguardKind::TaintCheck, 4, n, reps, false);
+    let overhead_pct = (disabled - instrumented) / disabled * 100.0;
+    println!("{:<14} {:>16}", "timers", "records/s");
+    println!("{:<14} {:>16.0}", "on", instrumented);
+    println!("{:<14} {:>16.0}", "off", disabled);
+    println!("overhead: {overhead_pct:.1}%");
+    let overhead_entry = format!(
+        "    {{\"lifeguard\": \"TaintCheck\", \"workers\": 4, \
+         \"instrumented_records_per_sec\": {instrumented:.0}, \
+         \"disabled_records_per_sec\": {disabled:.0}, \"overhead_pct\": {overhead_pct:.2}}}"
+    );
+
+    // ------------------------------------------------------------------
+    // Per-lifeguard dispatch-latency profile, read from the registry's
+    // log2 histograms (quantiles are bucket upper bounds).
+    // ------------------------------------------------------------------
+    println!("\ndispatch latency per lifeguard (4 tenants x {n} records, 4 workers)\n");
+    println!(
+        "{:<34} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "lifeguard", "batches", "mean ns", "p50 ns", "p90 ns", "p99 ns"
+    );
+    let mut dispatch_entries = Vec::new();
+    for p in run_dispatch_profile(n) {
+        println!(
+            "{:<34} {:>8} {:>12.0} {:>10} {:>10} {:>10}",
+            p.kind.name(),
+            p.count,
+            p.mean_nanos,
+            p.p50_nanos,
+            p.p90_nanos,
+            p.p99_nanos
+        );
+        assert!(p.count > 0, "{}: the dispatch histogram must have samples", p.kind.name());
+        dispatch_entries.push(format!(
+            "    {{\"lifeguard\": \"{}\", \"batches\": {}, \"mean_nanos\": {:.0}, \
+             \"p50_nanos\": {}, \"p90_nanos\": {}, \"p99_nanos\": {}}}",
+            p.kind.name(),
+            p.count,
+            p.mean_nanos,
+            p.p50_nanos,
+            p.p90_nanos,
+            p.p99_nanos
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ],\n  \"metrics_overhead\": [\n{}\n  ],\n  \"dispatch_latency\": [\n{}\n  ]\n}}\n",
         TENANTS.len(),
         n,
         reps,
@@ -498,7 +660,9 @@ fn main() {
         ingest_entries.join(",\n"),
         net_entries.join(",\n"),
         codec_entries.join(",\n"),
-        extraction_entries.join(",\n")
+        extraction_entries.join(",\n"),
+        overhead_entry,
+        dispatch_entries.join(",\n")
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("\nwrote BENCH_throughput.json");

@@ -5,6 +5,7 @@
 use crate::wire::{self, Fill, FinStats, MsgBuf, NetError, MSG_HEADER_BYTES, NET_VERSION};
 use igm_isa::TraceEntry;
 use igm_lba::{chunks, TraceBatch};
+use igm_obs::{Histogram, MetricsRegistry};
 use igm_runtime::SessionConfig;
 use igm_trace::{encode_frame, TraceReader};
 use std::fs::File;
@@ -92,6 +93,11 @@ pub struct TraceForwarder {
     stats: ForwarderStats,
     /// Set once the server's `FIN_ACK` arrives.
     fin_ack: Option<u64>,
+    /// `igm_net_credit_stall_nanos` when a registry is attached
+    /// ([`TraceForwarder::attach_metrics`]); disabled otherwise — the
+    /// stall duration is already measured for [`ForwarderStats`], so the
+    /// histogram adds no clock reads of its own.
+    stall_hist: Histogram,
 }
 
 impl TraceForwarder {
@@ -124,6 +130,7 @@ impl TraceForwarder {
             frame: Vec::new(),
             stats: ForwarderStats::default(),
             fin_ack: None,
+            stall_hist: Histogram::disabled(),
         };
         let hello = wire::hello_message(NET_VERSION, session);
         fwd.push_bytes(&hello)?;
@@ -142,6 +149,17 @@ impl TraceForwarder {
             }
         }
         Ok(fwd)
+    }
+
+    /// Publishes this forwarder's credit-stall durations to `registry` as
+    /// the `igm_net_credit_stall_nanos` histogram (e.g. the co-located
+    /// pool's registry in a loopback deployment, or a client-side registry
+    /// served by its own [`StatsServer`](igm_obs::StatsServer)).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.stall_hist = registry.histogram(
+            "igm_net_credit_stall_nanos",
+            "Wall-clock wait for a server credit grant, per stall",
+        );
     }
 
     /// Client-side counters so far.
@@ -265,7 +283,9 @@ impl TraceForwarder {
                 std::thread::sleep(Duration::from_micros(50));
             }
         }
-        self.stats.credit_stall_nanos += start.elapsed().as_nanos() as u64;
+        let stalled = start.elapsed().as_nanos() as u64;
+        self.stats.credit_stall_nanos += stalled;
+        self.stall_hist.record(stalled);
         Ok(())
     }
 

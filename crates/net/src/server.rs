@@ -4,6 +4,7 @@
 
 use crate::source::NetSource;
 use crate::wire::{self, Fill, MsgBuf, NetError};
+use igm_obs::{Counter, EventKind, EventRing};
 use igm_runtime::MonitorPool;
 use igm_trace::{IngestConfig, IngestReport, Ingestor, TraceError};
 use std::fs::File;
@@ -160,6 +161,13 @@ pub struct IngestServer<'p> {
     /// tenants with the same (or sanitize-colliding) name cannot write
     /// the same file concurrently.
     tee_names: std::collections::HashMap<String, usize>,
+    /// `igm_net_accepted_total` on the pool's registry.
+    obs_accepted: Counter,
+    /// `igm_net_rejected_total`.
+    obs_rejected: Counter,
+    /// The registry's event ring: every refusal is narrated there as a
+    /// `handshake_reject` with the peer address and reason.
+    events: EventRing,
 }
 
 impl<'p> IngestServer<'p> {
@@ -175,6 +183,7 @@ impl<'p> IngestServer<'p> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let ingestor = Ingestor::with_config(pool, cfg.ingest.clone());
+        let metrics = pool.metrics();
         Ok(IngestServer {
             listener,
             cfg,
@@ -183,6 +192,11 @@ impl<'p> IngestServer<'p> {
             rejected: Vec::new(),
             accepted: 0,
             tee_names: std::collections::HashMap::new(),
+            obs_accepted: metrics
+                .counter("igm_net_accepted_total", "Remote connections admitted as ingest lanes"),
+            obs_rejected: metrics
+                .counter("igm_net_rejected_total", "Connections refused before a lane existed"),
+            events: metrics.events().clone(),
         })
     }
 
@@ -210,10 +224,10 @@ impl<'p> IngestServer<'p> {
                                 deadline: Instant::now() + self.cfg.handshake_timeout,
                             });
                         } else {
-                            self.rejected.push((
+                            self.reject(
                                 peer.to_string(),
                                 NetError::Malformed("could not make the socket nonblocking"),
-                            ));
+                            );
                         }
                         progress = true;
                     }
@@ -221,7 +235,7 @@ impl<'p> IngestServer<'p> {
                     Err(e) => {
                         // A failed accept consumes one slot so a dying
                         // listener cannot wedge the loop.
-                        self.rejected.push(("<accept>".to_owned(), NetError::Io(e)));
+                        self.reject("<accept>".to_owned(), NetError::Io(e));
                         progress = true;
                     }
                 }
@@ -255,8 +269,11 @@ impl<'p> IngestServer<'p> {
                     let conn = self.pending.swap_remove(i);
                     progress = true;
                     match self.admit(conn, session_cfg) {
-                        Ok(()) => self.accepted += 1,
-                        Err((peer, e)) => self.rejected.push((peer, e)),
+                        Ok(()) => {
+                            self.accepted += 1;
+                            self.obs_accepted.inc();
+                        }
+                        Err((peer, e)) => self.reject(peer, e),
                     }
                 }
                 HandshakeStep::Fail(e) => {
@@ -264,11 +281,20 @@ impl<'p> IngestServer<'p> {
                     progress = true;
                     let peer = conn.peer.clone();
                     conn.refuse(&e);
-                    self.rejected.push((peer, e));
+                    self.reject(peer, e);
                 }
             }
         }
         progress
+    }
+
+    /// Records one pre-lane refusal: counter, event-ring narration, report
+    /// entry.
+    fn reject(&mut self, peer: String, e: NetError) {
+        self.obs_rejected.inc();
+        self.events
+            .record(EventKind::HandshakeReject { peer: peer.clone(), reason: e.to_string() });
+        self.rejected.push((peer, e));
     }
 
     /// Plugs a handshaken connection into the ingest front-end (teed to a

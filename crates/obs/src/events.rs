@@ -1,0 +1,207 @@
+//! The structured lifecycle-event ring: *what happened*, not just how
+//! many times.
+//!
+//! Counters answer "how much"; operators debugging a live monitor also
+//! need the discrete story — which tenant's lane failed and why, which
+//! handshake was rejected, when sessions opened and closed, where the
+//! stealing scheduler moved work. [`EventRing`] is a bounded ring of
+//! typed [`ObsEvent`]s with monotone sequence numbers: producers record
+//! from any thread (one short mutex on a rare path — never the per-record
+//! hot path), the ring overwrites its oldest entries when full (counting
+//! the drops), and readers cursor through it with
+//! [`EventRing::since`] — which is how the stats endpoint serves
+//! `/events.json?since=N` without ever blocking a producer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One structured lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A pool session opened.
+    SessionOpen {
+        /// Pool-wide session id.
+        session: u64,
+        /// Tenant label.
+        tenant: String,
+        /// Monitoring lifeguard's name.
+        lifeguard: String,
+    },
+    /// A pool session finalized.
+    SessionClose {
+        /// Pool-wide session id.
+        session: u64,
+        /// Tenant label.
+        tenant: String,
+        /// Records the session processed.
+        records: u64,
+        /// Violations it reported.
+        violations: u64,
+    },
+    /// The work-stealing scheduler migrated a session between workers.
+    Steal {
+        /// The migrated session.
+        session: u64,
+        /// Worker the session was taken from.
+        from_worker: usize,
+        /// Worker that now owns it.
+        to_worker: usize,
+    },
+    /// An ingest lane failed mid-stream (disconnect, corrupt frame, tee
+    /// write failure); the lane was finalized with what it had published.
+    LaneFailure {
+        /// Lane (tenant) name.
+        lane: String,
+        /// The error, stringified at failure time.
+        error: String,
+    },
+    /// A connection was refused before becoming a lane.
+    HandshakeReject {
+        /// Peer address.
+        peer: String,
+        /// Why it was refused.
+        reason: String,
+    },
+    /// A lifeguard reported a violation.
+    Violation {
+        /// Reporting session.
+        session: u64,
+        /// Tenant label.
+        tenant: String,
+        /// Human-readable violation description.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// Stable kind tag (the `"kind"` field of the JSON export).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SessionOpen { .. } => "session_open",
+            EventKind::SessionClose { .. } => "session_close",
+            EventKind::Steal { .. } => "steal",
+            EventKind::LaneFailure { .. } => "lane_failure",
+            EventKind::HandshakeReject { .. } => "handshake_reject",
+            EventKind::Violation { .. } => "violation",
+        }
+    }
+}
+
+/// One ring entry: an [`EventKind`] stamped with its sequence number and
+/// ring-relative time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Monotone sequence number (gaps mean the ring overwrote entries).
+    pub seq: u64,
+    /// Nanoseconds since the ring (registry) was created.
+    pub at_nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    buf: VecDeque<ObsEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, shared ring of [`ObsEvent`]s. Cloning shares the ring.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    inner: Arc<Mutex<RingInner>>,
+    capacity: usize,
+    started: Instant,
+}
+
+/// What one [`EventRing::since`] cursor read returned.
+#[derive(Debug, Clone)]
+pub struct EventsSnapshot {
+    /// Events with `seq >= since`, oldest first.
+    pub events: Vec<ObsEvent>,
+    /// Events ever overwritten before being served (ring-wide).
+    pub dropped: u64,
+    /// The next sequence number the ring will assign — pass as the next
+    /// read's `since` to resume exactly where this one stopped.
+    pub next_seq: u64,
+}
+
+impl EventRing {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A ring retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "a zero-capacity event ring records nothing");
+        EventRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                dropped: 0,
+            })),
+            capacity,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one event, assigning it the next sequence number. The
+    /// oldest entry is overwritten when the ring is full.
+    pub fn record(&self, kind: EventKind) {
+        let at_nanos = self.started.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(ObsEvent { seq, at_nanos, kind });
+    }
+
+    /// Events recorded so far (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Reads every retained event with `seq >= since`, oldest first,
+    /// without consuming anything (the ring itself is the retention
+    /// policy). `since = 0` reads everything retained.
+    pub fn since(&self, since: u64) -> EventsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        EventsSnapshot {
+            events: inner.buf.iter().filter(|e| e.seq >= since).cloned().collect(),
+            dropped: inner.dropped,
+            next_seq: inner.next_seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_and_overwrite() {
+        let ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.record(EventKind::Steal { session: i, from_worker: 0, to_worker: 1 });
+        }
+        let snap = ring.since(0);
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(snap.next_seq, 5);
+        assert_eq!(snap.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+
+        // Cursor resume: nothing new since next_seq.
+        assert!(ring.since(snap.next_seq).events.is_empty());
+        ring.record(EventKind::LaneFailure { lane: "x".into(), error: "boom".into() });
+        let more = ring.since(snap.next_seq);
+        assert_eq!(more.events.len(), 1);
+        assert_eq!(more.events[0].seq, 5);
+        assert_eq!(more.events[0].kind.name(), "lane_failure");
+    }
+}

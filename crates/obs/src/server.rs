@@ -1,0 +1,241 @@
+//! The live stats endpoint: one `std::net` thread serving a registry.
+//!
+//! [`StatsServer::serve`] binds a TCP listener, spawns a single thread
+//! named `igm-stats`, and answers plain HTTP/1.1 until [`StatsServer::stop`]
+//! (or drop). It is deliberately minimal — no keep-alive, no TLS, no
+//! framework — because its job is a `curl` or a Prometheus scrape against
+//! a monitor that is busy doing real work:
+//!
+//! | path                  | body                                      |
+//! |-----------------------|-------------------------------------------|
+//! | `/metrics`            | Prometheus text exposition                |
+//! | `/stats.json`         | [`MetricsSnapshot::to_json`]              |
+//! | `/events.json?since=N`| event ring from sequence `N` (default 0)  |
+//! | `/`                   | plain-text index of the above             |
+//!
+//! Every snapshot is taken on the serving thread; the hot paths feeding
+//! the registry never notice a scrape.
+
+#[cfg(doc)]
+use crate::registry::MetricsSnapshot;
+
+use crate::registry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How long the serving thread dozes between accept polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Per-connection read/write deadline — a stuck scraper must not wedge
+/// the (single) serving thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head we bother reading.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running stats endpoint. Stops (and joins its thread) on drop.
+#[derive(Debug)]
+pub struct StatsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl StatsServer {
+    /// Binds `addr` (`"127.0.0.1:0"` picks a free port — read it back
+    /// with [`StatsServer::local_addr`]) and starts serving `registry`.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<StatsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("igm-stats".into())
+            .spawn(move || serve_loop(listener, registry, stop2))?;
+        Ok(StatsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops serving and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve inline: one thread, one connection at a time —
+                // a scrape endpoint, not a web server.
+                let _ = handle_connection(stream, &registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let target = match read_request_target(&mut stream)? {
+        Some(t) => t,
+        None => return respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n"),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target.as_str(), None),
+    };
+    match path {
+        "/metrics" => {
+            let body = registry.snapshot().to_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/stats.json" => {
+            let body = registry.snapshot().to_json();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/events.json" => {
+            let since = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("since="))
+                        .and_then(|v| v.parse::<u64>().ok())
+                })
+                .unwrap_or(0);
+            let body = registry.events().since(since).to_json();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            "igm stats endpoint\n\n/metrics            Prometheus text exposition\n/stats.json         metrics snapshot as JSON\n/events.json?since=N  lifecycle event ring\n",
+        ),
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads the request head and returns the request target (`/metrics`,
+/// `/events.json?since=3`, …), or `None` for an unparsable request.
+fn read_request_target(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() >= MAX_REQUEST_BYTES {
+            return Ok(None);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = match head.lines().next() {
+        Some(l) => l,
+        None => return Ok(None),
+    };
+    // "GET /path HTTP/1.1" — method and version are not worth policing.
+    let mut parts = request_line.split_whitespace();
+    let _method = parts.next();
+    Ok(parts.next().map(str::to_owned))
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_json_events_and_404() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("igm_test_total", "test counter").add(7);
+        registry.histogram("igm_test_nanos", "test latency").record(900);
+        registry
+            .events()
+            .record(EventKind::LaneFailure { lane: "t0".into(), error: "boom".into() });
+
+        let mut server = StatsServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"));
+        assert!(metrics.contains("igm_test_total 7"));
+        assert!(metrics.contains("igm_test_nanos_bucket"));
+
+        let json = get(addr, "/stats.json");
+        assert!(json.contains("\"igm_test_total\""));
+
+        let events = get(addr, "/events.json?since=0");
+        assert!(events.contains("\"lane_failure\""));
+        assert!(events.contains("\"boom\""));
+        assert!(get(addr, "/events.json?since=99").contains("\"events\": []"));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/").contains("igm stats endpoint"));
+
+        server.stop();
+        // Stopped: new connections must fail (give the OS a beat).
+        thread::sleep(Duration::from_millis(50));
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // Some platforms accept into the dead listener's backlog;
+                // a read then yields nothing.
+                let mut s = TcpStream::connect(addr).unwrap();
+                write!(s, "GET / HTTP/1.1\r\n\r\n").unwrap();
+                let mut buf = String::new();
+                s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+                s.read_to_string(&mut buf).unwrap_or(0) == 0
+            }
+        );
+    }
+}

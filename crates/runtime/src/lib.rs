@@ -27,7 +27,11 @@
 //!   batch-grain (`dispatch_batch` → `handle_batch`, statically dispatched
 //!   through `AnyLifeguard`) with no per-record allocation. Per-tenant
 //!   [`SessionHandle`]s; an aggregated [`ViolationStream`] and pool/session
-//!   [`stats`].
+//!   [`stats`] — which, since the `igm-obs` integration, are views over
+//!   the pool's metrics registry ([`MonitorPool::metrics`]): per-lifeguard
+//!   dispatch-latency histograms, channel queue-latency/occupancy, steal
+//!   and park counters, a lifecycle-event ring, all scrapeable live via
+//!   [`MonitorPool::serve_stats`].
 //! * [`epoch`] — [`monitor_epoch_parallel`]: epoch-chunked parallel checking
 //!   of one trace against snapshotted shadow state, with a
 //!   sequential-consistency fallback for lifeguards whose metadata does not

@@ -16,10 +16,29 @@
 //! cache line at a time.
 
 use igm_lba::TraceBatch;
+use igm_obs::{Gauge, Histogram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Registry handles a channel reports into: send→drain queue latency per
+/// batch and live buffered bytes. A pool hands every session channel
+/// clones of the same pair, so the gauge aggregates live occupancy across
+/// the pool's channels. The default is fully detached (no registry).
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelObs {
+    /// `igm_channel_queue_latency_nanos`: publish → drain per batch.
+    pub(crate) queue_latency: Histogram,
+    /// `igm_channel_occupancy_bytes`: live compressed bytes buffered.
+    pub(crate) occupancy_bytes: Gauge,
+}
+
+impl Default for ChannelObs {
+    fn default() -> ChannelObs {
+        ChannelObs { queue_latency: Histogram::disabled(), occupancy_bytes: Gauge::detached() }
+    }
+}
 
 /// Error returned when sending into a channel whose consumer is gone. The
 /// rejected batch is handed back to the caller (boxed: the error path is
@@ -69,7 +88,10 @@ pub struct ChannelStatsSnapshot {
 
 #[derive(Debug)]
 struct Inner {
-    queue: VecDeque<TraceBatch>,
+    /// Each batch travels with its publish timestamp (`None` when queue
+    /// latency is not being recorded), so the drain side can report
+    /// send→drain latency without a second clock read on the send side.
+    queue: VecDeque<(TraceBatch, Option<Instant>)>,
     used_bytes: u32,
     producer_closed: bool,
     consumer_closed: bool,
@@ -87,6 +109,7 @@ struct Shared {
     /// streaming allocation-free: column capacity circulates through the
     /// channel instead of being reallocated per chunk.
     spares: Mutex<Vec<TraceBatch>>,
+    obs: ChannelObs,
 }
 
 /// Upper bound on recycled batch arenas parked on a channel.
@@ -129,6 +152,12 @@ impl Shared {
 /// assert!(rx.recv_batch().is_none());
 /// ```
 pub fn log_channel(capacity_bytes: u32) -> (LogProducer, LogConsumer) {
+    log_channel_with(capacity_bytes, ChannelObs::default())
+}
+
+/// [`log_channel`] with registry handles attached (how the pool wires
+/// every session channel onto its metrics registry).
+pub(crate) fn log_channel_with(capacity_bytes: u32, obs: ChannelObs) -> (LogProducer, LogConsumer) {
     assert!(capacity_bytes > 0, "log channel capacity must be positive");
     let shared = Arc::new(Shared {
         capacity_bytes,
@@ -142,6 +171,7 @@ pub fn log_channel(capacity_bytes: u32) -> (LogProducer, LogConsumer) {
         not_empty: Condvar::new(),
         counters: ChannelCounters::default(),
         spares: Mutex::new(Vec::new()),
+        obs,
     });
     (LogProducer { shared: Arc::clone(&shared) }, LogConsumer { shared })
 }
@@ -227,7 +257,10 @@ impl LogProducer {
         c.peak_bytes.fetch_max(inner.used_bytes, Ordering::Relaxed);
         c.pushed_records.fetch_add(batch.len() as u64, Ordering::Relaxed);
         c.pushed_batches.fetch_add(1, Ordering::Relaxed);
-        inner.queue.push_back(batch);
+        self.shared.obs.occupancy_bytes.add(bytes as i64);
+        // `start()` is `None` (no clock read) when queue-latency recording
+        // is off — the timestamp rides the queue either way.
+        inner.queue.push_back((batch, self.shared.obs.queue_latency.start()));
         c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
         drop(inner);
         self.shared.not_empty.notify_one();
@@ -264,11 +297,14 @@ pub struct LogConsumer {
 
 impl LogConsumer {
     fn take(&self, inner: &mut Inner) -> Option<TraceBatch> {
-        let batch = inner.queue.pop_front()?;
-        inner.used_bytes -= batch.compressed_bytes();
+        let (batch, published) = inner.queue.pop_front()?;
+        let bytes = batch.compressed_bytes();
+        inner.used_bytes -= bytes;
         let c = &self.shared.counters;
         c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
         c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
+        self.shared.obs.occupancy_bytes.sub(bytes as i64);
+        self.shared.obs.queue_latency.stop(published);
         Some(batch)
     }
 
@@ -333,6 +369,8 @@ impl Drop for LogConsumer {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock().unwrap();
         inner.consumer_closed = true;
+        // The discarded batches leave the pool-wide occupancy gauge too.
+        self.shared.obs.occupancy_bytes.sub(inner.used_bytes as i64);
         // Release buffered batches so a blocked producer can observe the
         // closure rather than waiting for room that will never appear.
         inner.queue.clear();

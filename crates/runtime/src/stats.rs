@@ -1,52 +1,77 @@
 //! Aggregated runtime statistics and per-session reports.
+//!
+//! Since the `igm-obs` integration, [`PoolStats`] is a *view over the
+//! pool's metrics registry* rather than parallel bookkeeping: each field
+//! is an [`igm_obs::Counter`] handle registered under an `igm_pool_*`
+//! name, so [`PoolStatsSnapshot`] and the `/metrics` scrape read the same
+//! atomics. Cloning a `PoolStats` ([`PoolStats::per_worker`]) claims a
+//! fresh counter stripe per handle, so each worker thread increments
+//! disjoint cache lines.
 
 use crate::pool::SessionId;
 use crate::spsc::ChannelStatsSnapshot;
 use igm_core::DispatchStats;
 use igm_lifeguards::{LifeguardKind, Violation};
-use std::sync::atomic::{AtomicU64, Ordering};
+use igm_obs::{Counter, MetricsRegistry};
 use std::time::{Duration, Instant};
 
-/// Pool-wide monotonic counters (lives behind an `Arc`, updated by the
-/// workers with relaxed atomics — the hot path never takes a lock for
-/// accounting).
-#[derive(Debug)]
+/// Pool-wide monotone counters: registry handles, updated by the workers
+/// with relaxed striped atomics — the hot path never takes a lock for
+/// accounting.
+#[derive(Debug, Clone)]
 pub struct PoolStats {
-    pub(crate) records: AtomicU64,
-    pub(crate) events_delivered: AtomicU64,
-    pub(crate) violations: AtomicU64,
-    pub(crate) sessions_opened: AtomicU64,
-    pub(crate) sessions_closed: AtomicU64,
-    pub(crate) epoch_jobs: AtomicU64,
-    pub(crate) steals: AtomicU64,
+    pub(crate) records: Counter,
+    pub(crate) events_delivered: Counter,
+    pub(crate) violations: Counter,
+    pub(crate) sessions_opened: Counter,
+    pub(crate) sessions_closed: Counter,
+    pub(crate) epoch_jobs: Counter,
+    pub(crate) steals: Counter,
+    pub(crate) parks: Counter,
     started: Instant,
 }
 
-impl Default for PoolStats {
-    fn default() -> PoolStats {
+impl PoolStats {
+    /// Registers the pool counter family on `registry`. These counters are
+    /// live regardless of the registry's timer switch — the pool's own
+    /// stats snapshot depends on them.
+    pub(crate) fn new(registry: &MetricsRegistry) -> PoolStats {
         PoolStats {
-            records: AtomicU64::new(0),
-            events_delivered: AtomicU64::new(0),
-            violations: AtomicU64::new(0),
-            sessions_opened: AtomicU64::new(0),
-            sessions_closed: AtomicU64::new(0),
-            epoch_jobs: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
+            records: registry
+                .counter("igm_pool_records_total", "records processed across sessions and epochs"),
+            events_delivered: registry.counter(
+                "igm_pool_events_delivered_total",
+                "events delivered to lifeguard handlers",
+            ),
+            violations: registry.counter("igm_pool_violations_total", "violations reported"),
+            sessions_opened: registry
+                .counter("igm_pool_sessions_opened_total", "sessions ever opened"),
+            sessions_closed: registry
+                .counter("igm_pool_sessions_closed_total", "sessions finalized"),
+            epoch_jobs: registry.counter("igm_pool_epoch_jobs_total", "epoch jobs executed"),
+            steals: registry
+                .counter("igm_pool_steals_total", "sessions migrated by the stealing scheduler"),
+            parks: registry.counter("igm_pool_parks_total", "times an idle worker parked"),
             started: Instant::now(),
         }
     }
-}
 
-impl PoolStats {
+    /// A per-worker clone: every counter handle claims its own stripe, so
+    /// the worker's hot increments touch cache lines no other worker does.
+    pub(crate) fn per_worker(&self) -> PoolStats {
+        self.clone()
+    }
+
     pub(crate) fn snapshot(&self) -> PoolStatsSnapshot {
         PoolStatsSnapshot {
-            records: self.records.load(Ordering::Relaxed),
-            events_delivered: self.events_delivered.load(Ordering::Relaxed),
-            violations: self.violations.load(Ordering::Relaxed),
-            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
-            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
-            epoch_jobs: self.epoch_jobs.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
+            records: self.records.value(),
+            events_delivered: self.events_delivered.value(),
+            violations: self.violations.value(),
+            sessions_opened: self.sessions_opened.value(),
+            sessions_closed: self.sessions_closed.value(),
+            epoch_jobs: self.epoch_jobs.value(),
+            steals: self.steals.value(),
+            parks: self.parks.value(),
             uptime: self.started.elapsed(),
         }
     }
@@ -72,6 +97,9 @@ pub struct PoolStatsSnapshot {
     /// (each steal transfers the session's pending batches *and* its shadow
     /// shard to the thief).
     pub steals: u64,
+    /// Times an idle worker parked on its doorbell (a measure of how often
+    /// the pool went to sleep vs. spun through work).
+    pub parks: u64,
     /// Time since the pool started.
     pub uptime: Duration,
 }

@@ -158,8 +158,12 @@ fn shutdown_with_live_handle_terminates_instead_of_deadlocking() {
 fn session_outlives_bursty_producers() {
     // Tiny channel + bursty producer: exercises repeated stall/drain cycles
     // through a live worker rather than a dedicated consumer thread.
-    let pool =
-        MonitorPool::new(PoolConfig { workers: 1, channel_capacity_bytes: 64, chunk_bytes: 16 });
+    let pool = MonitorPool::new(PoolConfig {
+        workers: 1,
+        channel_capacity_bytes: 64,
+        chunk_bytes: 16,
+        ..PoolConfig::default()
+    });
     let session = pool.open_session(SessionConfig::new("bursty", LifeguardKind::TaintCheck));
     session.stream((0..30_000).map(rec)).unwrap();
     let report = session.finish();

@@ -107,6 +107,7 @@ proptest! {
                 workers,
                 channel_capacity_bytes: 4096,
                 chunk_bytes: 512,
+                ..PoolConfig::default()
             });
             let sessions: Vec<_> = (0..tenants)
                 .map(|t| {
@@ -158,6 +159,7 @@ fn idle_worker_steals_the_hot_session() {
         workers: 2,
         channel_capacity_bytes: 16 * 1024,
         chunk_bytes: 512,
+        ..PoolConfig::default()
     });
     let hot_a = pool.open_session(SessionConfig::new("hot-a", LifeguardKind::TaintCheck));
     let idle = pool.open_session(SessionConfig::new("idle", LifeguardKind::TaintCheck));
@@ -201,6 +203,7 @@ fn shadow_state_survives_migration() {
         workers: 2,
         channel_capacity_bytes: 64 * 1024,
         chunk_bytes: 256,
+        ..PoolConfig::default()
     });
     let hot = pool.open_session(SessionConfig::new("hot", LifeguardKind::AddrCheck));
     let idle = pool.open_session(SessionConfig::new("idle", LifeguardKind::AddrCheck));

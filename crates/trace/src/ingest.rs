@@ -20,12 +20,13 @@
 use crate::codec::{TraceError, TraceReader, TraceWriter};
 use igm_isa::TraceEntry;
 use igm_lba::{Chunks, TraceBatch};
+use igm_obs::{Counter, EventKind, EventRing, Histogram};
 use igm_runtime::{ChannelStatsSnapshot, MonitorPool, SessionConfig, SessionHandle, SessionReport};
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a [`TraceSource`] produced for one poll.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,6 +239,24 @@ pub struct LaneStats {
     pub turns: u64,
 }
 
+/// The ingest front-end's registry handles (from the pool's registry, so
+/// ingest metrics land on the same stats endpoint as the pool's).
+#[derive(Debug, Clone)]
+struct IngestObs {
+    /// `igm_ingest_turn_nanos`: one lane scheduling turn.
+    turn: Histogram,
+    /// `igm_ingest_deferred_wait_nanos`: backpressure staging → successful
+    /// publish, per deferred batch.
+    deferred_wait: Histogram,
+    /// `igm_ingest_lanes_opened_total`.
+    lanes_opened: Counter,
+    /// `igm_ingest_lane_failures_total`.
+    lane_failures: Counter,
+    /// The registry's lifecycle-event ring (lane failures are narrated
+    /// here with their error string, in failure order).
+    events: EventRing,
+}
+
 struct Lane {
     name: String,
     source: Box<dyn TraceSource>,
@@ -251,6 +270,9 @@ struct Lane {
     wants_feedback: bool,
     /// A batch refused by backpressure, awaiting retry.
     staged: Option<TraceBatch>,
+    /// When the staged batch was first refused (rides along so the retry
+    /// that finally publishes it can report the full deferred wait).
+    staged_at: Option<Instant>,
     /// Pull staging arena: sources decode/chunk their columns straight
     /// into it, then ownership of the filled batch transfers to the log
     /// channel (the transport owns its batches); the lane refills the
@@ -262,6 +284,7 @@ struct Lane {
     closed: bool,
     stats: LaneStats,
     error: Option<TraceError>,
+    obs: IngestObs,
 }
 
 /// Everything one [`Ingestor::run`] produced.
@@ -315,6 +338,7 @@ pub struct Ingestor<'p> {
     cfg: IngestConfig,
     lanes: Vec<Lane>,
     passes: u64,
+    obs: IngestObs,
 }
 
 /// What one [`Ingestor::pass`] accomplished.
@@ -337,7 +361,23 @@ impl<'p> Ingestor<'p> {
     /// A front-end with explicit scheduling parameters.
     pub fn with_config(pool: &'p MonitorPool, cfg: IngestConfig) -> Ingestor<'p> {
         assert!(cfg.batches_per_turn > 0, "a lane must be allowed at least one batch per turn");
-        Ingestor { pool, cfg, lanes: Vec::new(), passes: 0 }
+        let metrics = pool.metrics();
+        let obs = IngestObs {
+            turn: metrics
+                .histogram("igm_ingest_turn_nanos", "Duration of one ingest lane scheduling turn"),
+            deferred_wait: metrics.histogram(
+                "igm_ingest_deferred_wait_nanos",
+                "Backpressure staging to successful publish, per deferred batch",
+            ),
+            lanes_opened: metrics
+                .counter("igm_ingest_lanes_opened_total", "Ingest lanes registered"),
+            lane_failures: metrics.counter(
+                "igm_ingest_lane_failures_total",
+                "Ingest lanes closed early by a source or tee error",
+            ),
+            events: metrics.events().clone(),
+        };
+        Ingestor { pool, cfg, lanes: Vec::new(), passes: 0, obs }
     }
 
     /// Registers a tenant: opens a session under `cfg` and attaches
@@ -375,6 +415,7 @@ impl<'p> Ingestor<'p> {
         let name = cfg.name.clone();
         let session = self.pool.open_session(cfg);
         let wants_feedback = source.wants_transport_feedback();
+        self.obs.lanes_opened.inc();
         self.lanes.push(Lane {
             name,
             source,
@@ -382,11 +423,13 @@ impl<'p> Ingestor<'p> {
             tee,
             wants_feedback,
             staged: None,
+            staged_at: None,
             scratch: TraceBatch::new(),
             source_done: false,
             closed: false,
             stats: LaneStats::default(),
             error: None,
+            obs: self.obs.clone(),
         });
     }
 
@@ -413,7 +456,9 @@ impl<'p> Ingestor<'p> {
             if lane.closed || lane.session.is_none() {
                 continue;
             }
+            let turn_started = self.obs.turn.start();
             progress |= lane.turn(self.cfg.batches_per_turn);
+            self.obs.turn.stop(turn_started);
             open += usize::from(!(lane.closed || lane.session.is_none()));
         }
         PassOutcome { progress, open }
@@ -536,12 +581,20 @@ impl Lane {
             let session = self.session.as_ref().expect("lane is open");
             match session.try_send_batch(batch) {
                 Ok(None) => {
+                    // If this batch had been deferred, report how long it
+                    // waited from first refusal to publication.
+                    self.obs.deferred_wait.stop(self.staged_at.take());
                     self.stats.batches += 1;
                     self.stats.records += records;
                     progress = true;
                 }
                 Ok(Some(refused)) => {
-                    // Full channel: stage and let the other lanes run.
+                    // Full channel: stage and let the other lanes run. The
+                    // wait clock starts at the *first* refusal and keeps
+                    // running across re-refusals.
+                    if self.staged_at.is_none() {
+                        self.staged_at = self.obs.deferred_wait.start();
+                    }
                     self.staged = Some(refused);
                     self.stats.deferred_sends += 1;
                     return progress;
@@ -570,6 +623,14 @@ impl Lane {
         }
         if let Some(session) = self.session.as_mut() {
             session.close();
+        }
+        if let Some(err) = self.error.as_ref() {
+            // Narrate the failure — counter for the scrape, event with the
+            // error string for the endpoint's timeline.
+            self.obs.lane_failures.inc();
+            self.obs
+                .events
+                .record(EventKind::LaneFailure { lane: self.name.clone(), error: err.to_string() });
         }
         self.closed = true;
     }

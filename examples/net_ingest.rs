@@ -19,11 +19,26 @@
 use igm::isa::{Annotation, MemRef, OpClass, Reg, TraceEntry};
 use igm::lifeguards::LifeguardKind;
 use igm::net::{ForwarderConfig, IngestServer, NetServerConfig, TraceForwarder};
+use igm::obs::EventKind;
 use igm::runtime::{stats_table, MonitorPool, PoolConfig, SessionConfig};
 use igm::workload::Benchmark;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 
 const N: u64 = 100_000;
 const CHUNK: u32 = 16 * 1024;
+
+/// A one-shot HTTP/1.1 GET against the pool's stats endpoint, returning
+/// the response body (what `curl http://<addr><path>` would print).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("stats endpoint reachable");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let body_at = response.find("\r\n\r\n").expect("header terminator") + 4;
+    response[body_at..].to_owned()
+}
 
 /// An out-of-bounds heap read appended to gzip's trace: AddrCheck must
 /// flag it identically on the local and network paths.
@@ -55,10 +70,16 @@ fn main() {
     };
     assert!(!local.violations.is_empty(), "the epilogue must trip AddrCheck locally");
 
+    // Live observability: every counter/histogram below is scrapeable over
+    // HTTP for the whole run.
+    let mut stats_srv = pool.serve_stats("127.0.0.1:0").expect("stats endpoint");
+    let stats_addr = stats_srv.local_addr();
+
     let server =
         IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).expect("bind");
     let addr = server.local_addr().expect("bound");
-    println!("ingest server on {addr}; 4 tenants x {N} records over loopback\n");
+    println!("ingest server on {addr}; 4 tenants x {N} records over loopback");
+    println!("live stats on http://{stats_addr}/metrics (+ /stats.json, /events.json)\n");
 
     let tenants: [(Benchmark, LifeguardKind); 4] = [
         (Benchmark::Gzip, LifeguardKind::AddrCheck),
@@ -69,10 +90,14 @@ fn main() {
     let clients: Vec<_> = tenants
         .into_iter()
         .map(|(bench, kind)| {
+            let registry = pool.metrics().clone();
             std::thread::spawn(move || {
                 let fcfg = ForwarderConfig { chunk_bytes: CHUNK, ..ForwarderConfig::default() };
                 let mut fwd = TraceForwarder::connect_with(addr, &tenant_cfg(bench, kind), fcfg)
                     .expect("connect");
+                // Loopback co-location: the clients' credit-stall
+                // histogram lands on the same stats endpoint as the pool.
+                fwd.attach_metrics(&registry);
                 if matches!(bench, Benchmark::Gzip) {
                     fwd.stream(buggy_gzip()).expect("stream");
                 } else {
@@ -83,12 +108,33 @@ fn main() {
         })
         .collect();
 
-    // One thread: accept, handshake, credit flow, multiplexed ingest.
-    let report = server.serve_connections(clients.len());
-    let client_reports: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    // A fifth tenant handshakes, streams a little, then vanishes without
+    // FIN — the server must fail only that lane, and say why.
+    let flaky = std::thread::spawn(move || {
+        let cfg = SessionConfig::new("flaky", LifeguardKind::AddrCheck)
+            .synthetic()
+            .premark(&Benchmark::Gzip.profile().premark_regions());
+        let mut fwd = TraceForwarder::connect(addr, &cfg).expect("connect");
+        fwd.stream(Benchmark::Gzip.trace(1_000)).expect("stream");
+        drop(fwd); // abrupt disconnect, no FIN
+    });
 
-    assert!(report.ingest.errors.is_empty(), "lane errors: {:?}", report.ingest.errors);
+    // One thread: accept, handshake, credit flow, multiplexed ingest.
+    let report = server.serve_connections(clients.len() + 1);
+    let client_reports: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    flaky.join().unwrap();
+
+    assert_eq!(report.accepted, 5, "all five tenants handshake");
     assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+    assert_eq!(
+        report.ingest.errors.len(),
+        1,
+        "only the flaky lane fails: {:?}",
+        report.ingest.errors
+    );
+    let (failed_lane, lane_err) = &report.ingest.errors[0];
+    assert_eq!(failed_lane, "flaky");
+    println!("flaky lane failed as expected: {lane_err}\n");
     print!("{}", stats_table(&report.ingest.sessions));
 
     println!("\nlane        batches   records   deferred   pending-polls");
@@ -127,5 +173,49 @@ fn main() {
         remote.records,
         remote.violations.len()
     );
+
+    // Scrape the live endpoint (the pool is still running) and check the
+    // Prometheus counter against the pool's own stats view — same
+    // registry, so they must agree exactly.
+    let metrics = http_get(stats_addr, "/metrics");
+    let records_line = metrics
+        .lines()
+        .find(|l| l.starts_with("igm_pool_records_total"))
+        .expect("scrape has the pool record counter");
+    println!("\nscrape of http://{stats_addr}/metrics while the pool is live:");
+    println!("{records_line}");
+    let scraped: u64 = records_line.rsplit(' ').next().unwrap().parse().expect("counter value");
+    assert_eq!(scraped, pool.stats().records, "scraped counter != pool stats");
+    for line in metrics.lines().filter(|l| l.contains("igm_dispatch_batch_nanos_count")) {
+        println!("{line}");
+    }
+
+    // The registry's lifecycle-event ring: the flaky lane's failure is a
+    // first-class, timestamped event with the error string attached.
+    let events = pool.events().since(0);
+    println!("\nlifecycle events recorded: {} ({} dropped)", events.next_seq, events.dropped);
+    for ev in &events.events {
+        match &ev.kind {
+            EventKind::LaneFailure { lane, error } => {
+                println!("  [{:>4}] lane_failure    {lane}: {error}", ev.seq)
+            }
+            EventKind::Violation { tenant, detail, .. } => {
+                println!("  [{:>4}] violation       {tenant}: {detail}", ev.seq)
+            }
+            EventKind::HandshakeReject { peer, reason } => {
+                println!("  [{:>4}] handshake_reject {peer}: {reason}", ev.seq)
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        events
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::LaneFailure { lane, .. } if lane == "flaky")),
+        "the flaky lane's failure must be narrated in the event ring"
+    );
+
+    stats_srv.stop();
     pool.shutdown();
 }

@@ -47,6 +47,13 @@
 //!   backpressure sized from the pool's log-channel occupancy — a remote
 //!   run reproduces the local run's violations and dispatch stats
 //!   exactly.
+//! * [`obs`] — the unified observability layer: a lock-free
+//!   [`obs::MetricsRegistry`] of sharded counters, gauges and log₂-bucketed
+//!   latency histograms instrumented through every layer above (dispatch
+//!   batches, SPSC queueing, ingest turns, credit stalls), a bounded ring
+//!   of typed lifecycle events, and the one-thread [`obs::StatsServer`]
+//!   serving live Prometheus + JSON snapshots over HTTP
+//!   ([`runtime::MonitorPool::serve_stats`]).
 //! * [`profiling`] — design-space sweeps (the paper's PIN study).
 //!
 //! ## Quickstart
@@ -95,6 +102,7 @@ pub use igm_isa as isa;
 pub use igm_lba as lba;
 pub use igm_lifeguards as lifeguards;
 pub use igm_net as net;
+pub use igm_obs as obs;
 pub use igm_profiling as profiling;
 pub use igm_runtime as runtime;
 pub use igm_shadow as shadow;

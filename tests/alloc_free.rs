@@ -156,3 +156,60 @@ fn steady_state_batch_build_and_aos_dispatch_allocate_nothing() {
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "batch refill + AoS dispatch must be allocation-free");
 }
+
+/// The observability layer keeps the same discipline: a dispatch pass
+/// wrapped in registry instrumentation — histogram start/stop timing,
+/// counter adds, gauge occupancy updates, an explicit `record` — stays
+/// zero-allocation. (Registration is setup-path; it happens before the
+/// measured window, exactly as `MonitorPool::new` registers before any
+/// record flows.)
+#[test]
+fn instrumented_dispatch_stays_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    let registry = igm::obs::MetricsRegistry::new();
+    let records = registry.counter("igm_records_total", "records dispatched");
+    let occupancy = registry.gauge("igm_occupancy_bytes", "live queue bytes");
+    let dispatch = registry.histogram("igm_dispatch_batch_nanos", "one batch through dispatch");
+    let queue = registry.histogram("igm_queue_latency_nanos", "send to drain");
+
+    let entries = steady_batch(2_048);
+    let batch = TraceBatch::from_entries(&entries);
+    let kind = LifeguardKind::TaintCheck;
+    let accel = AccelConfig::full(ItConfig::taint_style());
+    let mut lifeguard = kind.build_any(&accel);
+    lifeguard.premark_region(HEAP, 0x1000);
+    let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &kind.mask_config(&accel));
+    let mut cost = CostSink::new();
+    let mut events = EventBuf::new();
+
+    for _ in 0..2 {
+        pipeline.dispatch_batch(&batch, &mut events);
+        cost.clear();
+        lifeguard.handle_batch(events.events(), &mut cost);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    occupancy.add(batch.len() as i64);
+    let queued = queue.start();
+    let t0 = dispatch.start();
+    pipeline.dispatch_batch(&batch, &mut events);
+    cost.clear();
+    lifeguard.handle_batch(events.events(), &mut cost);
+    dispatch.stop(t0);
+    queue.stop(queued);
+    records.add(batch.len() as u64);
+    occupancy.sub(batch.len() as i64);
+    queue.record(37);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "{} allocation(s) on the instrumented steady-state dispatch path",
+        after - before
+    );
+    assert_eq!(records.value(), batch.len() as u64);
+    assert_eq!(occupancy.value(), 0);
+    let snap = registry.snapshot();
+    let h = snap.histogram_sample("igm_dispatch_batch_nanos", None).expect("registered");
+    assert_eq!(h.hist.count(), 1, "the measured pass was timed");
+}
