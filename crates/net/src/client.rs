@@ -7,7 +7,7 @@ use igm_isa::TraceEntry;
 use igm_lba::{chunks, TraceBatch};
 use igm_obs::{Histogram, MetricsRegistry};
 use igm_runtime::SessionConfig;
-use igm_trace::{encode_frame, TraceReader};
+use igm_trace::{encode_frame_with, Codec, CodecMetrics, Predictors, TraceReader};
 use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -26,6 +26,11 @@ pub struct ForwarderConfig {
     /// How long to wait for the server's handshake reply (and for the
     /// final `FIN_ACK`).
     pub handshake_timeout: Duration,
+    /// The trace codec every chunk frame on this lane will carry,
+    /// negotiated in the `HELLO`. Defaults to the value-predicted codec;
+    /// [`Codec::Delta`] trades ~4–5× more wire bytes for a simpler
+    /// payload.
+    pub codec: Codec,
 }
 
 impl Default for ForwarderConfig {
@@ -36,6 +41,7 @@ impl Default for ForwarderConfig {
             // depends on them matching).
             chunk_bytes: igm_runtime::PoolConfig::default().chunk_bytes,
             handshake_timeout: Duration::from_secs(10),
+            codec: Codec::Predicted,
         }
     }
 }
@@ -98,6 +104,14 @@ pub struct TraceForwarder {
     /// stall duration is already measured for [`ForwarderStats`], so the
     /// histogram adds no clock reads of its own.
     stall_hist: Histogram,
+    /// The negotiated per-chunk trace codec ([`ForwarderConfig::codec`]).
+    codec: Codec,
+    /// Encoder predictor tables, persistent across frames (each frame
+    /// still resets them — holding the allocation is what matters).
+    predictors: Box<Predictors>,
+    /// Codec byte counters / encode-latency histogram, bound by
+    /// [`TraceForwarder::attach_metrics`].
+    codec_metrics: CodecMetrics,
 }
 
 impl TraceForwarder {
@@ -131,8 +145,11 @@ impl TraceForwarder {
             stats: ForwarderStats::default(),
             fin_ack: None,
             stall_hist: Histogram::disabled(),
+            codec: cfg.codec,
+            predictors: Box::new(Predictors::new()),
+            codec_metrics: CodecMetrics::detached(),
         };
-        let hello = wire::hello_message(NET_VERSION, session);
+        let hello = wire::hello_message(NET_VERSION, cfg.codec.wire(), session);
         fwd.push_bytes(&hello)?;
         // The WELCOME carries the initial allowance; harvest() records it
         // as a plain credit grant.
@@ -154,12 +171,14 @@ impl TraceForwarder {
     /// Publishes this forwarder's credit-stall durations to `registry` as
     /// the `igm_net_credit_stall_nanos` histogram (e.g. the co-located
     /// pool's registry in a loopback deployment, or a client-side registry
-    /// served by its own [`StatsServer`](igm_obs::StatsServer)).
+    /// served by its own [`StatsServer`](igm_obs::StatsServer)), together
+    /// with the `igm_codec_*` byte counters and encode-latency histogram.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.stall_hist = registry.histogram(
             "igm_net_credit_stall_nanos",
             "Wall-clock wait for a server credit grant, per stall",
         );
+        self.codec_metrics = CodecMetrics::register(registry);
     }
 
     /// Client-side counters so far.
@@ -179,7 +198,10 @@ impl TraceForwarder {
             return Ok(());
         }
         self.frame.clear();
-        encode_frame(&mut self.frame, batch);
+        let started = self.codec_metrics.start_encode();
+        encode_frame_with(&mut self.predictors, self.codec, &mut self.frame, batch);
+        self.codec_metrics.stop_encode(started);
+        self.codec_metrics.count_frame(batch.len() as u64, self.frame.len() as u64);
         self.wait_for_credit()?;
         let mut header = Vec::with_capacity(MSG_HEADER_BYTES);
         wire::push_header(&mut header, wire::msg::CHUNK, self.frame.len());

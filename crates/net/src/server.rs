@@ -6,7 +6,7 @@ use crate::source::NetSource;
 use crate::wire::{self, Fill, MsgBuf, NetError};
 use igm_obs::{Counter, EventKind, EventRing};
 use igm_runtime::MonitorPool;
-use igm_trace::{IngestConfig, IngestReport, Ingestor, TraceError};
+use igm_trace::{Codec, CodecMetrics, IngestConfig, IngestReport, Ingestor, TraceError};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -72,8 +72,9 @@ struct Pending {
 enum HandshakeStep {
     /// Still waiting for bytes.
     Wait,
-    /// `HELLO` accepted.
-    Ready(igm_runtime::SessionConfig),
+    /// `HELLO` accepted: the tenant's session spec plus the trace codec
+    /// its chunk frames will carry.
+    Ready(igm_runtime::SessionConfig, Codec),
     /// Connection refused.
     Fail(NetError),
 }
@@ -94,9 +95,9 @@ impl Pending {
             Ok(Some((ty, range))) if ty == wire::msg::HELLO => {
                 let decoded = wire::decode_hello(self.inbuf.bytes(range.clone()));
                 match decoded {
-                    Ok(cfg) => {
+                    Ok((cfg, codec)) => {
                         self.inbuf.consume(range.end);
-                        HandshakeStep::Ready(cfg)
+                        HandshakeStep::Ready(cfg, codec)
                     }
                     Err(e) => HandshakeStep::Fail(e),
                 }
@@ -168,6 +169,9 @@ pub struct IngestServer<'p> {
     /// The registry's event ring: every refusal is narrated there as a
     /// `handshake_reject` with the peer address and reason.
     events: EventRing,
+    /// Shared `igm_codec_*` counters/histograms on the pool's registry;
+    /// every admitted lane's decoder clones these handles.
+    codec_metrics: CodecMetrics,
 }
 
 impl<'p> IngestServer<'p> {
@@ -197,6 +201,7 @@ impl<'p> IngestServer<'p> {
             obs_rejected: metrics
                 .counter("igm_net_rejected_total", "Connections refused before a lane existed"),
             events: metrics.events().clone(),
+            codec_metrics: CodecMetrics::register(metrics),
         })
     }
 
@@ -265,10 +270,10 @@ impl<'p> IngestServer<'p> {
         while i < self.pending.len() {
             match self.pending[i].step() {
                 HandshakeStep::Wait => i += 1,
-                HandshakeStep::Ready(session_cfg) => {
+                HandshakeStep::Ready(session_cfg, codec) => {
                     let conn = self.pending.swap_remove(i);
                     progress = true;
-                    match self.admit(conn, session_cfg) {
+                    match self.admit(conn, session_cfg, codec) {
                         Ok(()) => {
                             self.accepted += 1;
                             self.obs_accepted.inc();
@@ -303,10 +308,17 @@ impl<'p> IngestServer<'p> {
         &mut self,
         conn: Pending,
         session_cfg: igm_runtime::SessionConfig,
+        codec: Codec,
     ) -> Result<(), (String, NetError)> {
         let peer = conn.peer;
-        let source = NetSource::new(conn.stream, self.cfg.credit_window as u64, conn.inbuf)
-            .map_err(|e| (peer.clone(), NetError::Io(e)))?;
+        let source = NetSource::new(
+            conn.stream,
+            self.cfg.credit_window as u64,
+            conn.inbuf,
+            codec,
+            self.codec_metrics.clone(),
+        )
+        .map_err(|e| (peer.clone(), NetError::Io(e)))?;
         match &self.cfg.tee_dir {
             Some(dir) => {
                 // Disambiguate repeated (or sanitize-colliding) tenant

@@ -4,17 +4,21 @@
 use crate::wire::{self, lane_error, Fill, FinStats, MsgBuf, NetError, MSG_HEADER_BYTES};
 use igm_lba::TraceBatch;
 use igm_runtime::ChannelStatsSnapshot;
-use igm_trace::{decode_frame, LanePoll, SourceStatus, TraceError, TraceSource};
+use igm_trace::{
+    decode_frame_with, frame_codec, Codec, CodecMetrics, LanePoll, Predictors, SourceStatus,
+    TraceError, TraceSource,
+};
 use std::io::{self, Write};
 use std::net::TcpStream;
 
 /// Wire-credit bytes granted per compressed-model byte of log-channel
 /// room. The channel accounts occupancy in the paper's compressed-record
-/// model (1 B per instruction record); encoded frames run ~4–6 B per
-/// record, so an unscaled grant would under-fill the channel several-fold
-/// and throttle a healthy producer. The scale errs high — the channel's
-/// own byte-accounted refusal (the staged-batch backstop) still bounds
-/// server memory when the estimate is generous.
+/// model (1 B per instruction record); predicted frames run ~1–2 B per
+/// record but legacy delta frames reach ~6, so an unscaled grant would
+/// under-fill the channel several-fold and throttle a healthy producer.
+/// The scale errs high — the channel's own byte-accounted refusal (the
+/// staged-batch backstop) still bounds server memory when the estimate is
+/// generous.
 const MODEL_TO_WIRE_SCALE: u64 = 8;
 
 /// Bytes read from the socket per scheduling poll, so one fast client
@@ -46,6 +50,13 @@ pub struct NetSource {
     /// A write-side failure noticed during feedback, surfaced on the next
     /// poll (polls are the lane's error channel).
     deferred_error: Option<NetError>,
+    /// The trace codec the `HELLO` negotiated; every chunk frame must
+    /// carry it.
+    codec: Codec,
+    /// Decoder predictor tables, persistent across this lane's frames.
+    predictors: Box<Predictors>,
+    /// Shared codec byte counters / decode-latency histogram.
+    metrics: CodecMetrics,
 }
 
 impl NetSource {
@@ -53,7 +64,13 @@ impl NetSource {
     /// bytes the handshake reader buffered past the `HELLO`; the `WELCOME`
     /// (granting `window` initial credit bytes) is queued for the first
     /// poll's flush.
-    pub(crate) fn new(stream: TcpStream, window: u64, inbuf: MsgBuf) -> io::Result<NetSource> {
+    pub(crate) fn new(
+        stream: TcpStream,
+        window: u64,
+        inbuf: MsgBuf,
+        codec: Codec,
+        metrics: CodecMetrics,
+    ) -> io::Result<NetSource> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         Ok(NetSource {
@@ -68,6 +85,9 @@ impl NetSource {
             records: 0,
             fin: None,
             deferred_error: None,
+            codec,
+            predictors: Box::new(Predictors::new()),
+            metrics,
         })
     }
 
@@ -117,8 +137,16 @@ impl NetSource {
                     wire::msg::CHUNK if self.fin.is_none() => {
                         let frame_at = self.inbuf.stream_pos() + MSG_HEADER_BYTES as u64;
                         let payload = self.inbuf.bytes(range.clone());
+                        if frame_codec(payload) != Some(self.codec) {
+                            return Err(NetError::Malformed(
+                                "chunk codec disagrees with the negotiated codec",
+                            ));
+                        }
                         let frame_bytes = payload.len() as u64;
-                        decode_frame(payload, frame_at, out)?;
+                        let started = self.metrics.start_decode();
+                        decode_frame_with(&mut self.predictors, payload, frame_at, out)?;
+                        self.metrics.stop_decode(started);
+                        self.metrics.count_frame(out.len() as u64, frame_bytes);
                         self.received += frame_bytes;
                         self.chunks += 1;
                         self.records += out.len() as u64;

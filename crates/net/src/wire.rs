@@ -12,7 +12,7 @@
 //!
 //! | type | name      | direction       | payload |
 //! |------|-----------|-----------------|---------|
-//! | 1    | `HELLO`   | client → server | magic `IGMN`, version `u32`, tenant session spec (below) |
+//! | 1    | `HELLO`   | client → server | magic `IGMN`, version `u32`, trace codec `u32`, tenant session spec (below) |
 //! | 2    | `WELCOME` | server → client | initial credit `u64` |
 //! | 3    | `CHUNK`   | client → server | one `igm-trace` codec **frame, verbatim** (header + payload) |
 //! | 4    | `CREDIT`  | server → client | additional credit bytes granted, `u64` |
@@ -25,7 +25,10 @@
 //! requested [`LifeguardKind`], accelerator configuration, synthetic-mode
 //! flag and premarked regions — so a server-side session reproduces the
 //! client's local configuration exactly (the loopback-equivalence
-//! guarantee rests on this).
+//! guarantee rests on this). The trace codec field names the
+//! [`igm_trace::Codec`] every subsequent `CHUNK` frame on the lane will
+//! carry; a server that does not speak it refuses the handshake with a
+//! typed [`NetError::UnsupportedCodec`].
 //!
 //! # Credit rules
 //!
@@ -44,7 +47,7 @@
 use igm_core::{AccelConfig, IfGeometry, ItConfig};
 use igm_lifeguards::LifeguardKind;
 use igm_runtime::SessionConfig;
-use igm_trace::TraceError;
+use igm_trace::{Codec, TraceError};
 use std::fmt;
 use std::io::{self, Read};
 use std::ops::Range;
@@ -52,8 +55,9 @@ use std::ops::Range;
 /// The four magic bytes opening every `HELLO`.
 pub const NET_MAGIC: [u8; 4] = *b"IGMN";
 
-/// Current protocol version.
-pub const NET_VERSION: u32 = 1;
+/// Current protocol version (version 2 added trace-codec negotiation to
+/// the `HELLO`).
+pub const NET_VERSION: u32 = 2;
 
 /// Bytes of message header preceding every payload (`type` u8 + `len`
 /// u32 LE).
@@ -63,7 +67,7 @@ pub const MSG_HEADER_BYTES: usize = 5;
 /// frame plus its frame header. A corrupt length field becomes a typed
 /// error instead of an allocation.
 pub const MAX_MESSAGE_BYTES: u32 =
-    igm_trace::MAX_PAYLOAD_BYTES + igm_trace::FRAME_HEADER_BYTES as u32;
+    igm_trace::MAX_PAYLOAD_BYTES + igm_trace::FRAME_HEADER_BYTES_V2 as u32;
 
 /// Message type discriminators.
 pub mod msg {
@@ -109,6 +113,12 @@ pub enum NetError {
         /// The version the peer announced.
         theirs: u32,
     },
+    /// The peer's `HELLO` requested a trace codec this side cannot
+    /// decode.
+    UnsupportedCodec {
+        /// The wire codec identifier the peer announced.
+        theirs: u32,
+    },
     /// A structurally invalid message (bad length, unknown type,
     /// out-of-range field).
     Malformed(&'static str),
@@ -128,6 +138,9 @@ impl fmt::Display for NetError {
             NetError::BadMagic => write!(f, "peer is not an igm-net endpoint (bad magic)"),
             NetError::VersionMismatch { theirs } => {
                 write!(f, "peer speaks protocol version {theirs} (this side speaks {NET_VERSION})")
+            }
+            NetError::UnsupportedCodec { theirs } => {
+                write!(f, "peer requested trace codec {theirs} (this side speaks codecs 1 and 2)")
             }
             NetError::Malformed(reason) => write!(f, "malformed message: {reason}"),
             NetError::Disconnected(when) => write!(f, "connection closed: {when}"),
@@ -171,6 +184,9 @@ pub(crate) fn lane_error(e: NetError, offset: u64) -> TraceError {
         }
         NetError::VersionMismatch { .. } => {
             TraceError::Corrupt { offset, reason: "peer protocol version changed mid-stream" }
+        }
+        NetError::UnsupportedCodec { .. } => {
+            TraceError::Corrupt { offset, reason: "peer requested an unsupported trace codec" }
         }
         NetError::Malformed(reason) | NetError::Disconnected(reason) => {
             TraceError::Corrupt { offset, reason }
@@ -219,12 +235,14 @@ fn lifeguard_from_code(code: u8) -> Option<LifeguardKind> {
 }
 
 /// Encodes a complete `HELLO` message for `session`, under an explicit
-/// `version` (anything but [`NET_VERSION`] is only useful to exercise the
-/// server's version check — which is exactly what the protocol tests do).
-pub fn hello_message(version: u32, session: &SessionConfig) -> Vec<u8> {
+/// `version` and wire `codec` identifier (anything but [`NET_VERSION`] /
+/// a known [`igm_trace::Codec`] is only useful to exercise the server's
+/// checks — which is exactly what the protocol tests do).
+pub fn hello_message(version: u32, codec: u32, session: &SessionConfig) -> Vec<u8> {
     let mut body = Vec::with_capacity(64 + session.premark.len() * 8);
     body.extend_from_slice(&NET_MAGIC);
     body.extend_from_slice(&version.to_le_bytes());
+    body.extend_from_slice(&codec.to_le_bytes());
     push_str(&mut body, &session.name);
     body.push(lifeguard_code(session.lifeguard));
     body.push(session.synthetic_workload as u8);
@@ -368,9 +386,9 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a `HELLO` payload into the tenant's [`SessionConfig`],
-/// enforcing magic and version first.
-pub fn decode_hello(payload: &[u8]) -> Result<SessionConfig, NetError> {
+/// Decodes a `HELLO` payload into the tenant's [`SessionConfig`] and the
+/// negotiated trace [`Codec`], enforcing magic, version and codec first.
+pub fn decode_hello(payload: &[u8]) -> Result<(SessionConfig, Codec), NetError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     if r.take(4)? != NET_MAGIC {
         return Err(NetError::BadMagic);
@@ -379,6 +397,11 @@ pub fn decode_hello(payload: &[u8]) -> Result<SessionConfig, NetError> {
     if version != NET_VERSION {
         return Err(NetError::VersionMismatch { theirs: version });
     }
+    let codec_id = r.u32()?;
+    let codec = match Codec::from_wire(codec_id) {
+        Some(c) => c,
+        None => return Err(NetError::UnsupportedCodec { theirs: codec_id }),
+    };
     let name_len = r.u16()? as usize;
     if name_len > MAX_NAME_BYTES {
         return Err(NetError::Malformed("tenant name exceeds the protocol bound"));
@@ -439,7 +462,7 @@ pub fn decode_hello(payload: &[u8]) -> Result<SessionConfig, NetError> {
     });
     cfg.synthetic_workload = synthetic;
     cfg.premark = premark;
-    Ok(cfg)
+    Ok((cfg, codec))
 }
 
 fn decode_u64(payload: &[u8]) -> Result<u64, NetError> {
@@ -617,29 +640,44 @@ mod tests {
             .accel(AccelConfig::full(ItConfig::taint_style()))
             .premark(&[(0x1000, 0x40), (0x9000, 0x2000)]);
         cfg.synthetic_workload = true;
-        let hello = hello_message(NET_VERSION, &cfg);
+        let hello = hello_message(NET_VERSION, Codec::Predicted.wire(), &cfg);
         assert_eq!(hello[0], msg::HELLO);
         let len = u32::from_le_bytes(hello[1..5].try_into().unwrap()) as usize;
         assert_eq!(hello.len(), MSG_HEADER_BYTES + len);
-        let decoded = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
+        let (decoded, codec) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
         assert_eq!(decoded.name, cfg.name);
         assert_eq!(decoded.lifeguard, cfg.lifeguard);
         assert_eq!(decoded.accel, cfg.accel);
         assert_eq!(decoded.synthetic_workload, cfg.synthetic_workload);
         assert_eq!(decoded.premark, cfg.premark);
+        assert_eq!(codec, Codec::Predicted);
+        // Delta negotiation survives the round trip too.
+        let hello = hello_message(NET_VERSION, Codec::Delta.wire(), &cfg);
+        let (_, codec) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
+        assert_eq!(codec, Codec::Delta);
     }
 
     #[test]
     fn hello_version_and_magic_are_enforced() {
         let cfg = SessionConfig::new("t", LifeguardKind::AddrCheck);
-        let hello = hello_message(99, &cfg);
+        let hello = hello_message(99, Codec::Predicted.wire(), &cfg);
         match decode_hello(&hello[MSG_HEADER_BYTES..]) {
             Err(NetError::VersionMismatch { theirs: 99 }) => {}
             other => panic!("expected version mismatch, got {other:?}"),
         }
-        let mut bad = hello_message(NET_VERSION, &cfg);
+        let mut bad = hello_message(NET_VERSION, Codec::Predicted.wire(), &cfg);
         bad[MSG_HEADER_BYTES] = b'X';
         assert!(matches!(decode_hello(&bad[MSG_HEADER_BYTES..]), Err(NetError::BadMagic)));
+    }
+
+    #[test]
+    fn hello_rejects_an_unknown_trace_codec() {
+        let cfg = SessionConfig::new("t", LifeguardKind::AddrCheck);
+        let hello = hello_message(NET_VERSION, 7, &cfg);
+        match decode_hello(&hello[MSG_HEADER_BYTES..]) {
+            Err(NetError::UnsupportedCodec { theirs: 7 }) => {}
+            other => panic!("expected unsupported codec, got {other:?}"),
+        }
     }
 
     #[test]
@@ -699,11 +737,11 @@ mod tests {
             it: None,
             if_geometry: None,
         });
-        let hello = hello_message(NET_VERSION, &cfg);
+        let hello = hello_message(NET_VERSION, Codec::Predicted.wire(), &cfg);
         assert!(matches!(decode_hello(&hello[MSG_HEADER_BYTES..]), Err(NetError::Malformed(_))));
         // …an absurd M-TLB capacity (would drive a huge allocation)…
         cfg.accel.mtlb_entries = u32::MAX as usize;
-        let hello = hello_message(NET_VERSION, &cfg);
+        let hello = hello_message(NET_VERSION, Codec::Predicted.wire(), &cfg);
         assert!(matches!(decode_hello(&hello[MSG_HEADER_BYTES..]), Err(NetError::Malformed(_))));
         // …and non-power-of-two / oversized-way filter geometry.
         for geo in [
@@ -718,7 +756,7 @@ mod tests {
                 it: None,
                 if_geometry: Some(geo),
             });
-            let hello = hello_message(NET_VERSION, &cfg);
+            let hello = hello_message(NET_VERSION, Codec::Predicted.wire(), &cfg);
             assert!(
                 matches!(decode_hello(&hello[MSG_HEADER_BYTES..]), Err(NetError::Malformed(_))),
                 "geometry {geo:?} must be refused"

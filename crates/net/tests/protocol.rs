@@ -7,7 +7,7 @@ use igm_lifeguards::LifeguardKind;
 use igm_net::wire::{self, msg};
 use igm_net::{IngestServer, NetError, NetServerConfig, TraceForwarder};
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
-use igm_trace::{encode_frame, TraceError};
+use igm_trace::{encode_frame, Codec, TraceError};
 use igm_workload::Benchmark;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
@@ -48,7 +48,11 @@ fn version_mismatch_is_rejected_with_a_typed_error() {
 
     let client = std::thread::spawn(move || {
         let mut raw = RawClient::connect(addr);
-        let hello = wire::hello_message(99, &session_cfg("old", LifeguardKind::AddrCheck));
+        let hello = wire::hello_message(
+            99,
+            Codec::Predicted.wire(),
+            &session_cfg("old", LifeguardKind::AddrCheck),
+        );
         raw.send(&hello);
         // Hold the socket open long enough for the server's ERROR reply
         // to land before the drop races it.
@@ -65,6 +69,63 @@ fn version_mismatch_is_rejected_with_a_typed_error() {
         report.rejected[0].1
     );
     assert!(report.ingest.sessions.is_empty(), "no session may open for a rejected client");
+    pool.shutdown();
+}
+
+#[test]
+fn unknown_trace_codec_is_rejected_with_a_typed_error() {
+    let pool = MonitorPool::new(PoolConfig::with_workers(1));
+    let server = IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let client = std::thread::spawn(move || {
+        // Right protocol version, but a trace codec this side has never
+        // heard of: the HELLO must be refused before any lane exists.
+        let mut raw = RawClient::connect(addr);
+        let hello = wire::hello_message(
+            wire::NET_VERSION,
+            7,
+            &session_cfg("exotic", LifeguardKind::AddrCheck),
+        );
+        raw.send(&hello);
+        std::thread::sleep(Duration::from_millis(100));
+    });
+    let report = server.serve_connections(1);
+    client.join().unwrap();
+
+    assert_eq!(report.accepted, 0);
+    assert_eq!(report.rejected.len(), 1);
+    assert!(
+        matches!(report.rejected[0].1, NetError::UnsupportedCodec { theirs: 7 }),
+        "expected an unsupported-codec refusal, got {:?}",
+        report.rejected[0].1
+    );
+    assert!(report.ingest.sessions.is_empty(), "no session may open for a rejected client");
+    pool.shutdown();
+}
+
+#[test]
+fn delta_codec_negotiates_and_delivers() {
+    // A client that opts into the legacy delta codec still round-trips:
+    // the HELLO negotiates codec 1 and every chunk frame carries it.
+    let pool = MonitorPool::new(PoolConfig::with_workers(1));
+    let server = IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    const N: u64 = 3_000;
+    let client = std::thread::spawn(move || {
+        let cfg = session_cfg("delta", LifeguardKind::AddrCheck);
+        let fwd_cfg = igm_net::ForwarderConfig { codec: Codec::Delta, ..Default::default() };
+        let mut fwd = TraceForwarder::connect_with(addr, &cfg, fwd_cfg).unwrap();
+        fwd.stream(Benchmark::Gzip.trace(N)).unwrap();
+        fwd.finish().unwrap()
+    });
+    let report = server.serve_connections(1);
+    let fwd_report = client.join().unwrap();
+
+    assert_eq!(fwd_report.server_records, N);
+    assert!(report.ingest.errors.is_empty(), "{:?}", report.ingest.errors);
+    assert_eq!(report.ingest.sessions[0].records, N);
     pool.shutdown();
 }
 
@@ -128,6 +189,7 @@ fn mid_frame_disconnect_fails_only_that_lane() {
         let mut raw = RawClient::connect(addr);
         raw.send(&wire::hello_message(
             wire::NET_VERSION,
+            Codec::Predicted.wire(),
             &session_cfg("truncated", LifeguardKind::AddrCheck),
         ));
         // A chunk message header promising 1000 payload bytes, then only
@@ -177,6 +239,7 @@ fn corrupt_frame_fails_only_its_lane() {
         let mut raw = RawClient::connect(addr);
         raw.send(&wire::hello_message(
             wire::NET_VERSION,
+            Codec::Predicted.wire(),
             &session_cfg("corrupt", LifeguardKind::AddrCheck),
         ));
         // A structurally complete chunk whose frame payload is damaged:

@@ -108,7 +108,9 @@ impl<W: Write> CaptureSession<W> {
     ) -> Result<CaptureSession<W>, CaptureError> {
         let session = pool.open_session(cfg);
         let chunk_bytes = session.chunk_bytes();
-        Ok(CaptureSession { session, writer: TraceWriter::new(sink)?, chunk_bytes })
+        let mut writer = TraceWriter::new(sink)?;
+        writer.attach_metrics(pool.metrics());
+        Ok(CaptureSession { session, writer, chunk_bytes })
     }
 
     /// Publishes one pre-batched columnar chunk: one trace frame encoded
@@ -173,6 +175,7 @@ pub fn replay_reader<R: Read>(
     reader: &mut TraceReader<R>,
 ) -> Result<SessionReport, CaptureError> {
     let session = pool.open_session(cfg);
+    reader.attach_metrics(pool.metrics());
     let mut chunk = TraceBatch::new();
     while reader.read_chunk_into_batch(&mut chunk)? {
         // Frames decode directly into the batch's columns; the channel

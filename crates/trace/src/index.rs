@@ -15,7 +15,7 @@
 //! record-range window and decodes only the frames the window touches —
 //! the prefix is never decoded.
 
-use crate::codec::{checksum, TraceError, FRAME_HEADER_BYTES, MAGIC};
+use crate::codec::{checksum, Codec, TraceError, FRAME_HEADER_BYTES, FRAME_HEADER_BYTES_V2, MAGIC};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -112,16 +112,21 @@ impl TraceIndex {
         let mut ver = [0u8; 4];
         r.read_exact(&mut ver).map_err(TraceError::Io)?;
         let version = u32::from_le_bytes(ver);
-        if version != crate::FORMAT_VERSION {
+        if version != crate::codec::FORMAT_VERSION_V1 && version != crate::FORMAT_VERSION {
             return Err(TraceError::UnsupportedVersion(version));
         }
+        let hlen = if version == crate::codec::FORMAT_VERSION_V1 {
+            FRAME_HEADER_BYTES
+        } else {
+            FRAME_HEADER_BYTES_V2
+        };
         let mut index = TraceIndex::new();
         let mut offset = 8u64;
-        let mut header = [0u8; FRAME_HEADER_BYTES];
+        let mut header = [0u8; FRAME_HEADER_BYTES_V2];
         loop {
-            match read_exact_or_eof(&mut r, &mut header)? {
+            match read_exact_or_eof(&mut r, &mut header[..hlen])? {
                 0 => return Ok(index),
-                n if n < header.len() => {
+                n if n < hlen => {
                     return Err(TraceError::Corrupt {
                         offset: offset + n as u64,
                         reason: "stream ends inside a frame header",
@@ -131,18 +136,31 @@ impl TraceIndex {
             }
             let records = u32::from_le_bytes(header[0..4].try_into().unwrap());
             let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
-            crate::codec::validate_frame_header(records, len, offset)?;
+            let codec = if version == crate::codec::FORMAT_VERSION_V1 {
+                Codec::Delta
+            } else {
+                match Codec::from_wire(u32::from_le_bytes(header[12..16].try_into().unwrap())) {
+                    Some(c) => c,
+                    None => {
+                        return Err(TraceError::Corrupt {
+                            offset,
+                            reason: "unknown codec id in frame header",
+                        })
+                    }
+                }
+            };
+            crate::codec::validate_frame_header(records, len, offset, codec)?;
             // Skip the payload without materializing it.
             let skipped = io::copy(&mut r.by_ref().take(len as u64), &mut io::sink())
                 .map_err(TraceError::Io)?;
             if skipped < len as u64 {
                 return Err(TraceError::Corrupt {
-                    offset: offset + FRAME_HEADER_BYTES as u64 + skipped,
+                    offset: offset + hlen as u64 + skipped,
                     reason: "stream ends inside a frame payload",
                 });
             }
             index.push_frame(offset, records);
-            offset += FRAME_HEADER_BYTES as u64 + len as u64;
+            offset += hlen as u64 + len as u64;
         }
     }
 

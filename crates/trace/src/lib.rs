@@ -10,16 +10,19 @@
 //! serialized artifact in its own right. Three layers:
 //!
 //! * [`codec`] — a compact binary encoding of the trace record stream:
-//!   LEB128 varints, per-chunk delta-coded program counters and data
-//!   addresses, one framed + checksummed chunk per transport batch. The
-//!   wire streams correspond one-to-one with the columnar
+//!   per-frame value predictors (next-pc, last-value and stride tables)
+//!   emit one hit *bit* per predicted field, with LEB128 delta-coded
+//!   escapes for the misses, one framed + checksummed chunk per
+//!   transport batch (the paper's log-compression stack). The wire
+//!   streams correspond one-to-one with the columnar
 //!   [`igm_lba::TraceBatch`] layout: [`TraceWriter::write_chunk_batch`]
 //!   encodes straight from the columns and
 //!   [`TraceReader::read_chunk_into_batch`] decodes straight into them —
 //!   no intermediate `Vec<TraceEntry>` on either side (the entry-slice
 //!   APIs remain as thin conversion wrappers). Typical generated
-//!   workloads encode to ~3–5 bytes/record, far under the in-memory
-//!   `size_of::<TraceEntry>()`.
+//!   workloads encode to ~1–1.5 bytes/record, ~20× under the in-memory
+//!   `size_of::<TraceEntry>()`, and legacy delta-coded (format 1) files
+//!   still replay.
 //! * [`capture`] — [`CaptureSession`] tees a live pool session's batches
 //!   into a trace file; [`replay_file`]/[`replay_reader`] feed a recorded
 //!   file back through a fresh [`igm_runtime::MonitorPool`] session and
@@ -50,8 +53,10 @@ pub use capture::{
     capture_to_file, replay_file, replay_reader, replay_window, CaptureError, CaptureSession,
 };
 pub use codec::{
-    checksum, decode_frame, decode_from_slice, encode_frame, encode_to_vec, TraceError,
-    TraceReader, TraceWriter, FORMAT_VERSION, FRAME_HEADER_BYTES, MAGIC, MAX_PAYLOAD_BYTES,
+    checksum, decode_frame, decode_frame_v1, decode_frame_with, decode_from_slice, encode_frame,
+    encode_frame_v1, encode_frame_with, encode_to_vec, frame_codec, Codec, CodecMetrics,
+    Predictors, TraceError, TraceReader, TraceWriter, FORMAT_VERSION, FORMAT_VERSION_V1,
+    FRAME_HEADER_BYTES, FRAME_HEADER_BYTES_V2, MAGIC, MAX_PAYLOAD_BYTES,
 };
 pub use index::{IndexEntry, TraceIndex, INDEX_MAGIC, INDEX_VERSION};
 pub use ingest::{

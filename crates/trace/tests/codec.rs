@@ -1,13 +1,14 @@
 //! Codec correctness: property-tested roundtrip over arbitrary
 //! `TraceEntry` sequences, plus the framing error paths (truncation,
-//! checksum corruption, zero-length chunks, field validation).
+//! checksum corruption, zero-length chunks, field validation) for both
+//! the predicted (format 2) and legacy delta (format 1) codecs.
 
 use igm_isa::{
     Annotation, CtrlOp, JumpTarget, MemRef, MemSize, OpClass, Reg, RegSet, TraceEntry, TraceOp,
 };
 use igm_trace::{
-    checksum, decode_from_slice, encode_to_vec, TraceError, TraceReader, TraceWriter,
-    FORMAT_VERSION, MAGIC,
+    checksum, decode_from_slice, encode_to_vec, frame_codec, Codec, TraceError, TraceReader,
+    TraceWriter, FORMAT_VERSION, MAGIC,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -116,6 +117,25 @@ proptest! {
     }
 
     #[test]
+    fn roundtrip_arbitrary_sequences_all_codecs(entries in vec(trace_entry(), 1..120)) {
+        // Predicted-in-v2, delta-in-v2 and the legacy v1 container must
+        // all be lossless over the same arbitrary stream.
+        for mode in 0..3u8 {
+            let mut w = match mode {
+                0 => TraceWriter::new(Vec::new()),
+                1 => TraceWriter::with_codec(Vec::new(), Codec::Delta),
+                _ => TraceWriter::new_v1(Vec::new()),
+            }
+            .unwrap();
+            for chunk in entries.chunks(33) {
+                w.write_chunk(chunk).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            prop_assert_eq!(&decode_from_slice(&bytes).expect("decodes"), &entries);
+        }
+    }
+
+    #[test]
     fn truncation_never_panics_and_always_errors(
         entries in vec(trace_entry(), 1..60),
         cut_frac in 0u32..1000,
@@ -152,16 +172,29 @@ fn sample_entries() -> Vec<TraceEntry> {
     ]
 }
 
-/// A stream header followed by one hand-built frame.
-fn raw_stream(records: u32, payload: &[u8], sum: u32) -> Vec<u8> {
+/// A format-2 stream header followed by one hand-built frame whose header
+/// carries `codec` verbatim (so unknown ids are expressible too).
+fn raw_stream_codec(records: u32, payload: &[u8], sum: u32, codec: u32) -> Vec<u8> {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&MAGIC);
     bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     bytes.extend_from_slice(&records.to_le_bytes());
     bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes.extend_from_slice(&codec.to_le_bytes());
     bytes.extend_from_slice(payload);
     bytes
+}
+
+/// A hand-built delta-codec frame in a format-2 container (the delta
+/// record grammar is the easiest to damage one field at a time).
+fn raw_stream(records: u32, payload: &[u8], sum: u32) -> Vec<u8> {
+    raw_stream_codec(records, payload, sum, Codec::Delta.wire())
+}
+
+/// A hand-built predicted-codec frame in a format-2 container.
+fn raw_stream_v2(records: u32, payload: &[u8]) -> Vec<u8> {
+    raw_stream_codec(records, payload, checksum(payload), Codec::Predicted.wire())
 }
 
 #[test]
@@ -200,7 +233,7 @@ fn checksum_mismatch_reports_payload_offset() {
     let bytes = raw_stream(1, &payload, checksum(&payload) ^ 1);
     match decode_from_slice(&bytes) {
         Err(TraceError::Corrupt { offset, reason }) => {
-            assert_eq!(offset, 20, "payload begins after 8B header + 12B frame header");
+            assert_eq!(offset, 24, "payload begins after 8B header + 16B frame header");
             assert!(reason.contains("checksum"));
         }
         other => panic!("expected checksum error, got {other:?}"),
@@ -295,6 +328,7 @@ fn oversized_length_field_is_rejected_before_allocation() {
     bytes.extend_from_slice(&1u32.to_le_bytes());
     bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
     bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&Codec::Delta.wire().to_le_bytes());
     match decode_from_slice(&bytes) {
         Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("bound")),
         other => panic!("expected length-bound error, got {other:?}"),
@@ -312,6 +346,222 @@ fn empty_stream_and_empty_chunks() {
     assert_eq!(w.chunks(), 0);
     let bytes = w.finish().unwrap();
     assert_eq!(decode_from_slice(&bytes).unwrap(), Vec::<TraceEntry>::new());
+}
+
+// ---------------------------------------------------------------------------
+// Predicted-codec (format 2) error paths: the hit bitmaps and predictor
+// tables open attack surface the delta stream never had.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_codec_id_in_frame_header_is_corrupt() {
+    let payload = [0u8, 0u8];
+    let bytes = raw_stream_codec(1, &payload, checksum(&payload), 7);
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("codec id")),
+        other => panic!("expected unknown-codec error, got {other:?}"),
+    }
+}
+
+#[test]
+fn pc_hit_on_unseeded_predictor_slot_is_corrupt() {
+    // Record 0 claims a pc predictor hit, but no escape ever seeded the
+    // table — a decoder that trusted it would read uninitialized state.
+    let bytes = raw_stream_v2(1, &[0x01, 0x00]);
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("unseeded")),
+        other => panic!("expected unseeded-slot error, got {other:?}"),
+    }
+}
+
+#[test]
+fn static_hit_on_unseeded_predictor_slot_is_corrupt() {
+    // pc misses (escape: delta 0), then the static column claims a hit on
+    // a table nothing seeded.
+    let bytes = raw_stream_v2(1, &[0x00, 0x00, 0x01]);
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("unseeded")),
+        other => panic!("expected unseeded-slot error, got {other:?}"),
+    }
+}
+
+#[test]
+fn nonzero_bitmap_padding_is_corrupt() {
+    // One record, but a hit bit set past it in the bitmap's padding.
+    let bytes = raw_stream_v2(1, &[0x02, 0x00]);
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("padding")),
+        other => panic!("expected bitmap-padding error, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_ending_inside_a_bitmap_is_corrupt() {
+    // pc bitmap + escape consume both bytes; the static bitmap read runs
+    // off the end of the payload.
+    let bytes = raw_stream_v2(1, &[0x00, 0x00]);
+    match decode_from_slice(&bytes) {
+        Err(TraceError::Corrupt { reason, .. }) => assert!(reason.contains("bitmap")),
+        other => panic!("expected truncated-bitmap error, got {other:?}"),
+    }
+}
+
+#[test]
+fn predicted_frame_corruption_never_panics() {
+    // Every single-byte corruption of a real predicted stream must come
+    // back as a typed error or a correct decode — never a panic.
+    let entries = sample_entries();
+    let good = encode_to_vec(entries.iter().copied(), 256);
+    for i in 8..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0x01;
+        match decode_from_slice(&bad) {
+            Ok(_) | Err(TraceError::Corrupt { .. }) => {}
+            Err(e) => panic!("byte {i}: unexpected error class: {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial stream shapes: the predictor stack must stay lossless on
+// streams it compresses well AND on streams it cannot predict at all.
+// ---------------------------------------------------------------------------
+
+fn roundtrip(entries: &[TraceEntry], chunk_bytes: u32) -> f64 {
+    let bytes = encode_to_vec(entries.iter().copied(), chunk_bytes);
+    assert_eq!(decode_from_slice(&bytes).expect("roundtrip decodes"), entries);
+    (bytes.len() - 8) as f64 / entries.len() as f64
+}
+
+#[test]
+fn constant_stream_compresses_below_one_byte_per_record() {
+    // A tight loop re-executing one load: every predictor locks on, so
+    // each record costs four hit bits plus amortized frame headers.
+    let entries: Vec<TraceEntry> = (0..8_192)
+        .map(|_| {
+            TraceEntry::op(
+                0x0804_8000,
+                OpClass::MemToReg { src: MemRef::word(0x9000), rd: Reg::Ecx },
+            )
+        })
+        .collect();
+    let bpr = roundtrip(&entries, 1 << 20);
+    assert!(bpr < 1.0, "constant stream must beat 1 B/record, got {bpr:.3}");
+}
+
+#[test]
+fn strided_loop_compresses_below_one_byte_per_record() {
+    // A four-instruction loop sweeping an array with a fixed stride: pc
+    // chains repeat and the per-slot stride predictor tracks the sweep.
+    let mut entries = Vec::new();
+    for i in 0u32..4_096 {
+        let base = 0x1000_0000 + i * 4;
+        entries.push(TraceEntry::op(0x0804_8000, OpClass::ImmToReg { rd: Reg::Eax }));
+        entries.push(TraceEntry::op(
+            0x0804_8004,
+            OpClass::MemToReg { src: MemRef::word(base), rd: Reg::Ecx },
+        ));
+        entries.push(TraceEntry::op(
+            0x0804_8008,
+            OpClass::RegToMem { rs: Reg::Ecx, dst: MemRef::word(0x2000_0000 + i * 4) },
+        ));
+        entries.push(TraceEntry::ctrl(0x0804_800c, CtrlOp::Direct));
+    }
+    let bpr = roundtrip(&entries, 1 << 20);
+    assert!(bpr < 1.0, "strided loop must beat 1 B/record, got {bpr:.3}");
+}
+
+#[test]
+fn random_stream_roundtrips_and_stays_bounded() {
+    // Unpredictable pcs and addresses (xorshift): most fields escape, and
+    // the miss path must stay within a small factor of the delta codec.
+    let mut x = 0x9e37_79b9u32;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        x
+    };
+    let entries: Vec<TraceEntry> = (0..8_192)
+        .map(|_| {
+            TraceEntry::op(step(), OpClass::MemToReg { src: MemRef::word(step()), rd: Reg::Edx })
+        })
+        .collect();
+    let bpr = roundtrip(&entries, 1 << 20);
+    // Two random u32 deltas cost ~5 varint bytes each; the predicted
+    // codec adds only its half-byte of hit bits on top of that worst case.
+    assert!(bpr < 13.0, "random stream must stay bounded, got {bpr:.3}");
+}
+
+#[test]
+fn mixed_phases_roundtrip() {
+    // Phase changes mid-frame: constant, then strided, then random, then
+    // back — predictor retraining must never lose a record.
+    let mut x = 0x1234_5678u32;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        x
+    };
+    let mut entries = Vec::new();
+    for phase in 0..8 {
+        for i in 0u32..512 {
+            entries.push(match phase % 3 {
+                0 => TraceEntry::op(0x0804_8000, OpClass::ImmToReg { rd: Reg::Eax }),
+                1 => TraceEntry::op(
+                    0x0805_0000 + (i % 4) * 4,
+                    OpClass::MemToReg { src: MemRef::word(0x9000 + i * 8), rd: Reg::Ecx },
+                ),
+                _ => TraceEntry::op(
+                    step(),
+                    OpClass::RegToMem { rs: Reg::Ebx, dst: MemRef::word(step()) },
+                ),
+            });
+        }
+    }
+    roundtrip(&entries, 4096);
+}
+
+// ---------------------------------------------------------------------------
+// Codec/format interop: legacy format-1 files and delta frames inside a
+// format-2 container both still replay.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn legacy_v1_container_roundtrips() {
+    let entries = sample_entries();
+    let mut w = TraceWriter::new_v1(Vec::new()).unwrap();
+    assert_eq!(w.version(), 1);
+    w.write_chunk(&entries).unwrap();
+    let bytes = w.finish().unwrap();
+    let mut r = TraceReader::new(&bytes[..]).unwrap();
+    assert_eq!(r.version(), 1);
+    let mut out = Vec::new();
+    assert!(r.read_chunk_into(&mut out).unwrap());
+    assert_eq!(out, entries);
+    assert!(!r.read_chunk_into(&mut out).unwrap());
+}
+
+#[test]
+fn delta_codec_in_a_v2_container_roundtrips() {
+    let entries = sample_entries();
+    let mut w = TraceWriter::with_codec(Vec::new(), Codec::Delta).unwrap();
+    assert_eq!((w.version(), w.codec()), (2, Codec::Delta));
+    w.write_chunk(&entries).unwrap();
+    let bytes = w.finish().unwrap();
+    // Every frame header carries the delta codec id.
+    assert_eq!(frame_codec(&bytes[8..]), Some(Codec::Delta));
+    assert_eq!(decode_from_slice(&bytes).unwrap(), entries);
+}
+
+#[test]
+fn default_writer_emits_predicted_frames() {
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    assert_eq!((w.version(), w.codec()), (2, Codec::Predicted));
+    w.write_chunk(&sample_entries()).unwrap();
+    let bytes = w.finish().unwrap();
+    assert_eq!(frame_codec(&bytes[8..]), Some(Codec::Predicted));
 }
 
 #[test]
