@@ -285,6 +285,52 @@ fn run_obs_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize, time
     runs[(runs.len() - 1) / 2]
 }
 
+/// Streams all eight tenants through a pool with the span flight
+/// recorder on (default 1-in-`DEFAULT_SAMPLE_EVERY` origin sampling) or
+/// off, returning aggregate records/sec — the hot-path cost of frame
+/// provenance: one sampler branch per frame plus, for the sampled
+/// minority, a clock read and two seqlock stage records per hop.
+fn run_span_once(kind: LifeguardKind, workers: usize, n: u64, spans: bool) -> f64 {
+    let traces: Vec<(Benchmark, Vec<_>)> =
+        TENANTS.iter().map(|b| (*b, b.trace(n).collect())).collect();
+    let chunk_bytes = std::env::var("CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PoolConfig::default().chunk_bytes);
+    let pool =
+        MonitorPool::new(PoolConfig { chunk_bytes, spans, ..PoolConfig::with_workers(workers) });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .into_iter()
+            .map(|(bench, trace)| {
+                let session = pool.open_session(
+                    SessionConfig::new(bench.name(), kind)
+                        .synthetic()
+                        .premark(&bench.profile().premark_regions()),
+                );
+                scope.spawn(move || {
+                    session.stream(trace).expect("pool alive");
+                    session.finish()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("tenant completes");
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    pool.shutdown();
+    (TENANTS.len() as u64 * n) as f64 / elapsed
+}
+
+/// Median records/sec of `reps` span-configured runs.
+fn run_span_median(kind: LifeguardKind, workers: usize, n: u64, reps: usize, spans: bool) -> f64 {
+    let mut runs: Vec<f64> = (0..reps).map(|_| run_span_once(kind, workers, n, spans)).collect();
+    runs.sort_by(f64::total_cmp);
+    runs[(runs.len() - 1) / 2]
+}
+
 /// One lifeguard's dispatch-latency profile, read back from its pool's
 /// `igm_dispatch_batch_nanos` histogram.
 struct DispatchProfile {
@@ -679,6 +725,28 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Span overhead: the same TaintCheck pool with the frame-provenance
+    // flight recorder on (origin sampling at the default rate) vs off.
+    // Unsampled frames cost one branch; sampled ones add clock reads and
+    // seqlock stage records — the delta must stay within bench noise.
+    // ------------------------------------------------------------------
+    let every = igm_span::DEFAULT_SAMPLE_EVERY;
+    println!("\nspan overhead: TaintCheck, 4 workers, recorder on (1/{every} sampling) vs off\n");
+    let sampled = run_span_median(LifeguardKind::TaintCheck, 4, n, reps, true);
+    let recorder_off = run_span_median(LifeguardKind::TaintCheck, 4, n, reps, false);
+    let span_overhead_pct = (recorder_off - sampled) / recorder_off * 100.0;
+    println!("{:<14} {:>16}", "recorder", "records/s");
+    println!("{:<14} {:>16.0}", "on", sampled);
+    println!("{:<14} {:>16.0}", "off", recorder_off);
+    println!("overhead: {span_overhead_pct:.1}%");
+    let span_entry = format!(
+        "    {{\"lifeguard\": \"TaintCheck\", \"workers\": 4, \"sample_every\": {every}, \
+         \"sampled_records_per_sec\": {sampled:.0}, \
+         \"disabled_records_per_sec\": {recorder_off:.0}, \
+         \"overhead_pct\": {span_overhead_pct:.2}}}"
+    );
+
+    // ------------------------------------------------------------------
     // Per-lifeguard dispatch-latency profile, read from the registry's
     // log2 histograms (quantiles are bucket upper bounds).
     // ------------------------------------------------------------------
@@ -712,7 +780,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ],\n  \"metrics_overhead\": [\n{}\n  ],\n  \"dispatch_latency\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ],\n  \"metrics_overhead\": [\n{}\n  ],\n  \"span_overhead\": [\n{}\n  ],\n  \"dispatch_latency\": [\n{}\n  ]\n}}\n",
         TENANTS.len(),
         n,
         reps,
@@ -722,6 +790,7 @@ fn main() {
         codec_entries.join(",\n"),
         extraction_entries.join(",\n"),
         overhead_entry,
+        span_entry,
         dispatch_entries.join(",\n")
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");

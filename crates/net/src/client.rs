@@ -2,16 +2,21 @@
 //! recorded trace file to a remote [`IngestServer`](crate::IngestServer),
 //! honoring the server's byte credits.
 
-use crate::wire::{self, Fill, FinStats, MsgBuf, NetError, MSG_HEADER_BYTES, NET_VERSION};
+use crate::wire::{
+    self, Fill, FinStats, MsgBuf, NetError, MSG_HEADER_BYTES, NET_VERSION, NET_VERSION_COMPAT,
+    SPAN_PREFIX_BYTES,
+};
 use igm_isa::TraceEntry;
 use igm_lba::{chunks, TraceBatch};
 use igm_obs::{Histogram, MetricsRegistry};
 use igm_runtime::SessionConfig;
+use igm_span::{alloc_flow, FlightRecorder, FrameTag, Sampler, Stage, Track};
 use igm_trace::{encode_frame_with, Codec, CodecMetrics, Predictors, TraceReader};
 use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Client-side transport parameters.
@@ -112,6 +117,34 @@ pub struct TraceForwarder {
     /// Codec byte counters / encode-latency histogram, bound by
     /// [`TraceForwarder::attach_metrics`].
     codec_metrics: CodecMetrics,
+    /// The protocol version this connection actually speaks:
+    /// [`NET_VERSION`] normally, [`NET_VERSION_COMPAT`] after a
+    /// downgrade retry against an old server. Chunks carry the span
+    /// prefix only at ≥ [`NET_VERSION`].
+    wire_version: u32,
+    /// Span origin state, bound by [`TraceForwarder::attach_spans`].
+    spans: Option<ClientSpans>,
+}
+
+/// The forwarder's span-origin state: this lane's flow, its claimed
+/// recorder ring, and the sampler that decides — once per chunk, at the
+/// origin — whether a frame's journey is recorded.
+struct ClientSpans {
+    rec: Arc<FlightRecorder>,
+    ring: usize,
+    flow: u32,
+    sampler: Sampler,
+    /// Frame sequence number within the flow: one per chunk, sampled or
+    /// not, so a waterfall's seq gaps reveal the sampling rate.
+    next_seq: u64,
+}
+
+impl ClientSpans {
+    fn tag_chunk(&mut self) -> Option<FrameTag> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sampler.sample().then_some(FrameTag { flow: self.flow, seq })
+    }
 }
 
 impl TraceForwarder {
@@ -126,11 +159,29 @@ impl TraceForwarder {
         TraceForwarder::connect_with(addr, session, ForwarderConfig::default())
     }
 
-    /// Connects with explicit transport parameters.
+    /// Connects with explicit transport parameters. Speaks
+    /// [`NET_VERSION`]; when an old server refuses the handshake naming
+    /// the protocol version, retries once speaking
+    /// [`NET_VERSION_COMPAT`] — the lane then works exactly as before
+    /// version 3, just without span provenance on the wire.
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         session: &SessionConfig,
         cfg: ForwarderConfig,
+    ) -> Result<TraceForwarder, NetError> {
+        match TraceForwarder::connect_version(&addr, session, &cfg, NET_VERSION) {
+            Err(NetError::Rejected(reason)) if reason.contains("protocol version") => {
+                TraceForwarder::connect_version(&addr, session, &cfg, NET_VERSION_COMPAT)
+            }
+            r => r,
+        }
+    }
+
+    fn connect_version(
+        addr: impl ToSocketAddrs,
+        session: &SessionConfig,
+        cfg: &ForwarderConfig,
+        version: u32,
     ) -> Result<TraceForwarder, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -148,8 +199,10 @@ impl TraceForwarder {
             codec: cfg.codec,
             predictors: Box::new(Predictors::new()),
             codec_metrics: CodecMetrics::detached(),
+            wire_version: version,
+            spans: None,
         };
-        let hello = wire::hello_message(NET_VERSION, cfg.codec.wire(), session);
+        let hello = wire::hello_message(version, cfg.codec.wire(), session);
         fwd.push_bytes(&hello)?;
         // The WELCOME carries the initial allowance; harvest() records it
         // as a plain credit grant.
@@ -181,6 +234,37 @@ impl TraceForwarder {
         self.codec_metrics = CodecMetrics::register(registry);
     }
 
+    /// Makes this forwarder a span origin on `recorder` (e.g. the pool's
+    /// own recorder in a loopback deployment, or a client-side recorder
+    /// served by the client's [`StatsServer`](igm_obs::StatsServer)):
+    /// every chunk gets a frame sequence number under a freshly allocated
+    /// flow, the recorder's sampler decides once per chunk whether the
+    /// frame's journey is recorded, and sampled chunks stamp
+    /// `client_send` / `credit_stall` stages on [`Track::Client`] while
+    /// carrying their tag across the wire for the server-side stages to
+    /// chain under. A no-op on a connection downgraded to
+    /// [`NET_VERSION_COMPAT`] — that wire format has nowhere to carry the
+    /// tag, and a chain that can never join its server half would only
+    /// mislead.
+    pub fn attach_spans(&mut self, recorder: &Arc<FlightRecorder>) {
+        if self.wire_version < NET_VERSION {
+            return;
+        }
+        self.spans = Some(ClientSpans {
+            rec: Arc::clone(recorder),
+            ring: recorder.ring_handle(),
+            flow: alloc_flow(),
+            sampler: recorder.sampler(),
+            next_seq: 0,
+        });
+    }
+
+    /// The protocol version this connection speaks ([`NET_VERSION`], or
+    /// [`NET_VERSION_COMPAT`] after a downgrade retry).
+    pub fn wire_version(&self) -> u32 {
+        self.wire_version
+    }
+
     /// Client-side counters so far.
     pub fn stats(&self) -> ForwarderStats {
         self.stats
@@ -197,23 +281,41 @@ impl TraceForwarder {
         if batch.is_empty() {
             return Ok(());
         }
+        let tag = self.spans.as_mut().and_then(ClientSpans::tag_chunk);
+        // `client_send` opens before the encode and closes when the last
+        // byte hits the socket, so a credit stall nests inside it — the
+        // waterfall shows where the send window went.
+        let send_start = match (&self.spans, tag) {
+            (Some(s), Some(_)) => Some(s.rec.now()),
+            _ => None,
+        };
         self.frame.clear();
         let started = self.codec_metrics.start_encode();
         encode_frame_with(&mut self.predictors, self.codec, &mut self.frame, batch);
         self.codec_metrics.stop_encode(started);
         self.codec_metrics.count_frame(batch.len() as u64, self.frame.len() as u64);
-        self.wait_for_credit()?;
-        let mut header = Vec::with_capacity(MSG_HEADER_BYTES);
-        wire::push_header(&mut header, wire::msg::CHUNK, self.frame.len());
+        self.wait_for_credit(tag)?;
+        // Credit accounts the whole chunk payload — span prefix included
+        // on a v3 lane — matching the server's received-bytes ledger.
+        let prefix = if self.wire_version >= NET_VERSION { SPAN_PREFIX_BYTES } else { 0 };
+        let payload_len = self.frame.len() + prefix;
+        let mut header = Vec::with_capacity(MSG_HEADER_BYTES + SPAN_PREFIX_BYTES);
+        wire::push_header(&mut header, wire::msg::CHUNK, payload_len);
+        if prefix > 0 {
+            wire::push_span_prefix(&mut header, tag);
+        }
         self.push_bytes(&header)?;
         let frame = std::mem::take(&mut self.frame);
         let r = self.push_bytes(&frame);
         self.frame = frame;
         r?;
-        self.credit -= self.frame.len() as i64;
+        if let (Some(s), Some(tag), Some(t0)) = (&self.spans, tag, send_start) {
+            s.rec.record(s.ring, Stage::ClientSend, Track::Client(s.flow), tag, t0, s.rec.now());
+        }
+        self.credit -= payload_len as i64;
         self.stats.chunks += 1;
         self.stats.records += batch.len() as u64;
-        self.stats.frame_bytes += self.frame.len() as u64;
+        self.stats.frame_bytes += payload_len as u64;
         Ok(())
     }
 
@@ -292,8 +394,9 @@ impl TraceForwarder {
         }
     }
 
-    /// Blocks (polling) until the credit allowance is positive.
-    fn wait_for_credit(&mut self) -> Result<(), NetError> {
+    /// Blocks (polling) until the credit allowance is positive. A stall
+    /// on a sampled frame leaves a `credit_stall` stage under `tag`.
+    fn wait_for_credit(&mut self, tag: Option<FrameTag>) -> Result<(), NetError> {
         self.harvest()?;
         if self.credit > 0 {
             return Ok(());
@@ -308,6 +411,10 @@ impl TraceForwarder {
         let stalled = start.elapsed().as_nanos() as u64;
         self.stats.credit_stall_nanos += stalled;
         self.stall_hist.record(stalled);
+        if let (Some(s), Some(tag)) = (&self.spans, tag) {
+            let track = Track::Client(s.flow);
+            s.rec.record(s.ring, Stage::CreditStall, track, tag, s.rec.stamp(start), s.rec.now());
+        }
         Ok(())
     }
 

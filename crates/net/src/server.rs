@@ -6,11 +6,13 @@ use crate::source::NetSource;
 use crate::wire::{self, Fill, MsgBuf, NetError};
 use igm_obs::{Counter, EventKind, EventRing};
 use igm_runtime::MonitorPool;
+use igm_span::FlightRecorder;
 use igm_trace::{Codec, CodecMetrics, IngestConfig, IngestReport, Ingestor, TraceError};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server construction parameters.
@@ -72,9 +74,11 @@ struct Pending {
 enum HandshakeStep {
     /// Still waiting for bytes.
     Wait,
-    /// `HELLO` accepted: the tenant's session spec plus the trace codec
-    /// its chunk frames will carry.
-    Ready(igm_runtime::SessionConfig, Codec),
+    /// `HELLO` accepted: the tenant's session spec, the trace codec its
+    /// chunk frames will carry, and the negotiated protocol version (the
+    /// lane speaks the client's version — a v2 lane's chunks carry no
+    /// span prefix).
+    Ready(igm_runtime::SessionConfig, Codec, u32),
     /// Connection refused.
     Fail(NetError),
 }
@@ -95,9 +99,9 @@ impl Pending {
             Ok(Some((ty, range))) if ty == wire::msg::HELLO => {
                 let decoded = wire::decode_hello(self.inbuf.bytes(range.clone()));
                 match decoded {
-                    Ok((cfg, codec)) => {
+                    Ok((cfg, codec, version)) => {
                         self.inbuf.consume(range.end);
-                        HandshakeStep::Ready(cfg, codec)
+                        HandshakeStep::Ready(cfg, codec, version)
                     }
                     Err(e) => HandshakeStep::Fail(e),
                 }
@@ -172,6 +176,10 @@ pub struct IngestServer<'p> {
     /// Shared `igm_codec_*` counters/histograms on the pool's registry;
     /// every admitted lane's decoder clones these handles.
     codec_metrics: CodecMetrics,
+    /// The pool's span flight recorder, when spans are on: every admitted
+    /// v3 lane claims its own ring and stamps `server_ingest` stages for
+    /// sampled frames.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl<'p> IngestServer<'p> {
@@ -202,6 +210,7 @@ impl<'p> IngestServer<'p> {
                 .counter("igm_net_rejected_total", "Connections refused before a lane existed"),
             events: metrics.events().clone(),
             codec_metrics: CodecMetrics::register(metrics),
+            recorder: pool.recorder().cloned(),
         })
     }
 
@@ -270,10 +279,10 @@ impl<'p> IngestServer<'p> {
         while i < self.pending.len() {
             match self.pending[i].step() {
                 HandshakeStep::Wait => i += 1,
-                HandshakeStep::Ready(session_cfg, codec) => {
+                HandshakeStep::Ready(session_cfg, codec, version) => {
                     let conn = self.pending.swap_remove(i);
                     progress = true;
-                    match self.admit(conn, session_cfg, codec) {
+                    match self.admit(conn, session_cfg, codec, version) {
                         Ok(()) => {
                             self.accepted += 1;
                             self.obs_accepted.inc();
@@ -309,6 +318,7 @@ impl<'p> IngestServer<'p> {
         conn: Pending,
         session_cfg: igm_runtime::SessionConfig,
         codec: Codec,
+        version: u32,
     ) -> Result<(), (String, NetError)> {
         let peer = conn.peer;
         let source = NetSource::new(
@@ -317,6 +327,8 @@ impl<'p> IngestServer<'p> {
             conn.inbuf,
             codec,
             self.codec_metrics.clone(),
+            version,
+            self.recorder.clone(),
         )
         .map_err(|e| (peer.clone(), NetError::Io(e)))?;
         match &self.cfg.tee_dir {

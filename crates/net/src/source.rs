@@ -1,15 +1,20 @@
 //! The server-side socket lane: a readiness-polled
 //! [`TraceSource`](igm_trace::TraceSource) over one client connection.
 
-use crate::wire::{self, lane_error, Fill, FinStats, MsgBuf, NetError, MSG_HEADER_BYTES};
+use crate::wire::{
+    self, lane_error, Fill, FinStats, MsgBuf, NetError, MSG_HEADER_BYTES, NET_VERSION,
+    SPAN_PREFIX_BYTES,
+};
 use igm_lba::TraceBatch;
 use igm_runtime::ChannelStatsSnapshot;
+use igm_span::{FlightRecorder, FrameTag, Stage, Track};
 use igm_trace::{
     decode_frame_with, frame_codec, Codec, CodecMetrics, LanePoll, Predictors, SourceStatus,
     TraceError, TraceSource,
 };
 use std::io::{self, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
 /// Wire-credit bytes granted per compressed-model byte of log-channel
 /// room. The channel accounts occupancy in the paper's compressed-record
@@ -57,6 +62,18 @@ pub struct NetSource {
     predictors: Box<Predictors>,
     /// Shared codec byte counters / decode-latency histogram.
     metrics: CodecMetrics,
+    /// The negotiated protocol version. Chunks on a
+    /// ≥[`NET_VERSION`]-lane open with the span-provenance prefix; a v2
+    /// lane's chunks are bare frames.
+    wire_version: u32,
+    /// The pool's flight recorder plus this lane's claimed ring, when
+    /// spans are on: sampled frames get a `server_ingest` stage stamped
+    /// over the decode window.
+    spans: Option<(Arc<FlightRecorder>, usize)>,
+    /// The last delivered chunk's span tag, held for the ingest lane to
+    /// claim via [`TraceSource::take_span_tag`] and pin to the batch it
+    /// sends into the pool.
+    pending_tag: Option<FrameTag>,
 }
 
 impl NetSource {
@@ -70,9 +87,20 @@ impl NetSource {
         inbuf: MsgBuf,
         codec: Codec,
         metrics: CodecMetrics,
+        wire_version: u32,
+        recorder: Option<Arc<FlightRecorder>>,
     ) -> io::Result<NetSource> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
+        // A v2 lane carries no tags, so claiming a ring would only waste
+        // one; span stamping needs both the recorder and a v3 peer.
+        let spans = match recorder {
+            Some(rec) if wire_version >= NET_VERSION => {
+                let ring = rec.ring_handle();
+                Some((rec, ring))
+            }
+            _ => None,
+        };
         Ok(NetSource {
             stream,
             inbuf,
@@ -88,6 +116,9 @@ impl NetSource {
             codec,
             predictors: Box::new(Predictors::new()),
             metrics,
+            wire_version,
+            spans,
+            pending_tag: None,
         })
     }
 
@@ -135,19 +166,53 @@ impl NetSource {
             if let Some((ty, range)) = self.inbuf.peek_message()? {
                 match ty {
                     wire::msg::CHUNK if self.fin.is_none() => {
-                        let frame_at = self.inbuf.stream_pos() + MSG_HEADER_BYTES as u64;
+                        let payload_at = self.inbuf.stream_pos() + MSG_HEADER_BYTES as u64;
                         let payload = self.inbuf.bytes(range.clone());
-                        if frame_codec(payload) != Some(self.codec) {
+                        // Credit is accounted in whole chunk payload bytes
+                        // (span prefix included), matching the client's
+                        // ledger.
+                        let payload_bytes = payload.len() as u64;
+                        let (tag, frame, frame_at) = if self.wire_version >= NET_VERSION {
+                            if payload.len() < SPAN_PREFIX_BYTES {
+                                return Err(NetError::Malformed(
+                                    "chunk shorter than the span prefix",
+                                ));
+                            }
+                            (
+                                wire::decode_span_prefix(&payload[..SPAN_PREFIX_BYTES])?,
+                                &payload[SPAN_PREFIX_BYTES..],
+                                payload_at + SPAN_PREFIX_BYTES as u64,
+                            )
+                        } else {
+                            (None, payload, payload_at)
+                        };
+                        if frame_codec(frame) != Some(self.codec) {
                             return Err(NetError::Malformed(
                                 "chunk codec disagrees with the negotiated codec",
                             ));
                         }
-                        let frame_bytes = payload.len() as u64;
+                        let span_start = match (&self.spans, tag) {
+                            (Some((rec, _)), Some(_)) => Some(rec.now()),
+                            _ => None,
+                        };
                         let started = self.metrics.start_decode();
-                        decode_frame_with(&mut self.predictors, payload, frame_at, out)?;
+                        decode_frame_with(&mut self.predictors, frame, frame_at, out)?;
                         self.metrics.stop_decode(started);
-                        self.metrics.count_frame(out.len() as u64, frame_bytes);
-                        self.received += frame_bytes;
+                        self.metrics.count_frame(out.len() as u64, frame.len() as u64);
+                        if let (Some((rec, ring)), Some(tag), Some(t0)) =
+                            (&self.spans, tag, span_start)
+                        {
+                            rec.record(
+                                *ring,
+                                Stage::ServerIngest,
+                                Track::Lane(tag.flow),
+                                tag,
+                                t0,
+                                rec.now(),
+                            );
+                            self.pending_tag = Some(tag);
+                        }
+                        self.received += payload_bytes;
                         self.chunks += 1;
                         self.records += out.len() as u64;
                         self.inbuf.consume(range.end);
@@ -205,6 +270,14 @@ impl TraceSource for NetSource {
 
     fn wants_transport_feedback(&self) -> bool {
         true
+    }
+
+    /// The last delivered chunk's wire span tag: the ingest lane pins it
+    /// to the batch it sends into the pool, so the server-side
+    /// `channel_wait`/`dispatch` stages chain under the *origin's*
+    /// flow/seq.
+    fn take_span_tag(&mut self) -> Option<FrameTag> {
+        self.pending_tag.take()
     }
 
     /// The occupancy → credit hookup: the lane's log-channel drain state

@@ -14,7 +14,7 @@
 //! |------|-----------|-----------------|---------|
 //! | 1    | `HELLO`   | client → server | magic `IGMN`, version `u32`, trace codec `u32`, tenant session spec (below) |
 //! | 2    | `WELCOME` | server → client | initial credit `u64` |
-//! | 3    | `CHUNK`   | client → server | one `igm-trace` codec **frame, verbatim** (header + payload) |
+//! | 3    | `CHUNK`   | client → server | *(v3)* 16-byte span prefix, then one `igm-trace` codec **frame, verbatim** (header + payload); *(v2)* the frame alone |
 //! | 4    | `CREDIT`  | server → client | additional credit bytes granted, `u64` |
 //! | 5    | `FIN`     | client → server | final client lane stats: chunks, records, frame bytes, credit stalls (`u64` each) |
 //! | 6    | `FIN_ACK` | server → client | records the server ingested on this lane, `u64` |
@@ -43,10 +43,36 @@
 //! lifeguard — stops the grants, throttling the remote producer exactly
 //! like the paper's bounded in-cache log buffer throttles the application
 //! core.
+//!
+//! # Span provenance (version 3)
+//!
+//! Version 3 prepends a fixed [`SPAN_PREFIX_BYTES`]-byte provenance
+//! prefix to every `CHUNK` payload:
+//!
+//! ```text
+//! flags   u8      bit 0: this frame is span-sampled
+//! pad     3 bytes zero
+//! flow    u32 LE  origin span flow (igm-span), 0 when unsampled
+//! seq     u64 LE  frame sequence number within the flow
+//! ```
+//!
+//! The sampling decision is made **once, at the origin forwarder**; a
+//! sampled frame carries its [`FrameTag`](igm_span::FrameTag) across the
+//! wire so the server-side stages (`server_ingest`, `channel_wait`,
+//! `dispatch`, …) chain under the same flow/seq as the client-side ones
+//! (`client_send`, `credit_stall`) — one causally-joined waterfall per
+//! frame. Version negotiation is server-side: a v3 server accepts
+//! [`NET_VERSION_COMPAT`]..=[`NET_VERSION`] `HELLO`s and treats a v2
+//! lane's chunks as bare frames; a v3 client refused by a v2 server (its
+//! `ERROR` names the version) retries the connection once speaking v2,
+//! with span stamping disabled. Credit accounts the *whole* chunk payload
+//! (prefix included), so both sides' byte ledgers agree under either
+//! version.
 
 use igm_core::{AccelConfig, IfGeometry, ItConfig};
 use igm_lifeguards::LifeguardKind;
 use igm_runtime::SessionConfig;
+use igm_span::FrameTag;
 use igm_trace::{Codec, TraceError};
 use std::fmt;
 use std::io::{self, Read};
@@ -56,18 +82,28 @@ use std::ops::Range;
 pub const NET_MAGIC: [u8; 4] = *b"IGMN";
 
 /// Current protocol version (version 2 added trace-codec negotiation to
-/// the `HELLO`).
-pub const NET_VERSION: u32 = 2;
+/// the `HELLO`; version 3 added the span-provenance prefix to `CHUNK`).
+pub const NET_VERSION: u32 = 3;
+
+/// Oldest protocol version this side still accepts in a `HELLO`. A v2
+/// lane simply carries no span prefix on its chunks; everything else is
+/// identical.
+pub const NET_VERSION_COMPAT: u32 = 2;
+
+/// Fixed length of the span-provenance prefix opening every v3 `CHUNK`
+/// payload (flags `u8`, 3 pad bytes, flow `u32` LE, seq `u64` LE).
+pub const SPAN_PREFIX_BYTES: usize = 16;
 
 /// Bytes of message header preceding every payload (`type` u8 + `len`
 /// u32 LE).
 pub const MSG_HEADER_BYTES: usize = 5;
 
 /// Upper bound accepted for one message payload: the largest legal codec
-/// frame plus its frame header. A corrupt length field becomes a typed
-/// error instead of an allocation.
-pub const MAX_MESSAGE_BYTES: u32 =
-    igm_trace::MAX_PAYLOAD_BYTES + igm_trace::FRAME_HEADER_BYTES_V2 as u32;
+/// frame plus its frame header and the v3 span prefix. A corrupt length
+/// field becomes a typed error instead of an allocation.
+pub const MAX_MESSAGE_BYTES: u32 = igm_trace::MAX_PAYLOAD_BYTES
+    + igm_trace::FRAME_HEADER_BYTES_V2 as u32
+    + SPAN_PREFIX_BYTES as u32;
 
 /// Message type discriminators.
 pub mod msg {
@@ -137,7 +173,11 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "igm-net i/o error: {e}"),
             NetError::BadMagic => write!(f, "peer is not an igm-net endpoint (bad magic)"),
             NetError::VersionMismatch { theirs } => {
-                write!(f, "peer speaks protocol version {theirs} (this side speaks {NET_VERSION})")
+                write!(
+                    f,
+                    "peer speaks protocol version {theirs} \
+                     (this side speaks {NET_VERSION_COMPAT} through {NET_VERSION})"
+                )
             }
             NetError::UnsupportedCodec { theirs } => {
                 write!(f, "peer requested trace codec {theirs} (this side speaks codecs 1 and 2)")
@@ -276,6 +316,39 @@ pub fn hello_message(version: u32, codec: u32, session: &SessionConfig) -> Vec<u
     out
 }
 
+/// Appends the v3 chunk span prefix: all-zero when the frame is
+/// unsampled, `flags` bit 0 plus the frame's flow/seq when it carries a
+/// tag.
+pub(crate) fn push_span_prefix(out: &mut Vec<u8>, tag: Option<FrameTag>) {
+    match tag {
+        Some(tag) => {
+            out.extend_from_slice(&[1, 0, 0, 0]);
+            out.extend_from_slice(&tag.flow.to_le_bytes());
+            out.extend_from_slice(&tag.seq.to_le_bytes());
+        }
+        None => out.extend_from_slice(&[0u8; SPAN_PREFIX_BYTES]),
+    }
+}
+
+/// Decodes a v3 chunk span prefix (exactly [`SPAN_PREFIX_BYTES`] bytes).
+pub(crate) fn decode_span_prefix(bytes: &[u8]) -> Result<Option<FrameTag>, NetError> {
+    debug_assert_eq!(bytes.len(), SPAN_PREFIX_BYTES);
+    match bytes[0] {
+        0 => Ok(None),
+        1 => {
+            let flow = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            if flow == 0 {
+                // Flow 0 is the "no flow" placeholder — a sampled frame
+                // can never carry it.
+                return Err(NetError::Malformed("sampled chunk carries the null span flow"));
+            }
+            let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            Ok(Some(FrameTag { flow, seq }))
+        }
+        _ => Err(NetError::Malformed("span prefix flags out of range")),
+    }
+}
+
 fn u64_message(ty: u8, v: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(MSG_HEADER_BYTES + 8);
     push_header(&mut out, ty, 8);
@@ -386,15 +459,18 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a `HELLO` payload into the tenant's [`SessionConfig`] and the
-/// negotiated trace [`Codec`], enforcing magic, version and codec first.
-pub fn decode_hello(payload: &[u8]) -> Result<(SessionConfig, Codec), NetError> {
+/// Decodes a `HELLO` payload into the tenant's [`SessionConfig`], the
+/// negotiated trace [`Codec`] and the negotiated protocol version
+/// (anywhere in [`NET_VERSION_COMPAT`]..=[`NET_VERSION`] — the lane then
+/// speaks *the client's* version), enforcing magic, version and codec
+/// first.
+pub fn decode_hello(payload: &[u8]) -> Result<(SessionConfig, Codec, u32), NetError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     if r.take(4)? != NET_MAGIC {
         return Err(NetError::BadMagic);
     }
     let version = r.u32()?;
-    if version != NET_VERSION {
+    if !(NET_VERSION_COMPAT..=NET_VERSION).contains(&version) {
         return Err(NetError::VersionMismatch { theirs: version });
     }
     let codec_id = r.u32()?;
@@ -462,7 +538,7 @@ pub fn decode_hello(payload: &[u8]) -> Result<(SessionConfig, Codec), NetError> 
     });
     cfg.synthetic_workload = synthetic;
     cfg.premark = premark;
-    Ok((cfg, codec))
+    Ok((cfg, codec, version))
 }
 
 fn decode_u64(payload: &[u8]) -> Result<u64, NetError> {
@@ -644,17 +720,61 @@ mod tests {
         assert_eq!(hello[0], msg::HELLO);
         let len = u32::from_le_bytes(hello[1..5].try_into().unwrap()) as usize;
         assert_eq!(hello.len(), MSG_HEADER_BYTES + len);
-        let (decoded, codec) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
+        let (decoded, codec, version) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
         assert_eq!(decoded.name, cfg.name);
         assert_eq!(decoded.lifeguard, cfg.lifeguard);
         assert_eq!(decoded.accel, cfg.accel);
         assert_eq!(decoded.synthetic_workload, cfg.synthetic_workload);
         assert_eq!(decoded.premark, cfg.premark);
         assert_eq!(codec, Codec::Predicted);
+        assert_eq!(version, NET_VERSION);
         // Delta negotiation survives the round trip too.
         let hello = hello_message(NET_VERSION, Codec::Delta.wire(), &cfg);
-        let (_, codec) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
+        let (_, codec, _) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
         assert_eq!(codec, Codec::Delta);
+    }
+
+    #[test]
+    fn hello_negotiates_the_compat_version_range() {
+        let cfg = SessionConfig::new("old-peer", LifeguardKind::AddrCheck);
+        // A v2 peer is admitted and the lane remembers its version.
+        let hello = hello_message(NET_VERSION_COMPAT, Codec::Predicted.wire(), &cfg);
+        let (_, _, version) = decode_hello(&hello[MSG_HEADER_BYTES..]).unwrap();
+        assert_eq!(version, NET_VERSION_COMPAT);
+        // Versions outside the range are refused on both sides.
+        for bad in [1, NET_VERSION + 1] {
+            let hello = hello_message(bad, Codec::Predicted.wire(), &cfg);
+            match decode_hello(&hello[MSG_HEADER_BYTES..]) {
+                Err(NetError::VersionMismatch { theirs }) => assert_eq!(theirs, bad),
+                other => panic!("version {bad}: expected mismatch, got {other:?}"),
+            }
+        }
+        // The refusal names the version — the client's downgrade retry
+        // keys on this.
+        let reason = NetError::VersionMismatch { theirs: 9 }.to_string();
+        assert!(reason.contains("protocol version"), "{reason}");
+    }
+
+    #[test]
+    fn span_prefix_round_trips_sampled_and_unsampled() {
+        let mut out = Vec::new();
+        push_span_prefix(&mut out, None);
+        assert_eq!(out.len(), SPAN_PREFIX_BYTES);
+        assert_eq!(decode_span_prefix(&out).unwrap(), None);
+
+        let tag = FrameTag { flow: 0xDEAD_BEEF, seq: u64::MAX - 7 };
+        out.clear();
+        push_span_prefix(&mut out, Some(tag));
+        assert_eq!(out.len(), SPAN_PREFIX_BYTES);
+        assert_eq!(decode_span_prefix(&out).unwrap(), Some(tag));
+
+        // Hostile prefixes: bad flags, sampled bit with the null flow.
+        let mut bad = out.clone();
+        bad[0] = 2;
+        assert!(matches!(decode_span_prefix(&bad), Err(NetError::Malformed(_))));
+        let mut null_flow = out.clone();
+        null_flow[4..8].fill(0);
+        assert!(matches!(decode_span_prefix(&null_flow), Err(NetError::Malformed(_))));
     }
 
     #[test]

@@ -180,6 +180,74 @@ fn connect_surfaces_a_server_side_rejection() {
 }
 
 #[test]
+fn old_server_triggers_a_v2_downgrade_retry() {
+    use std::io::Read;
+
+    fn read_message(stream: &mut TcpStream) -> (u8, Vec<u8>) {
+        let mut header = [0u8; 5];
+        stream.read_exact(&mut header).unwrap();
+        let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).unwrap();
+        (header[0], payload)
+    }
+
+    // A fake pre-v3 server: refuses the first connection naming the
+    // protocol version (exactly what an old decode_hello would), then
+    // welcomes the retry and inspects what it receives.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut s1, _) = listener.accept().unwrap();
+        let (ty, payload) = read_message(&mut s1);
+        assert_eq!(ty, msg::HELLO);
+        let announced = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+        assert_eq!(announced, wire::NET_VERSION, "the first attempt speaks the current version");
+        let reason = "peer speaks protocol version 3 (this side speaks 2)";
+        let mut out = vec![msg::ERROR];
+        out.extend_from_slice(&((2 + reason.len()) as u32).to_le_bytes());
+        out.extend_from_slice(&(reason.len() as u16).to_le_bytes());
+        out.extend_from_slice(reason.as_bytes());
+        s1.write_all(&out).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        drop(s1);
+
+        // The retry: a v2 HELLO this time. Welcome it with credit and
+        // check the chunk that follows is a bare codec frame (no span
+        // prefix — that wire format has nowhere to carry one).
+        let (mut s2, _) = listener.accept().unwrap();
+        let (ty, payload) = read_message(&mut s2);
+        assert_eq!(ty, msg::HELLO);
+        let announced = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+        assert_eq!(announced, wire::NET_VERSION_COMPAT, "the retry downgrades to v2");
+        let mut welcome = vec![msg::WELCOME];
+        welcome.extend_from_slice(&8u32.to_le_bytes());
+        welcome.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        s2.write_all(&welcome).unwrap();
+        let (ty, payload) = read_message(&mut s2);
+        assert_eq!(ty, msg::CHUNK);
+        assert_eq!(
+            igm_trace::frame_codec(&payload),
+            Some(Codec::Predicted),
+            "a v2 chunk opens directly with the codec frame"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    });
+
+    let cfg = session_cfg("legacy", LifeguardKind::AddrCheck);
+    let mut fwd = TraceForwarder::connect(addr, &cfg).unwrap();
+    assert_eq!(fwd.wire_version(), wire::NET_VERSION_COMPAT);
+    // Span attachment on a downgraded lane is a no-op: nothing to carry
+    // the tag, so nothing may be recorded.
+    let recorder = std::sync::Arc::new(igm_span::FlightRecorder::new(Default::default()));
+    fwd.attach_spans(&recorder);
+    let batch: igm_lba::TraceBatch = Benchmark::Gzip.trace(64).collect();
+    fwd.send_batch(&batch).unwrap();
+    assert!(recorder.snapshot().is_empty(), "no client stages on a v2 lane");
+    fake.join().unwrap();
+}
+
+#[test]
 fn mid_frame_disconnect_fails_only_that_lane() {
     let pool = MonitorPool::new(PoolConfig::with_workers(2));
     let server = IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).unwrap();
@@ -242,15 +310,17 @@ fn corrupt_frame_fails_only_its_lane() {
             Codec::Predicted.wire(),
             &session_cfg("corrupt", LifeguardKind::AddrCheck),
         ));
-        // A structurally complete chunk whose frame payload is damaged:
-        // encode a real frame, then flip a payload byte so the checksum
-        // fails.
+        // A structurally complete v3 chunk (unsampled span prefix) whose
+        // frame payload is damaged: encode a real frame, then flip a
+        // payload byte so the checksum fails.
+        let mut payload = vec![0u8; wire::SPAN_PREFIX_BYTES];
         let batch: igm_lba::TraceBatch = Benchmark::Gzip.trace(100).collect();
         let mut frame = Vec::new();
         encode_frame(&mut frame, &batch);
         let last = frame.len() - 1;
         frame[last] ^= 0xff;
-        raw.send_message(msg::CHUNK, &frame);
+        payload.extend_from_slice(&frame);
+        raw.send_message(msg::CHUNK, &payload);
         std::thread::sleep(Duration::from_millis(100));
     });
     let good = std::thread::spawn(move || {

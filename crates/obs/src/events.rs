@@ -12,6 +12,7 @@
 //! [`EventRing::since`] — which is how the stats endpoint serves
 //! `/events.json?since=N` without ever blocking a producer.
 
+use igm_span::SpanRecord;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -71,6 +72,11 @@ pub enum EventKind {
         tenant: String,
         /// Human-readable violation description.
         detail: String,
+        /// The offending frame's completed span chain, snapshotted from
+        /// the flight recorder at violation time (empty when the frame
+        /// was unsampled or span recording is off) — per-frame
+        /// provenance attached to the event itself.
+        spans: Vec<SpanRecord>,
     },
 }
 
@@ -203,5 +209,68 @@ mod tests {
         assert_eq!(more.events.len(), 1);
         assert_eq!(more.events[0].seq, 5);
         assert_eq!(more.events[0].kind.name(), "lane_failure");
+    }
+
+    #[test]
+    fn empty_ring_reads_cleanly() {
+        let ring = EventRing::new(4);
+        for since in [0, 1, u64::MAX] {
+            let snap = ring.since(since);
+            assert!(snap.events.is_empty());
+            assert_eq!(snap.dropped, 0);
+            assert_eq!(snap.next_seq, 0);
+        }
+        assert_eq!(ring.recorded(), 0);
+    }
+
+    #[test]
+    fn cursor_past_head_is_empty_but_keeps_counters() {
+        let ring = EventRing::new(2);
+        for i in 0..3u64 {
+            ring.record(EventKind::Steal { session: i, from_worker: 0, to_worker: 1 });
+        }
+        // next_seq is 3; a reader asking for the future gets nothing, but
+        // the cursor/drop bookkeeping still tells it where the ring is.
+        let snap = ring.since(100);
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.next_seq, 3);
+        assert_eq!(snap.dropped, 1);
+    }
+
+    #[test]
+    fn cursor_inside_overwritten_region_reports_dropped() {
+        let ring = EventRing::new(3);
+        for i in 0..10u64 {
+            ring.record(EventKind::Steal { session: i, from_worker: 0, to_worker: 1 });
+        }
+        // Retained: seqs 7, 8, 9. A reader resuming from seq 2 (long
+        // overwritten) sees only what survived, and `dropped` tells it
+        // the ring lost ground: 10 recorded - 3 retained = 7 overwritten.
+        let snap = ring.since(2);
+        assert_eq!(snap.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(snap.dropped, 7);
+        assert_eq!(snap.next_seq, 10);
+        // The resumed cursor then pages cleanly: nothing new yet.
+        assert!(ring.since(snap.next_seq).events.is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_exactly_capacity_newest() {
+        let ring = EventRing::new(4);
+        for i in 0..100u64 {
+            ring.record(EventKind::SessionClose {
+                session: i,
+                tenant: format!("t{i}"),
+                records: i,
+                violations: 0,
+            });
+        }
+        let snap = ring.since(0);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![96, 97, 98, 99]);
+        assert_eq!(snap.dropped, 96);
+        assert_eq!(ring.recorded(), 100);
+        // Sequence numbers stay monotone across the wrap.
+        assert!(snap.events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
     }
 }

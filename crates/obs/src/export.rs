@@ -84,6 +84,24 @@ impl MetricsSnapshot {
     /// present) plus `_sum`/`_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        // Self-describing scrape preamble: what build is this, how long
+        // has it been up.
+        let _ = writeln!(out, "# HELP igm_build_info Build version/revision of this monitor");
+        let _ = writeln!(out, "# TYPE igm_build_info gauge");
+        let _ = writeln!(
+            out,
+            "igm_build_info{} 1",
+            prom_labels(
+                &[
+                    ("version".to_owned(), self.build_version.clone()),
+                    ("revision".to_owned(), self.build_revision.clone()),
+                ],
+                None
+            )
+        );
+        let _ = writeln!(out, "# HELP igm_uptime_seconds Seconds since the registry was created");
+        let _ = writeln!(out, "# TYPE igm_uptime_seconds gauge");
+        let _ = writeln!(out, "igm_uptime_seconds {:.3}", self.uptime_nanos as f64 / 1e9);
         let mut seen: Vec<&str> = Vec::new();
         // One HELP/TYPE block per family even when labeled series repeat
         // the name.
@@ -143,7 +161,15 @@ impl MetricsSnapshot {
     /// `[bucket_upper_bound, count]` pairs.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        let _ = write!(out, "\"uptime_nanos\": {}, \"counters\": [", self.uptime_nanos);
+        let _ = write!(
+            out,
+            "\"uptime_nanos\": {}, \"uptime_seconds\": {:.3}, \"build\": \
+             {{\"version\": {}, \"revision\": {}}}, \"counters\": [",
+            self.uptime_nanos,
+            self.uptime_nanos as f64 / 1e9,
+            json_str(&self.build_version),
+            json_str(&self.build_revision)
+        );
         for (i, c) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -267,13 +293,29 @@ impl EventsSnapshot {
                         json_str(reason)
                     );
                 }
-                EventKind::Violation { session, tenant, detail } => {
+                EventKind::Violation { session, tenant, detail, spans } => {
                     let _ = write!(
                         out,
-                        ", \"session\": {session}, \"tenant\": {}, \"detail\": {}",
+                        ", \"session\": {session}, \"tenant\": {}, \"detail\": {}, \"spans\": [",
                         json_str(tenant),
                         json_str(detail)
                     );
+                    for (i, s) in spans.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"stage\": {}, \"flow\": {}, \"frame_seq\": {}, \
+                             \"t_start_nanos\": {}, \"t_end_nanos\": {}}}",
+                            json_str(s.stage.name()),
+                            s.tag.flow,
+                            s.tag.seq,
+                            s.t_start,
+                            s.t_end
+                        );
+                    }
+                    out.push(']');
                 }
             }
             out.push('}');

@@ -16,7 +16,10 @@
 //! - [`export`] — [`MetricsSnapshot::to_prometheus`] /
 //!   [`MetricsSnapshot::to_json`] and the events-JSON rendering.
 //! - [`server`] — [`StatsServer`], a one-thread `std::net` HTTP endpoint
-//!   serving `/metrics`, `/stats.json` and `/events.json?since=N`.
+//!   serving `/metrics`, `/stats.json`, `/events.json?since=N`, and —
+//!   when a span [`igm_span::FlightRecorder`] is attached
+//!   ([`StatsServer::serve_with`]) — `/spans.json?since=N` plus a
+//!   Chrome trace-event `/trace` export.
 //!
 //! # Example
 //!

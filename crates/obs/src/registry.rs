@@ -26,6 +26,17 @@ use std::time::Instant;
 /// this many workers increment disjoint cache lines.
 pub const COUNTER_STRIPES: usize = 16;
 
+/// The workspace version baked into every scrape (`igm_build_info`).
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// A git-ish build revision: set `IGM_BUILD_REVISION` at compile time
+/// (e.g. `IGM_BUILD_REVISION=$(git rev-parse --short HEAD) cargo build`)
+/// to stamp scrapes with the exact tree; defaults to `"dev"`.
+pub const BUILD_REVISION: &str = match option_env!("IGM_BUILD_REVISION") {
+    Some(rev) => rev,
+    None => "dev",
+};
+
 /// Histogram bucket count: bucket 0 for zero, buckets 1..=64 for each
 /// power-of-two range of `u64`.
 pub const HISTOGRAM_BUCKETS: usize = 65;
@@ -497,7 +508,14 @@ impl MetricsRegistry {
                 }),
             }
         }
-        MetricsSnapshot { uptime_nanos: self.uptime_nanos(), counters, gauges, histograms }
+        MetricsSnapshot {
+            uptime_nanos: self.uptime_nanos(),
+            build_version: BUILD_VERSION.to_owned(),
+            build_revision: BUILD_REVISION.to_owned(),
+            counters,
+            gauges,
+            histograms,
+        }
     }
 }
 
@@ -547,6 +565,12 @@ pub struct HistogramSample {
 pub struct MetricsSnapshot {
     /// Nanoseconds since the registry was created.
     pub uptime_nanos: u64,
+    /// Package version ([`BUILD_VERSION`]) — the `igm_build_info`
+    /// `version` label, so scrapes are self-describing.
+    pub build_version: String,
+    /// Build revision ([`BUILD_REVISION`]) — the `igm_build_info`
+    /// `revision` label.
+    pub build_revision: String,
     /// Counters, in registration order.
     pub counters: Vec<CounterSample>,
     /// Gauges, in registration order.

@@ -11,28 +11,40 @@
 //! | `/metrics`            | Prometheus text exposition                |
 //! | `/stats.json`         | [`MetricsSnapshot::to_json`]              |
 //! | `/events.json?since=N`| event ring from sequence `N` (default 0)  |
+//! | `/spans.json?since=N` | flight-recorder span records from `N`     |
+//! | `/trace`              | Chrome trace-event JSON (`chrome://tracing`) |
 //! | `/`                   | plain-text index of the above             |
 //!
-//! Every snapshot is taken on the serving thread; the hot paths feeding
-//! the registry never notice a scrape.
+//! The span routes answer 404 unless a flight recorder was attached via
+//! [`StatsServer::serve_with`]. Every snapshot is taken on the serving
+//! thread; the hot paths feeding the registry never notice a scrape.
+//! Responses carry `Content-Length`, tolerate slow (drip-reading)
+//! clients up to a total write deadline, and `HEAD` is answered with
+//! headers only.
 
 #[cfg(doc)]
 use crate::registry::MetricsSnapshot;
 
 use crate::registry::MetricsRegistry;
+use igm_span::FlightRecorder;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the serving thread dozes between accept polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
-/// Per-connection read/write deadline — a stuck scraper must not wedge
+/// Per-IO-operation read/write deadline — a stuck scraper must not wedge
 /// the (single) serving thread.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Total budget for writing one response: a drip-reading client may take
+/// many short writes, each under [`IO_TIMEOUT`], but the connection as a
+/// whole is cut off here.
+const WRITE_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Largest request head we bother reading.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
@@ -52,6 +64,17 @@ impl StatsServer {
         addr: impl ToSocketAddrs,
         registry: Arc<MetricsRegistry>,
     ) -> io::Result<StatsServer> {
+        StatsServer::serve_with(addr, registry, None)
+    }
+
+    /// Like [`StatsServer::serve`], but also attaches a span
+    /// [`FlightRecorder`], enabling the `/spans.json?since=N` and
+    /// `/trace` (Chrome trace-event JSON) routes.
+    pub fn serve_with(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        spans: Option<Arc<FlightRecorder>>,
+    ) -> io::Result<StatsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -59,7 +82,7 @@ impl StatsServer {
         let stop2 = Arc::clone(&stop);
         let thread = thread::Builder::new()
             .name("igm-stats".into())
-            .spawn(move || serve_loop(listener, registry, stop2))?;
+            .spawn(move || serve_loop(listener, registry, spans, stop2))?;
         Ok(StatsServer { addr, stop, thread: Some(thread) })
     }
 
@@ -83,13 +106,18 @@ impl Drop for StatsServer {
     }
 }
 
-fn serve_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+fn serve_loop(
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+    spans: Option<Arc<FlightRecorder>>,
+    stop: Arc<AtomicBool>,
+) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Serve inline: one thread, one connection at a time —
                 // a scrape endpoint, not a web server.
-                let _ = handle_connection(stream, &registry);
+                let _ = handle_connection(stream, &registry, spans.as_deref());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => thread::sleep(ACCEPT_POLL),
@@ -97,13 +125,30 @@ fn serve_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<A
     }
 }
 
-fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+/// Parses `since=N` out of a query string (default 0).
+fn since_param(query: Option<&str>) -> u64 {
+    query
+        .and_then(|q| {
+            q.split('&').find_map(|kv| kv.strip_prefix("since=")).and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    spans: Option<&FlightRecorder>,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let target = match read_request_target(&mut stream)? {
-        Some(t) => t,
-        None => return respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n"),
+    let (method, target) = match read_request_line(&mut stream)? {
+        Some(parts) => parts,
+        None => {
+            return respond(&mut stream, false, 400, "text/plain; charset=utf-8", "bad request\n")
+        }
     };
+    // HEAD mirrors GET (same status, same Content-Length), body elided.
+    let head_only = method == "HEAD";
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target.as_str(), None),
@@ -111,36 +156,56 @@ fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::R
     match path {
         "/metrics" => {
             let body = registry.snapshot().to_prometheus();
-            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+            respond(&mut stream, head_only, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
         }
         "/stats.json" => {
             let body = registry.snapshot().to_json();
-            respond(&mut stream, 200, "application/json", &body)
+            respond(&mut stream, head_only, 200, "application/json", &body)
         }
         "/events.json" => {
-            let since = query
-                .and_then(|q| {
-                    q.split('&')
-                        .find_map(|kv| kv.strip_prefix("since="))
-                        .and_then(|v| v.parse::<u64>().ok())
-                })
-                .unwrap_or(0);
-            let body = registry.events().since(since).to_json();
-            respond(&mut stream, 200, "application/json", &body)
+            let body = registry.events().since(since_param(query)).to_json();
+            respond(&mut stream, head_only, 200, "application/json", &body)
         }
+        "/spans.json" => match spans {
+            Some(rec) => {
+                let body = rec.since(since_param(query)).to_json();
+                respond(&mut stream, head_only, 200, "application/json", &body)
+            }
+            None => respond(
+                &mut stream,
+                head_only,
+                404,
+                "text/plain; charset=utf-8",
+                "no flight recorder attached\n",
+            ),
+        },
+        "/trace" => match spans {
+            Some(rec) => {
+                let body = igm_span::chrome_trace(&rec.snapshot());
+                respond(&mut stream, head_only, 200, "application/json", &body)
+            }
+            None => respond(
+                &mut stream,
+                head_only,
+                404,
+                "text/plain; charset=utf-8",
+                "no flight recorder attached\n",
+            ),
+        },
         "/" => respond(
             &mut stream,
+            head_only,
             200,
             "text/plain; charset=utf-8",
-            "igm stats endpoint\n\n/metrics            Prometheus text exposition\n/stats.json         metrics snapshot as JSON\n/events.json?since=N  lifecycle event ring\n",
+            "igm stats endpoint\n\n/metrics            Prometheus text exposition\n/stats.json         metrics snapshot as JSON\n/events.json?since=N  lifecycle event ring\n/spans.json?since=N   frame span records (flight recorder)\n/trace              Chrome trace-event JSON (chrome://tracing)\n",
         ),
-        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+        _ => respond(&mut stream, head_only, 404, "text/plain; charset=utf-8", "not found\n"),
     }
 }
 
-/// Reads the request head and returns the request target (`/metrics`,
-/// `/events.json?since=3`, …), or `None` for an unparsable request.
-fn read_request_target(stream: &mut TcpStream) -> io::Result<Option<String>> {
+/// Reads the request head and returns `(method, target)` (e.g. `("GET",
+/// "/events.json?since=3")`), or `None` for an unparsable request.
+fn read_request_line(stream: &mut TcpStream) -> io::Result<Option<(String, String)>> {
     let mut head = Vec::new();
     let mut chunk = [0u8; 1024];
     while !head.windows(4).any(|w| w == b"\r\n\r\n") {
@@ -160,13 +225,48 @@ fn read_request_target(stream: &mut TcpStream) -> io::Result<Option<String>> {
         Some(l) => l,
         None => return Ok(None),
     };
-    // "GET /path HTTP/1.1" — method and version are not worth policing.
+    // "GET /path HTTP/1.1" — the HTTP version is not worth policing.
     let mut parts = request_line.split_whitespace();
-    let _method = parts.next();
-    Ok(parts.next().map(str::to_owned))
+    match (parts.next(), parts.next()) {
+        (Some(method), Some(target)) => Ok(Some((method.to_owned(), target.to_owned()))),
+        _ => Ok(None),
+    }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+/// Writes all of `bytes`, looping over short writes and transient errors
+/// until `deadline`. A drip-reading client stalls each `write` for at
+/// most [`IO_TIMEOUT`]; progress resets nothing — the total budget caps
+/// how long one slow scraper can hold the serving thread.
+fn write_fully(stream: &mut TcpStream, bytes: &[u8], deadline: Instant) -> io::Result<()> {
+    let mut sent = 0;
+    while sent < bytes.len() {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "response write deadline"));
+        }
+        match stream.write(&bytes[sent..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The socket buffer is full behind a slow reader; yield
+                // briefly and retry until the overall deadline.
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    head_only: bool,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -177,8 +277,11 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let deadline = Instant::now() + WRITE_DEADLINE;
+    write_fully(stream, head.as_bytes(), deadline)?;
+    if !head_only {
+        write_fully(stream, body.as_bytes(), deadline)?;
+    }
     stream.flush()
 }
 
@@ -187,12 +290,16 @@ mod tests {
     use super::*;
     use crate::events::EventKind;
 
-    fn get(addr: SocketAddr, path: &str) -> String {
+    fn request(addr: SocketAddr, method: &str, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        write!(stream, "{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        request(addr, "GET", path)
     }
 
     #[test]
@@ -223,6 +330,12 @@ mod tests {
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/").contains("igm stats endpoint"));
 
+        // Self-describing scrape: build info + uptime ride every format.
+        assert!(metrics.contains("igm_build_info{version=\""));
+        assert!(metrics.contains("igm_uptime_seconds "));
+        assert!(json.contains("\"uptime_seconds\""));
+        assert!(json.contains("\"build\""));
+
         server.stop();
         // Stopped: new connections must fail (give the OS a beat).
         thread::sleep(Duration::from_millis(50));
@@ -237,5 +350,120 @@ mod tests {
                 s.read_to_string(&mut buf).unwrap_or(0) == 0
             }
         );
+    }
+
+    #[test]
+    fn head_requests_get_headers_only() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("igm_head_total", "test counter").add(3);
+        let mut server = StatsServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let head = request(addr, "HEAD", "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("HEAD carries Content-Length")
+            .parse()
+            .unwrap();
+        assert!(content_length > 0);
+        let body_at = head.find("\r\n\r\n").unwrap() + 4;
+        assert_eq!(&head[body_at..], "", "HEAD must not carry a body");
+
+        // The advertised length matches what GET actually sends.
+        let get_resp = get(addr, "/metrics");
+        let get_body = &get_resp[get_resp.find("\r\n\r\n").unwrap() + 4..];
+        assert_eq!(get_body.len(), content_length);
+
+        // HEAD mirrors GET's status on a miss, too.
+        assert!(request(addr, "HEAD", "/nope").starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[test]
+    fn drip_reading_client_receives_the_full_response() {
+        let registry = Arc::new(MetricsRegistry::new());
+        // A response big enough to overflow loopback socket buffers, so
+        // the server's write loop actually sees short/blocked writes.
+        let filler = "x".repeat(2048);
+        for i in 0..1024 {
+            registry
+                .events()
+                .record(EventKind::LaneFailure { lane: format!("lane{i}"), error: filler.clone() });
+        }
+        let mut server = StatsServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /events.json HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        // Drip: small reads with pauses, far slower than one write_all.
+        let mut response = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let n = match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("drip read failed: {e}"),
+            };
+            response.extend_from_slice(&chunk[..n]);
+            thread::sleep(Duration::from_millis(1));
+        }
+        let response = String::from_utf8(response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"));
+        let content_length: usize = response
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length present")
+            .parse()
+            .unwrap();
+        let body = &response[response.find("\r\n\r\n").unwrap() + 4..];
+        assert!(content_length > 2 * 1024 * 1024, "test body must be big: {content_length}");
+        assert_eq!(body.len(), content_length, "drip client must receive every byte");
+        assert!(body.ends_with("]}"), "body must be complete JSON");
+        server.stop();
+    }
+
+    #[test]
+    fn span_routes_serve_the_flight_recorder_or_404() {
+        use igm_span::{FrameTag, SpanConfig, Stage, Track};
+
+        let registry = Arc::new(MetricsRegistry::new());
+        // Without a recorder, the span routes are explicit 404s.
+        let mut bare = StatsServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        assert!(get(bare.local_addr(), "/spans.json").starts_with("HTTP/1.1 404"));
+        assert!(get(bare.local_addr(), "/trace").starts_with("HTTP/1.1 404"));
+        bare.stop();
+
+        let recorder = Arc::new(FlightRecorder::new(SpanConfig {
+            rings: 2,
+            slots_per_ring: 16,
+            sample_every: 1,
+        }));
+        let tag = FrameTag { flow: 3, seq: 0 };
+        recorder.record(0, Stage::ChannelWait, Track::Worker(1), tag, 100, 250);
+        recorder.record(0, Stage::Dispatch, Track::Worker(1), tag, 250, 900);
+        let mut server =
+            StatsServer::serve_with("127.0.0.1:0", Arc::clone(&registry), Some(recorder)).unwrap();
+        let addr = server.local_addr();
+
+        let spans = get(addr, "/spans.json?since=0");
+        assert!(spans.starts_with("HTTP/1.1 200"));
+        assert!(spans.contains("\"stage\": \"dispatch\""));
+        assert!(spans.contains("\"next_seq\": 2"));
+        // Cursor paging mirrors /events.json.
+        assert!(get(addr, "/spans.json?since=2").contains("\"spans\": []"));
+
+        let trace = get(addr, "/trace");
+        assert!(trace.starts_with("HTTP/1.1 200"));
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"name\": \"worker 1\""));
+
+        // The index advertises the span routes.
+        assert!(get(addr, "/").contains("/spans.json"));
+        server.stop();
     }
 }

@@ -40,6 +40,7 @@ use igm_core::{AccelConfig, DispatchPipeline};
 use igm_lba::{chunks, EventBuf, TraceBatch};
 use igm_lifeguards::{AnyLifeguard, CostSink, Lifeguard, LifeguardKind, Violation};
 use igm_obs::{EventKind, EventRing, Histogram, MetricsRegistry, StatsServer};
+use igm_span::{alloc_flow, FlightRecorder, FrameTag, Sampler, SpanConfig, Stage, Track};
 use std::collections::VecDeque;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -63,6 +64,13 @@ pub struct PoolConfig {
     /// pass a shared one to land several subsystems (pool, ingest server,
     /// forwarder) on a single stats endpoint.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Whether the pool runs a span [`FlightRecorder`] (`igm-span`):
+    /// sampled frames get `channel_wait`/`dispatch` stage records, epoch
+    /// jobs get `epoch_job` ones, violations snapshot their frame's span
+    /// chain into the event ring, and [`MonitorPool::serve_stats`] serves
+    /// `/spans.json` and `/trace`. On by default — unsampled frames cost
+    /// one branch per batch (see the bench's `span_overhead` section).
+    pub spans: bool,
 }
 
 impl Default for PoolConfig {
@@ -77,6 +85,7 @@ impl Default for PoolConfig {
             // while still keeping four chunks in flight per channel.
             chunk_bytes: 16 * 1024,
             metrics: None,
+            spans: true,
         }
     }
 }
@@ -342,6 +351,31 @@ struct PoolShared {
     /// Registry handles every session log channel clones
     /// (`igm_channel_queue_latency_nanos`, `igm_channel_occupancy_bytes`).
     channel_obs: ChannelObs,
+    /// The span flight recorder (`None` when [`PoolConfig::spans`] is
+    /// off). Workers stamp `channel_wait`/`dispatch`/`epoch_job` stages
+    /// for tagged (sampled) frames; `igm-net` endpoints attach to the
+    /// same recorder so wire-side stages join the pool-side chains.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// `igm_span_stage_nanos{stage=…}` for the pool-side stages (detached
+    /// no-ops when spans are off).
+    span_hists: SpanStageHists,
+    /// Span origin for epoch jobs: they carry no producer frame tag, so
+    /// sampled jobs chain under the pool's own epoch flow, keyed by job
+    /// index.
+    epoch_span: Option<EpochSpan>,
+}
+
+/// Pool-side stage histograms, indexed by name for the hot path.
+struct SpanStageHists {
+    channel_wait: Histogram,
+    dispatch: Histogram,
+    epoch_job: Histogram,
+}
+
+/// Flow id and sampler for the epoch-job span origin.
+struct EpochSpan {
+    flow: u32,
+    sampler: Sampler,
 }
 
 impl PoolShared {
@@ -449,6 +483,33 @@ impl MonitorPool {
                 )
             })
             .collect();
+        let recorder = cfg.spans.then(|| {
+            Arc::new(FlightRecorder::new(SpanConfig {
+                // One ring per worker plus headroom for the ingest lanes
+                // and forwarders that attach to the pool's recorder; each
+                // writer site claims its own via `ring_handle`.
+                rings: cfg.workers + 8,
+                ..SpanConfig::default()
+            }))
+        });
+        let span_hist = |stage: Stage| {
+            if recorder.is_some() {
+                metrics.histogram_with(
+                    "igm_span_stage_nanos",
+                    "per-stage latency of sampled frames (span flight recorder)",
+                    &[("stage", stage.name())],
+                )
+            } else {
+                Histogram::disabled()
+            }
+        };
+        let span_hists = SpanStageHists {
+            channel_wait: span_hist(Stage::ChannelWait),
+            dispatch: span_hist(Stage::Dispatch),
+            epoch_job: span_hist(Stage::EpochJob),
+        };
+        let epoch_span =
+            recorder.as_ref().map(|r| EpochSpan { flow: alloc_flow(), sampler: r.sampler() });
         let channel_obs = ChannelObs {
             queue_latency: metrics.histogram(
                 "igm_channel_queue_latency_nanos",
@@ -473,6 +534,9 @@ impl MonitorPool {
                 .histogram("igm_pool_epoch_job_nanos", "epoch-job execution latency"),
             channel_obs,
             metrics,
+            recorder,
+            span_hists,
+            epoch_span,
         });
         let joins = (0..cfg.workers)
             .map(|i| {
@@ -542,6 +606,13 @@ impl MonitorPool {
         self.shared.stats.sessions_opened.inc();
         self.shared.shards[shard].push(session);
         self.shared.ring_all();
+        // The session is its own span origin for frames sent through the
+        // handle: a fresh flow, a frame counter, a per-frame sampler.
+        let spans = self.shared.recorder.as_ref().map(|r| SessionSpans {
+            flow: alloc_flow(),
+            next_frame: AtomicU64::new(0),
+            sampler: r.sampler(),
+        });
         SessionHandle {
             id,
             producer: Some(producer),
@@ -550,6 +621,7 @@ impl MonitorPool {
             chunk_bytes: self.chunk_bytes,
             channel_capacity_bytes: self.channel_capacity_bytes,
             home,
+            spans,
         }
     }
 
@@ -598,11 +670,24 @@ impl MonitorPool {
         self.shared.metrics.events()
     }
 
+    /// The span flight recorder following sampled frames through the
+    /// pipeline (`None` when [`PoolConfig::spans`] is off). Hand it to
+    /// `igm-net` endpoints (`attach_spans`) so wire-side stages land in
+    /// the same recorder and join the pool-side chains.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.recorder.as_ref()
+    }
+
     /// Starts a [`StatsServer`] on `addr` serving this pool's registry:
-    /// `GET /metrics` (Prometheus text), `/stats.json`, `/events.json`.
+    /// `GET /metrics` (Prometheus text), `/stats.json`, `/events.json`,
+    /// plus `/spans.json` and `/trace` when the pool has a span recorder.
     /// Bind port 0 to let the OS pick; the server stops on drop.
     pub fn serve_stats(&self, addr: impl ToSocketAddrs) -> std::io::Result<StatsServer> {
-        StatsServer::serve(addr, Arc::clone(&self.shared.metrics))
+        StatsServer::serve_with(
+            addr,
+            Arc::clone(&self.shared.metrics),
+            self.shared.recorder.clone(),
+        )
     }
 
     /// Stops the workers and joins the threads; called implicitly on drop.
@@ -647,6 +732,26 @@ pub struct SessionHandle {
     channel_capacity_bytes: u32,
     /// The worker currently hosting the session (sticky-wakeup hint).
     home: Arc<AtomicUsize>,
+    /// Span origin for frames this handle publishes (`None` when the
+    /// pool's spans are off).
+    spans: Option<SessionSpans>,
+}
+
+/// Per-session span origin: the flow id, the frame counter, and the
+/// once-per-frame sampling decision.
+struct SessionSpans {
+    flow: u32,
+    next_frame: AtomicU64,
+    sampler: Sampler,
+}
+
+impl SessionSpans {
+    /// Advances the frame counter (every frame gets an ordinal) and tags
+    /// the sampled minority.
+    fn tag_frame(&self) -> Option<FrameTag> {
+        let seq = self.next_frame.fetch_add(1, Ordering::Relaxed);
+        self.sampler.sample().then_some(FrameTag { flow: self.flow, seq })
+    }
 }
 
 impl SessionHandle {
@@ -680,7 +785,8 @@ impl SessionHandle {
         let Some(producer) = self.producer.as_ref() else {
             return Err(SendError(Box::new(batch)));
         };
-        let r = producer.send_batch(batch);
+        let tag = self.spans.as_ref().and_then(SessionSpans::tag_frame);
+        let r = producer.send_batch_tagged(batch, tag);
         self.shared.ring_worker(self.home.load(Ordering::Relaxed));
         r
     }
@@ -693,11 +799,27 @@ impl SessionHandle {
         &self,
         batch: impl Into<TraceBatch>,
     ) -> Result<Option<TraceBatch>, SendError> {
+        self.try_send_batch_tagged(batch, None)
+    }
+
+    /// [`SessionHandle::try_send_batch`] carrying an explicit span tag
+    /// stamped at the frame's origin (an `igm-net` lane forwarding a
+    /// remote producer's tag): the wire tag wins, so a loopback waterfall
+    /// joins client- and server-side stages under one flow. With no wire
+    /// tag the session's own sampler decides, exactly as
+    /// [`SessionHandle::try_send_batch`] does — frames the origin did not
+    /// sample may still be sampled server-side under the session's flow.
+    pub fn try_send_batch_tagged(
+        &self,
+        batch: impl Into<TraceBatch>,
+        wire_tag: Option<FrameTag>,
+    ) -> Result<Option<TraceBatch>, SendError> {
         let batch = batch.into();
         let Some(producer) = self.producer.as_ref() else {
             return Err(SendError(Box::new(batch)));
         };
-        let r = producer.try_send_batch(batch);
+        let tag = wire_tag.or_else(|| self.spans.as_ref().and_then(SessionSpans::tag_frame));
+        let r = producer.try_send_batch_tagged(batch, tag);
         if let Ok(None) = r {
             self.shared.ring_worker(self.home.load(Ordering::Relaxed));
         }
@@ -798,13 +920,38 @@ struct ActiveSession {
 impl ActiveSession {
     /// Processes up to `max_batches` buffered batches on the batch-grain
     /// hot path; returns how many were processed. `stats` is the pumping
-    /// worker's stripe-sharded counter clone.
-    fn pump(&mut self, max_batches: usize, shared: &PoolShared, stats: &PoolStats) -> usize {
+    /// worker's stripe-sharded counter clone; `worker`/`ring` are the
+    /// pumping worker's index and its flight-recorder ring.
+    fn pump(
+        &mut self,
+        max_batches: usize,
+        shared: &PoolShared,
+        stats: &PoolStats,
+        worker: usize,
+        ring: usize,
+    ) -> usize {
         let mut processed = 0;
         while processed < max_batches {
-            let Some(batch) = self.consumer.try_recv_batch() else { break };
+            let Some((batch, published, tag)) = self.consumer.try_recv_batch_tagged() else {
+                break;
+            };
             processed += 1;
             self.records += batch.len() as u64;
+            // Span stamps only for the sampled minority that carries a
+            // tag: the untagged hot path pays one branch here.
+            let span = match (&shared.recorder, tag) {
+                (Some(rec), Some(tag)) => {
+                    let track = Track::Worker(worker as u32);
+                    let picked_up = rec.now();
+                    // The publish instant rode the queue with the tag;
+                    // the wait is publish → this pickup.
+                    let t_publish = published.map_or(picked_up, |at| rec.stamp(at));
+                    rec.record(ring, Stage::ChannelWait, track, tag, t_publish, picked_up);
+                    shared.span_hists.channel_wait.record(picked_up.saturating_sub(t_publish));
+                    Some((rec, tag, track, picked_up))
+                }
+                _ => None,
+            };
             // One columnar pipeline pass and one statically-dispatched
             // handler pass per chunk; `events` and the pipeline's staging
             // buffers are reused across batches (no per-record allocation —
@@ -814,12 +961,28 @@ impl ActiveSession {
             self.cost.clear();
             self.lifeguard.handle_batch(self.events.events(), &mut self.cost);
             self.dispatch_hist.stop(t0);
+            if let Some((rec, tag, track, t_dispatch)) = span {
+                let done = rec.now();
+                rec.record(ring, Stage::Dispatch, track, tag, t_dispatch, done);
+                shared.span_hists.dispatch.record(done.saturating_sub(t_dispatch));
+            }
             stats.records.add(batch.len() as u64);
             // Hand the drained arena back to the producer side for refill.
             self.consumer.recycle(batch);
             let fresh = self.lifeguard.take_violations();
             if !fresh.is_empty() {
                 stats.violations.add(fresh.len() as u64);
+                // A sampled frame that just violated gets a `violation`
+                // marker record, then its whole completed chain is
+                // snapshotted into the event-ring entry below.
+                let spans = match span {
+                    Some((rec, tag, track, _)) => {
+                        let now = rec.now();
+                        rec.record(ring, Stage::Violation, track, tag, now, now);
+                        rec.chain(tag)
+                    }
+                    None => Vec::new(),
+                };
                 // Forward to the aggregated stream only once someone holds
                 // it; otherwise an untaken stream would buffer violations
                 // unboundedly for the pool's lifetime. (They are always
@@ -841,6 +1004,7 @@ impl ActiveSession {
                         session: self.id,
                         tenant: self.name.clone(),
                         detail: v.to_string(),
+                        spans: spans.clone(),
                     });
                 }
                 self.violations.extend(fresh);
@@ -916,6 +1080,9 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
     // the hot-path increments below never share a cache line with another
     // worker's.
     let stats = shared.stats.per_worker();
+    // This worker's flight-recorder ring: claimed once, single-writer for
+    // the thread's lifetime (0 is a dead value when spans are off).
+    let ring = shared.recorder.as_ref().map_or(0, |r| r.ring_handle());
     loop {
         let seen = shared.doorbells[idx].epoch();
         let terminating = shared.shutdown.load(Ordering::Acquire);
@@ -928,7 +1095,7 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
             let job = shared.epoch_jobs.lock().unwrap().pop_front();
             if let Some(job) = job {
                 shared.epoch_pending.fetch_sub(1, Ordering::SeqCst);
-                run_epoch_job_guarded(job, &stats, &shared.epoch_hist, &mut scratch);
+                run_epoch_job_guarded(job, &stats, &shared, idx, ring, &mut scratch);
                 progress = true;
             }
         }
@@ -939,7 +1106,7 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
         let resident = shared.shards[idx].resident();
         for _ in 0..resident {
             let Some(session) = shared.shards[idx].pop() else { break };
-            progress |= pump_owned(idx, session, &shared, &stats, terminating);
+            progress |= pump_owned(idx, ring, session, &shared, &stats, terminating);
         }
 
         // Nothing of our own to do: steal a runnable session — with its
@@ -952,7 +1119,7 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
                     from_worker: victim,
                     to_worker: idx,
                 });
-                pump_owned(idx, session, &shared, &stats, terminating);
+                pump_owned(idx, ring, session, &shared, &stats, terminating);
                 progress = true;
             }
         }
@@ -983,6 +1150,7 @@ fn worker_main(idx: usize, shared: Arc<PoolShared>) {
 /// was processed.
 fn pump_owned(
     idx: usize,
+    ring: usize,
     mut session: ActiveSession,
     shared: &PoolShared,
     stats: &PoolStats,
@@ -994,7 +1162,7 @@ fn pump_owned(
     // Panic isolation: one tenant's handler panicking must not take down
     // the other sessions of the pool.
     let pumped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        session.pump(BATCHES_PER_TURN, shared, stats)
+        session.pump(BATCHES_PER_TURN, shared, stats, idx, ring)
     }));
     match pumped {
         Ok(n) => {
@@ -1042,12 +1210,14 @@ fn steal(idx: usize, shared: &PoolShared) -> Option<(ActiveSession, usize)> {
 fn run_epoch_job_guarded(
     job: EpochJob,
     stats: &PoolStats,
-    epoch_hist: &Histogram,
+    shared: &PoolShared,
+    worker: usize,
+    ring: usize,
     scratch: &mut EpochScratch,
 ) {
     let index = job.index;
     if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_epoch_job(job, stats, epoch_hist, scratch)
+        run_epoch_job(job, stats, shared, worker, ring, scratch)
     }))
     .is_err()
     {
@@ -1095,12 +1265,22 @@ const EPOCH_SCRATCH_RETAIN_RECORDS: usize = 2 * crate::epoch::DEFAULT_EPOCH_RECO
 fn run_epoch_job(
     mut job: EpochJob,
     stats: &PoolStats,
-    epoch_hist: &Histogram,
+    shared: &PoolShared,
+    worker: usize,
+    ring: usize,
     scratch: &mut EpochScratch,
 ) {
+    // Epoch jobs carry no producer frame tag, so sampled jobs chain
+    // under the pool's epoch flow, keyed by job index.
+    let span = match (&shared.recorder, &shared.epoch_span) {
+        (Some(rec), Some(es)) if es.sampler.sample() => {
+            Some((rec, FrameTag { flow: es.flow, seq: job.index as u64 }, rec.now()))
+        }
+        _ => None,
+    };
     // Staging buffers come from the worker's persistent scratch — one
     // allocation per worker lifetime in steady state.
-    let t0 = epoch_hist.start();
+    let t0 = shared.epoch_hist.start();
     pump_records(
         &mut job.pipeline,
         &mut job.lifeguard,
@@ -1108,7 +1288,12 @@ fn run_epoch_job(
         &mut scratch.events,
         &job.records,
     );
-    epoch_hist.stop(t0);
+    shared.epoch_hist.stop(t0);
+    if let Some((rec, tag, t_start)) = span {
+        let done = rec.now();
+        rec.record(ring, Stage::EpochJob, Track::Worker(worker as u32), tag, t_start, done);
+        shared.span_hists.epoch_job.record(done.saturating_sub(t_start));
+    }
     if scratch.events.capacity() > EPOCH_SCRATCH_RETAIN_EVENTS {
         scratch.events.shrink_to(EPOCH_SCRATCH_RETAIN_EVENTS, EPOCH_SCRATCH_RETAIN_RECORDS);
     }

@@ -17,6 +17,7 @@
 
 use igm_lba::TraceBatch;
 use igm_obs::{Gauge, Histogram};
+use igm_span::FrameTag;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -88,10 +89,13 @@ pub struct ChannelStatsSnapshot {
 
 #[derive(Debug)]
 struct Inner {
-    /// Each batch travels with its publish timestamp (`None` when queue
-    /// latency is not being recorded), so the drain side can report
-    /// send→drain latency without a second clock read on the send side.
-    queue: VecDeque<(TraceBatch, Option<Instant>)>,
+    /// Each batch travels with its publish timestamp (`None` when neither
+    /// queue latency nor a span tag asks for one), so the drain side can
+    /// report send→drain latency — and stamp the span `channel_wait`
+    /// stage — without a second clock read on the send side, plus the
+    /// frame's span tag (`None` for unsampled frames: the tag rides the
+    /// queue for free either way).
+    queue: VecDeque<(TraceBatch, Option<Instant>, Option<FrameTag>)>,
     used_bytes: u32,
     producer_closed: bool,
     consumer_closed: bool,
@@ -188,6 +192,19 @@ impl LogProducer {
     /// buffer drains empty, so progress is always possible. Fails only when
     /// the consumer endpoint is gone.
     pub fn send_batch(&self, batch: impl Into<TraceBatch>) -> Result<(), SendError> {
+        self.send_batch_tagged(batch, None)
+    }
+
+    /// [`LogProducer::send_batch`] carrying the frame's span tag alongside
+    /// the batch (`None` for unsampled frames). The tag rides the queue
+    /// and comes back out of [`LogConsumer::try_recv_batch_tagged`] so the
+    /// drain side can stamp the frame's `channel_wait` span without any
+    /// side table.
+    pub fn send_batch_tagged(
+        &self,
+        batch: impl Into<TraceBatch>,
+        tag: Option<FrameTag>,
+    ) -> Result<(), SendError> {
         let batch = batch.into();
         if batch.is_empty() {
             return Ok(());
@@ -215,7 +232,7 @@ impl LogProducer {
                 return Err(SendError(Box::new(batch)));
             }
         }
-        self.publish(inner, batch, bytes);
+        self.publish(inner, batch, bytes, tag);
         Ok(())
     }
 
@@ -230,6 +247,17 @@ impl LogProducer {
         &self,
         batch: impl Into<TraceBatch>,
     ) -> Result<Option<TraceBatch>, SendError> {
+        self.try_send_batch_tagged(batch, None)
+    }
+
+    /// [`LogProducer::try_send_batch`] carrying the frame's span tag
+    /// alongside the batch (`None` for unsampled frames). When the send is
+    /// refused the caller keeps both the batch and the tag for the retry.
+    pub fn try_send_batch_tagged(
+        &self,
+        batch: impl Into<TraceBatch>,
+        tag: Option<FrameTag>,
+    ) -> Result<Option<TraceBatch>, SendError> {
         let batch = batch.into();
         if batch.is_empty() {
             return Ok(None);
@@ -243,14 +271,20 @@ impl LogProducer {
             self.shared.counters.refused_sends.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(batch));
         }
-        self.publish(inner, batch, bytes);
+        self.publish(inner, batch, bytes, tag);
         Ok(None)
     }
 
     /// The shared enqueue-and-account tail of both send paths: admits
     /// `batch` (size pre-computed as `bytes`) under the held lock, updates
     /// every occupancy/throughput counter, and wakes the consumer.
-    fn publish(&self, mut inner: std::sync::MutexGuard<'_, Inner>, batch: TraceBatch, bytes: u32) {
+    fn publish(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, Inner>,
+        batch: TraceBatch,
+        bytes: u32,
+        tag: Option<FrameTag>,
+    ) {
         inner.used_bytes += bytes;
         let c = &self.shared.counters;
         c.used_bytes.store(inner.used_bytes, Ordering::Relaxed);
@@ -259,8 +293,13 @@ impl LogProducer {
         c.pushed_batches.fetch_add(1, Ordering::Relaxed);
         self.shared.obs.occupancy_bytes.add(bytes as i64);
         // `start()` is `None` (no clock read) when queue-latency recording
-        // is off — the timestamp rides the queue either way.
-        inner.queue.push_back((batch, self.shared.obs.queue_latency.start()));
+        // is off — but a tagged (sampled) frame always gets a timestamp,
+        // because its `channel_wait` span needs the publish instant. Tagged
+        // frames are the sampled minority, so the extra clock read stays
+        // off the common path.
+        let published =
+            self.shared.obs.queue_latency.start().or_else(|| tag.map(|_| Instant::now()));
+        inner.queue.push_back((batch, published, tag));
         c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
         drop(inner);
         self.shared.not_empty.notify_one();
@@ -296,8 +335,8 @@ pub struct LogConsumer {
 }
 
 impl LogConsumer {
-    fn take(&self, inner: &mut Inner) -> Option<TraceBatch> {
-        let (batch, published) = inner.queue.pop_front()?;
+    fn take(&self, inner: &mut Inner) -> Option<(TraceBatch, Option<Instant>, Option<FrameTag>)> {
+        let (batch, published, tag) = inner.queue.pop_front()?;
         let bytes = batch.compressed_bytes();
         inner.used_bytes -= bytes;
         let c = &self.shared.counters;
@@ -305,16 +344,24 @@ impl LogConsumer {
         c.depth_batches.store(inner.queue.len(), Ordering::Relaxed);
         self.shared.obs.occupancy_bytes.sub(bytes as i64);
         self.shared.obs.queue_latency.stop(published);
-        Some(batch)
+        Some((batch, published, tag))
     }
 
     /// Removes the oldest batch without blocking.
     pub fn try_recv_batch(&self) -> Option<TraceBatch> {
+        self.try_recv_batch_tagged().map(|(batch, _, _)| batch)
+    }
+
+    /// Removes the oldest batch without blocking, along with its publish
+    /// instant and span tag (both `None` unless the frame is sampled or
+    /// queue-latency timing is on) — the pool's pump drains through this
+    /// so it can stamp `channel_wait` for sampled frames.
+    pub fn try_recv_batch_tagged(&self) -> Option<(TraceBatch, Option<Instant>, Option<FrameTag>)> {
         let mut inner = self.shared.inner.lock().unwrap();
-        let batch = self.take(&mut inner)?;
+        let taken = self.take(&mut inner)?;
         drop(inner);
         self.shared.not_full.notify_one();
-        Some(batch)
+        Some(taken)
     }
 
     /// Removes the oldest batch, blocking while the channel is empty.
@@ -322,7 +369,7 @@ impl LogConsumer {
     pub fn recv_batch(&self) -> Option<TraceBatch> {
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
-            if let Some(batch) = self.take(&mut inner) {
+            if let Some((batch, _, _)) = self.take(&mut inner) {
                 drop(inner);
                 self.shared.not_full.notify_one();
                 return Some(batch);
@@ -441,6 +488,23 @@ mod tests {
         drop(rx);
         let err = tx.try_send_batch(vec![rec(1)]).unwrap_err();
         assert_eq!(err.0.len(), 1);
+    }
+
+    #[test]
+    fn span_tags_ride_the_queue_in_order() {
+        let (tx, rx) = log_channel(1024);
+        tx.send_batch_tagged(vec![rec(1)], Some(FrameTag { flow: 7, seq: 0 })).unwrap();
+        tx.send_batch(vec![rec(2)]).unwrap();
+        tx.send_batch_tagged(vec![rec(3)], Some(FrameTag { flow: 7, seq: 2 })).unwrap();
+        let (_, published, tag) = rx.try_recv_batch_tagged().unwrap();
+        assert_eq!(tag, Some(FrameTag { flow: 7, seq: 0 }));
+        assert!(published.is_some(), "a tagged frame always carries its publish instant");
+        let (_, published, tag) = rx.try_recv_batch_tagged().unwrap();
+        assert_eq!(tag, None);
+        assert!(published.is_none(), "untagged + timers off: no clock read");
+        let (_, _, tag) = rx.try_recv_batch_tagged().unwrap();
+        assert_eq!(tag, Some(FrameTag { flow: 7, seq: 2 }));
+        assert!(rx.try_recv_batch_tagged().is_none());
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub trait TraceSource: Send {
     /// sources (`igm-net`'s socket lanes) turn the channel's drain into
     /// send credits for their remote producer; everything else ignores it.
     fn transport_feedback(&mut self, _occupancy: &ChannelStatsSnapshot, _capacity_bytes: u32) {}
+
+    /// The span tag of the batch the last `next_batch` call delivered,
+    /// taken at most once per batch. Sources whose frames arrive with a
+    /// span context already stamped at the origin (`igm-net`'s socket
+    /// lanes under the v3 wire protocol) surface it here so the lane can
+    /// carry it into the pool and the frame's client- and server-side
+    /// stages join into one chain. The default — local sources — returns
+    /// `None`, which leaves the sampling decision to the session handle.
+    fn take_span_tag(&mut self) -> Option<igm_span::FrameTag> {
+        None
+    }
 }
 
 /// An in-memory source: any record iterator, chunked at `chunk_bytes`
@@ -273,6 +284,9 @@ struct Lane {
     /// When the staged batch was first refused (rides along so the retry
     /// that finally publishes it can report the full deferred wait).
     staged_at: Option<Instant>,
+    /// The staged batch's span tag (kept across retries so a deferred
+    /// frame publishes under the tag its origin stamped).
+    staged_tag: Option<igm_span::FrameTag>,
     /// Pull staging arena: sources decode/chunk their columns straight
     /// into it, then ownership of the filled batch transfers to the log
     /// channel (the transport owns its batches); the lane refills the
@@ -424,6 +438,7 @@ impl<'p> Ingestor<'p> {
             wants_feedback,
             staged: None,
             staged_at: None,
+            staged_tag: None,
             scratch: TraceBatch::new(),
             source_done: false,
             closed: false,
@@ -521,9 +536,10 @@ impl Lane {
         }
         let mut progress = false;
         for _ in 0..budget {
-            // Retry a backpressure-deferred batch before pulling new work.
-            let batch = match self.staged.take() {
-                Some(b) => b,
+            // Retry a backpressure-deferred batch before pulling new work
+            // (its span tag was staged with it).
+            let (batch, tag) = match self.staged.take() {
+                Some(b) => (b, self.staged_tag.take()),
                 None => {
                     if self.source_done {
                         self.close();
@@ -552,7 +568,10 @@ impl Lane {
                                 .as_ref()
                                 .map(SessionHandle::spare_batch)
                                 .unwrap_or_default();
-                            std::mem::replace(&mut self.scratch, spare)
+                            (
+                                std::mem::replace(&mut self.scratch, spare),
+                                self.source.take_span_tag(),
+                            )
                         }
                         Ok(SourceStatus::Pending) => {
                             self.stats.pending_polls += 1;
@@ -579,7 +598,7 @@ impl Lane {
             }
             let records = batch.len() as u64;
             let session = self.session.as_ref().expect("lane is open");
-            match session.try_send_batch(batch) {
+            match session.try_send_batch_tagged(batch, tag) {
                 Ok(None) => {
                     // If this batch had been deferred, report how long it
                     // waited from first refusal to publication.
@@ -596,6 +615,7 @@ impl Lane {
                         self.staged_at = self.obs.deferred_wait.start();
                     }
                     self.staged = Some(refused);
+                    self.staged_tag = tag;
                     self.stats.deferred_sends += 1;
                     return progress;
                 }

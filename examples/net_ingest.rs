@@ -21,6 +21,7 @@ use igm::lifeguards::LifeguardKind;
 use igm::net::{ForwarderConfig, IngestServer, NetServerConfig, TraceForwarder};
 use igm::obs::EventKind;
 use igm::runtime::{stats_table, MonitorPool, PoolConfig, SessionConfig};
+use igm::span::Stage;
 use igm::workload::Benchmark;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -91,13 +92,18 @@ fn main() {
         .into_iter()
         .map(|(bench, kind)| {
             let registry = pool.metrics().clone();
+            let recorder = pool.recorder().expect("spans on by default").clone();
             std::thread::spawn(move || {
                 let fcfg = ForwarderConfig { chunk_bytes: CHUNK, ..ForwarderConfig::default() };
                 let mut fwd = TraceForwarder::connect_with(addr, &tenant_cfg(bench, kind), fcfg)
                     .expect("connect");
                 // Loopback co-location: the clients' credit-stall
-                // histogram lands on the same stats endpoint as the pool.
+                // histogram lands on the same stats endpoint as the pool,
+                // and each forwarder is a span origin on the pool's
+                // flight recorder — sampled frames chain client and
+                // server stages under one flow.
                 fwd.attach_metrics(&registry);
+                fwd.attach_spans(&recorder);
                 if matches!(bench, Benchmark::Gzip) {
                     fwd.stream(buggy_gzip()).expect("stream");
                 } else {
@@ -214,6 +220,48 @@ fn main() {
             .iter()
             .any(|e| matches!(&e.kind, EventKind::LaneFailure { lane, .. } if lane == "flaky")),
         "the flaky lane's failure must be narrated in the event ring"
+    );
+
+    // End-to-end frame provenance: each forwarder was a span origin, so
+    // sampled frames chained client-side and server-side stages under one
+    // flow/seq across the wire. Pull one such chain and print its
+    // waterfall.
+    let recorder = pool.recorder().expect("spans on by default");
+    let spans = recorder.snapshot();
+    let sent = spans
+        .iter()
+        .filter(|r| r.stage == Stage::ClientSend)
+        .min_by_key(|r| (r.tag.flow, r.tag.seq))
+        .expect("a sampled frame left a client_send stage");
+    let chain = recorder.chain(sent.tag);
+    let stages: Vec<Stage> = chain.iter().map(|r| r.stage).collect();
+    for want in [Stage::ClientSend, Stage::ServerIngest, Stage::ChannelWait, Stage::Dispatch] {
+        assert!(stages.contains(&want), "chain {stages:?} is missing {want:?}");
+    }
+    println!(
+        "\nspan waterfall: flow {} frame {} joins client and server stages",
+        sent.tag.flow, sent.tag.seq
+    );
+    let t0 = chain[0].t_start;
+    for r in &chain {
+        println!(
+            "  {:<13} at {:>9.1}us for {:>8.1}us  [{}]",
+            r.stage.name(),
+            (r.t_start - t0) as f64 / 1e3,
+            r.nanos() as f64 / 1e3,
+            r.track.label(),
+        );
+    }
+
+    // /trace renders the same recorder as Chrome trace-event JSON —
+    // paste it into chrome://tracing or ui.perfetto.dev as-is.
+    let trace = http_get(stats_addr, "/trace");
+    assert!(trace.contains("\"traceEvents\""), "Chrome trace JSON envelope");
+    assert!(trace.contains("client_send"), "client-side stages exported");
+    assert!(trace.contains("server_ingest"), "server-side stages exported");
+    println!(
+        "\n/trace scrape: {} bytes of Chrome trace JSON with client- and server-side stages",
+        trace.len()
     );
 
     stats_srv.stop();

@@ -54,6 +54,14 @@
 //!   of typed lifecycle events, and the one-thread [`obs::StatsServer`]
 //!   serving live Prometheus + JSON snapshots over HTTP
 //!   ([`runtime::MonitorPool::serve_stats`]).
+//! * [`span`] — end-to-end frame provenance: a sampled span layer that
+//!   follows one trace frame through client send → credit stall → server
+//!   ingest → channel wait → dispatch → epoch job → violation as stage
+//!   records in a lock-free [`span::FlightRecorder`] (fixed-size seqlock
+//!   rings, overwrite-oldest, zero-alloc on the hot path), surfaced as
+//!   `/spans.json`, a Chrome trace-event `/trace` export, per-stage
+//!   `igm_span_stage_nanos` histograms, and violation span-chain
+//!   snapshots in the event ring.
 //! * [`profiling`] — design-space sweeps (the paper's PIN study).
 //!
 //! ## Quickstart
@@ -107,6 +115,7 @@ pub use igm_profiling as profiling;
 pub use igm_runtime as runtime;
 pub use igm_shadow as shadow;
 pub use igm_sim as sim;
+pub use igm_span as span;
 pub use igm_timing as timing;
 pub use igm_trace as trace;
 pub use igm_workload as workload;

@@ -159,10 +159,12 @@ fn steady_state_batch_build_and_aos_dispatch_allocate_nothing() {
 
 /// The observability layer keeps the same discipline: a dispatch pass
 /// wrapped in registry instrumentation — histogram start/stop timing,
-/// counter adds, gauge occupancy updates, an explicit `record` — stays
-/// zero-allocation. (Registration is setup-path; it happens before the
-/// measured window, exactly as `MonitorPool::new` registers before any
-/// record flows.)
+/// counter adds, gauge occupancy updates, an explicit `record`, and span
+/// flight-recorder stage writes (the seqlock ring is fixed slots, so
+/// recording a sampled frame's stages is pure stores) — stays
+/// zero-allocation. (Registration and recorder construction are
+/// setup-path; they happen before the measured window, exactly as
+/// `MonitorPool::new` registers before any record flows.)
 #[test]
 fn instrumented_dispatch_stays_allocation_free() {
     let _serial = SERIAL.lock().unwrap();
@@ -171,6 +173,10 @@ fn instrumented_dispatch_stays_allocation_free() {
     let occupancy = registry.gauge("igm_occupancy_bytes", "live queue bytes");
     let dispatch = registry.histogram("igm_dispatch_batch_nanos", "one batch through dispatch");
     let queue = registry.histogram("igm_queue_latency_nanos", "send to drain");
+    let recorder = igm::span::FlightRecorder::new(igm::span::SpanConfig::default());
+    let ring = recorder.ring_handle();
+    let flow = igm::span::alloc_flow();
+    let sampler = recorder.sampler();
 
     let entries = steady_batch(2_048);
     let batch = TraceBatch::from_entries(&entries);
@@ -191,11 +197,26 @@ fn instrumented_dispatch_stays_allocation_free() {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     occupancy.add(batch.len() as i64);
     let queued = queue.start();
+    // The span hot path: one sampling branch, then stage records into the
+    // fixed-slot seqlock ring around the dispatch.
+    let tag = sampler
+        .sample()
+        .then_some(igm::span::FrameTag { flow, seq: 0 })
+        .expect("the first frame of a flow is always sampled");
+    let picked_up = recorder.now();
     let t0 = dispatch.start();
     pipeline.dispatch_batch(&batch, &mut events);
     cost.clear();
     lifeguard.handle_batch(events.events(), &mut cost);
     dispatch.stop(t0);
+    recorder.record(
+        ring,
+        igm::span::Stage::Dispatch,
+        igm::span::Track::Worker(0),
+        tag,
+        picked_up,
+        recorder.now(),
+    );
     queue.stop(queued);
     records.add(batch.len() as u64);
     occupancy.sub(batch.len() as i64);
@@ -212,4 +233,7 @@ fn instrumented_dispatch_stays_allocation_free() {
     let snap = registry.snapshot();
     let h = snap.histogram_sample("igm_dispatch_batch_nanos", None).expect("registered");
     assert_eq!(h.hist.count(), 1, "the measured pass was timed");
+    let chain = recorder.chain(tag);
+    assert_eq!(chain.len(), 1, "the dispatch stage landed in the ring");
+    assert_eq!(chain[0].stage, igm::span::Stage::Dispatch);
 }

@@ -106,6 +106,49 @@ fn loopback_ingest_equals_the_local_run_for_all_five_lifeguards() {
 }
 
 #[test]
+fn loopback_spans_join_client_and_server_stages_into_one_chain() {
+    use igm::span::Stage;
+
+    let pool = MonitorPool::new(PoolConfig::with_workers(2));
+    let recorder = pool.recorder().expect("spans on by default").clone();
+    let server = IngestServer::bind("127.0.0.1:0", &pool, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let rec = recorder.clone();
+    let client = std::thread::spawn(move || {
+        let cfg = session_cfg(LifeguardKind::AddrCheck, "spanful");
+        let mut fwd = TraceForwarder::connect(addr, &cfg).unwrap();
+        assert_eq!(fwd.wire_version(), igm::net::NET_VERSION);
+        fwd.attach_spans(&rec);
+        fwd.stream(Benchmark::Gzip.trace(20_000)).unwrap();
+        fwd.finish().unwrap()
+    });
+    let report = server.serve_connections(1);
+    let fwd_report = client.join().unwrap();
+    assert!(report.ingest.errors.is_empty(), "{:?}", report.ingest.errors);
+    assert_eq!(fwd_report.server_records, 20_000);
+
+    // The forwarder's first chunk is always sampled; its chain must hold
+    // both halves of the journey, causally ordered: the client-side send
+    // and the server-side decode → channel wait → dispatch.
+    let spans = recorder.snapshot();
+    let sent = spans
+        .iter()
+        .find(|r| r.stage == Stage::ClientSend)
+        .expect("a sampled frame left a client_send stage");
+    let chain = recorder.chain(sent.tag);
+    let stages: Vec<Stage> = chain.iter().map(|r| r.stage).collect();
+    for want in [Stage::ClientSend, Stage::ServerIngest, Stage::ChannelWait, Stage::Dispatch] {
+        assert!(stages.contains(&want), "chain {stages:?} is missing {want:?}");
+    }
+    let at = |s: Stage| stages.iter().position(|&x| x == s).unwrap();
+    assert!(at(Stage::ClientSend) < at(Stage::ServerIngest), "client half precedes server half");
+    assert!(at(Stage::ServerIngest) < at(Stage::ChannelWait));
+    assert!(at(Stage::ChannelWait) < at(Stage::Dispatch));
+    pool.shutdown();
+}
+
+#[test]
 fn many_loopback_clients_multiplex_through_one_server_thread() {
     const N: u64 = 5_000;
     const TENANTS: [Benchmark; 6] = [
