@@ -23,15 +23,32 @@ use std::collections::HashMap;
 /// Accessible-bit value.
 const ACCESSIBLE: u8 = 1;
 
+/// Application page size covered by one bit of the page-accessibility
+/// bitmap.
+const PAGE_SHIFT: u32 = 12;
+/// Pages in the 32-bit application space.
+const PAGE_COUNT: usize = 1 << (32 - PAGE_SHIFT);
+
+/// One entry of the merged malloc/free record list: the recorded size and
+/// whether the block is currently live (a dead slot is a freed base kept
+/// for double-free detection).
+#[derive(Debug, Clone, Copy)]
+struct AllocSlot {
+    size: u32,
+    live: bool,
+}
+
 /// The AddrCheck lifeguard.
 #[derive(Debug, Clone)]
 pub struct AddrCheck {
     meta: MetaMap,
-    /// Live allocations: base → size (the malloc record list).
-    live: HashMap<u32, u32>,
-    /// Bases seen in a `free` since their last allocation (the free record
-    /// list), for double-free detection.
-    freed: HashMap<u32, u32>,
+    /// Merged malloc/free record list: base → (size, live?).
+    allocs: HashMap<u32, AllocSlot>,
+    /// One bit per 4 KiB application page; set ⇒ *every* byte of the page
+    /// is accessible, so an access that stays inside such a page needs no
+    /// shadow walk at all (the software mirror of the paper's check
+    /// filtering: the common in-bounds case is a couple of loads).
+    page_acc: Box<[u8]>,
     violations: Vec<Violation>,
     /// Total checks performed (for reports).
     checks: u64,
@@ -50,8 +67,8 @@ impl AddrCheck {
         let shadow = TwoLevelShadow::new(Self::layout(), 0);
         AddrCheck {
             meta: MetaMap::new(shadow, cfg.lma.then_some(cfg.mtlb_entries)),
-            live: HashMap::new(),
-            freed: HashMap::new(),
+            allocs: HashMap::new(),
+            page_acc: vec![0u8; PAGE_COUNT / 8].into_boxed_slice(),
             violations: Vec::new(),
             checks: 0,
         }
@@ -65,13 +82,47 @@ impl AddrCheck {
     /// Reports every still-live block as a leak (call at program exit, as
     /// the real tool does; synthetic workloads intentionally skip this).
     pub fn report_leaks(&mut self) {
-        let mut leaks: Vec<_> = self.live.iter().map(|(b, s)| (*b, *s)).collect();
+        let mut leaks: Vec<_> =
+            self.allocs.iter().filter(|(_, s)| s.live).map(|(b, s)| (*b, s.size)).collect();
         leaks.sort_unstable();
         for (base, size) in leaks {
             self.violations.push(Violation::Leak { base, size });
         }
     }
 
+    #[inline]
+    fn page_bit(&self, page: u32) -> bool {
+        self.page_acc[(page >> 3) as usize] & (1 << (page & 7)) != 0
+    }
+
+    /// Maintains the page bitmap for a metadata range update. Marking
+    /// accessible sets the bits of *fully covered* pages only; revoking
+    /// clears the bits of every overlapped page (conservative: a clear bit
+    /// merely means "walk the shadow").
+    fn update_page_bitmap(&mut self, base: u32, len: u32, accessible: bool) {
+        if len == 0 {
+            return;
+        }
+        let end = base as u64 + len as u64; // exclusive
+        let page = |p: u64| (p >> 3, 1u8 << (p & 7));
+        if accessible {
+            let first = (base as u64).div_ceil(1 << PAGE_SHIFT);
+            let last = end >> PAGE_SHIFT; // exclusive
+            for p in first..last {
+                let (byte, bit) = page(p);
+                self.page_acc[byte as usize] |= bit;
+            }
+        } else {
+            let first = (base as u64) >> PAGE_SHIFT;
+            let last = (end - 1) >> PAGE_SHIFT; // inclusive
+            for p in first..=last {
+                let (byte, bit) = page(p);
+                self.page_acc[byte as usize] &= !bit;
+            }
+        }
+    }
+
+    #[inline]
     fn check_access(&mut self, pc: u32, mref: MemRef, is_write: bool, cost: &mut CostSink) {
         self.checks += 1;
         let va = self.meta.map(mref.addr, cost);
@@ -91,9 +142,16 @@ impl AddrCheck {
             cost.instr(2);
             cost.mem(va2);
         }
-        if !self.meta.shadow().packed_all(mref.addr, mref.size.bytes(), ACCESSIBLE) {
-            self.violations.push(Violation::UnallocatedAccess { pc, mref, is_write });
+        // An access that stays inside one fully-accessible page needs no
+        // shadow walk; anything else takes the (packed, byte-at-a-time at
+        // worst) range check.
+        let page = mref.addr >> PAGE_SHIFT;
+        if (last >> PAGE_SHIFT == page && self.page_bit(page))
+            || self.meta.shadow().packed_all(mref.addr, mref.size.bytes(), ACCESSIBLE)
+        {
+            return;
         }
+        self.violations.push(Violation::UnallocatedAccess { pc, mref, is_write });
     }
 
     fn mark_range(&mut self, base: u32, len: u32, v: u8, cost: &mut CostSink) {
@@ -109,6 +167,7 @@ impl AddrCheck {
             a = a.saturating_add(512); // one mapped chunk line per 512 app bytes
         }
         self.meta.shadow_mut().packed_set_range(base, len, v);
+        self.update_page_bitmap(base, len, v == ACCESSIBLE);
     }
 }
 
@@ -137,24 +196,22 @@ impl Lifeguard for AddrCheck {
             Event::MemWrite(m) => self.check_access(ev.pc, m, true, cost),
             Event::Annot(Annotation::Malloc { base, size }) => {
                 self.mark_range(base, size, ACCESSIBLE, cost);
-                self.live.insert(base, size);
-                self.freed.remove(&base);
+                self.allocs.insert(base, AllocSlot { size, live: true });
                 cost.instr(20); // record-list update
             }
             Event::Annot(Annotation::Free { base }) => {
                 cost.instr(20);
-                match self.live.remove(&base) {
-                    Some(size) => {
-                        self.mark_range(base, size, 0, cost);
-                        self.freed.insert(base, size);
+                let slot = self.allocs.get_mut(&base).map(|s| {
+                    let was_live = s.live;
+                    s.live = false;
+                    (was_live, s.size)
+                });
+                match slot {
+                    Some((true, size)) => self.mark_range(base, size, 0, cost),
+                    Some((false, _)) => {
+                        self.violations.push(Violation::DoubleFree { pc: ev.pc, base })
                     }
-                    None => {
-                        if self.freed.contains_key(&base) {
-                            self.violations.push(Violation::DoubleFree { pc: ev.pc, base });
-                        } else {
-                            self.violations.push(Violation::InvalidFree { pc: ev.pc, base });
-                        }
-                    }
+                    None => self.violations.push(Violation::InvalidFree { pc: ev.pc, base }),
                 }
             }
             Event::Annot(Annotation::ReadInput { base, len }) => {
@@ -182,6 +239,20 @@ impl Lifeguard for AddrCheck {
         }
     }
 
+    /// Columnar batch override: the overwhelmingly common access-check
+    /// events take a monomorphic loop whose fast path (page-bitmap hit) is
+    /// a couple of loads; everything else falls through to the per-event
+    /// handler. Event-for-event equivalent to the default loop.
+    fn handle_batch(&mut self, evs: &[DeliveredEvent], cost: &mut CostSink) {
+        for ev in evs {
+            match ev.event {
+                Event::MemRead(m) => self.check_access(ev.pc, m, false, cost),
+                Event::MemWrite(m) => self.check_access(ev.pc, m, true, cost),
+                _ => self.handle(ev, cost),
+            }
+        }
+    }
+
     fn violations(&self) -> &[Violation] {
         &self.violations
     }
@@ -196,7 +267,7 @@ impl Lifeguard for AddrCheck {
     }
 
     fn metadata_bytes(&self) -> u64 {
-        self.meta.metadata_bytes() + (self.live.len() + self.freed.len()) as u64 * 8
+        self.meta.metadata_bytes() + self.allocs.len() as u64 * 8
     }
     fn try_snapshot(&self) -> Option<Box<dyn Lifeguard + Send>> {
         Some(crate::ShardableLifeguard::snapshot_shard(self))
@@ -306,6 +377,60 @@ mod tests {
         let mut lg = AddrCheck::new(&AccelConfig::baseline());
         run(&mut lg, Event::Annot(Annotation::ReadInput { base: 0x9000, len: 128 }));
         assert_eq!(lg.violations().len(), 1);
+    }
+
+    #[test]
+    fn page_bitmap_fast_path_tracks_allocation_lifecycle() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        // Two fully-covered pages: their bits go hot.
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0x2000_0000, size: 0x2000 }));
+        assert!(lg.page_bit(0x2000_0000 >> PAGE_SHIFT));
+        assert!(lg.page_bit(0x2000_1000 >> PAGE_SHIFT));
+        run(&mut lg, Event::MemRead(MemRef::word(0x2000_0ffc))); // page-bit hit
+        run(&mut lg, Event::MemRead(MemRef::word(0x2000_0ffe))); // crosses pages
+        assert!(lg.violations().is_empty());
+        // Free revokes the bits and the access flags again.
+        run(&mut lg, Event::Annot(Annotation::Free { base: 0x2000_0000 }));
+        assert!(!lg.page_bit(0x2000_0000 >> PAGE_SHIFT));
+        run(&mut lg, Event::MemRead(MemRef::word(0x2000_0000)));
+        assert_eq!(lg.violations().len(), 1);
+    }
+
+    #[test]
+    fn partial_page_allocations_never_set_page_bits() {
+        let mut lg = AddrCheck::new(&AccelConfig::baseline());
+        run(&mut lg, Event::Annot(Annotation::Malloc { base: 0x9000, size: 64 }));
+        assert!(!lg.page_bit(0x9000 >> PAGE_SHIFT), "64-byte block must not claim its page");
+        // The shadow walk still decides correctly in both directions.
+        run(&mut lg, Event::MemRead(MemRef::word(0x9000)));
+        assert!(lg.violations().is_empty());
+        run(&mut lg, Event::MemRead(MemRef::word(0x9040)));
+        assert_eq!(lg.violations().len(), 1);
+    }
+
+    #[test]
+    fn batch_override_matches_per_event_handling() {
+        let events = vec![
+            ev(0x10, Event::Annot(Annotation::Malloc { base: 0x9000, size: 0x1000 })),
+            ev(0x14, Event::MemRead(MemRef::word(0x9000))),
+            ev(0x18, Event::MemWrite(MemRef::word(0x9ffc))),
+            ev(0x1c, Event::MemRead(MemRef::word(0xdead_0000))),
+            ev(0x20, Event::Annot(Annotation::Free { base: 0x9000 })),
+            ev(0x24, Event::MemWrite(MemRef::word(0x9000))),
+            ev(0x28, Event::Annot(Annotation::Free { base: 0x9000 })),
+        ];
+        let mut batched = AddrCheck::new(&AccelConfig::baseline());
+        let mut looped = AddrCheck::new(&AccelConfig::baseline());
+        let mut c1 = CostSink::new();
+        let mut c2 = CostSink::new();
+        batched.handle_batch(&events, &mut c1);
+        for e in &events {
+            looped.handle(e, &mut c2);
+        }
+        assert_eq!(batched.take_violations(), looped.take_violations());
+        assert_eq!(c1.instrs(), c2.instrs());
+        assert_eq!(c1.mem_vas(), c2.mem_vas());
+        assert_eq!(batched.checks(), looped.checks());
     }
 
     #[test]

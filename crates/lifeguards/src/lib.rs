@@ -153,40 +153,48 @@ impl LifeguardKind {
         }
     }
 
-    /// The epoch-parallel capability row (the runtime's analogue of the
-    /// Figure 2 applicability matrix): a lifeguard supports epoch-parallel
-    /// checking iff its *checking* handlers never write metadata, so a
-    /// sequential update-only spine reproduces the exact shadow-state
-    /// evolution while checks replay on parallel workers.
+    /// Which events the epoch-parallel *spine* may elide (the runtime's
+    /// analogue of the Figure 2 applicability matrix, refined to per-event
+    /// granularity). The spine's job is to reproduce the exact shadow-state
+    /// evolution at epoch boundaries; any event whose handler is
+    /// metadata-pure can be skipped there, because the parallel epoch job
+    /// replays the *full* event stream against the boundary snapshot and is
+    /// the authoritative source of violations.
     ///
-    /// * AddrCheck / TaintCheck (± detailed) — checks only read the shadow
-    ///   map and report; epoch-parallel applies.
-    /// * MemCheck — loads *set* initialized bits (reads are part of the
-    ///   update stream); metadata does not commute with check elision.
-    /// * LockSet — every shared access refines the word's candidate lockset;
-    ///   same problem.
+    /// * AddrCheck / TaintCheck (± detailed) — access and use checks only
+    ///   read the shadow map and report; the spine elides them all.
+    /// * MemCheck — accessibility checks (`MemRead`/`MemWrite`) are pure,
+    ///   but `Check` handlers *write* metadata to suppress report cascades
+    ///   (register mask and `I_BIT` stores), so those must run on the spine.
+    /// * LockSet — nearly every access refines the word's state machine or
+    ///   candidate lockset; nothing can be elided.
     ///
-    /// Non-supporting lifeguards fall back to sequential-consistency
-    /// monitoring on a single worker (see `igm-runtime`'s epoch module).
-    pub fn epoch_support(self) -> EpochSupport {
+    /// Spine-side violations on elided-capable runs are discarded — the
+    /// epoch jobs re-derive the complete, ordered violation sequence.
+    pub fn spine_elides(self, ev: &igm_lba::Event) -> bool {
         match self {
             LifeguardKind::AddrCheck
             | LifeguardKind::TaintCheck
-            | LifeguardKind::TaintCheckDetailed => EpochSupport { parallel_checks: true },
-            LifeguardKind::MemCheck | LifeguardKind::LockSet => {
-                EpochSupport { parallel_checks: false }
+            | LifeguardKind::TaintCheckDetailed => matches!(
+                ev,
+                igm_lba::Event::Check { .. }
+                    | igm_lba::Event::MemRead(_)
+                    | igm_lba::Event::MemWrite(_)
+            ),
+            LifeguardKind::MemCheck => {
+                matches!(ev, igm_lba::Event::MemRead(_) | igm_lba::Event::MemWrite(_))
             }
+            LifeguardKind::LockSet => false,
         }
     }
-}
 
-/// Whether a lifeguard's metadata discipline admits epoch-parallel checking
-/// (see [`LifeguardKind::epoch_support`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EpochSupport {
-    /// Checking handlers are metadata-pure: checks may run on parallel
-    /// workers against snapshotted shadow state.
-    pub parallel_checks: bool,
+    /// Whether [`LifeguardKind::spine_elides`] elides *anything* for this
+    /// lifeguard. The pool's automatic pipelining only engages when it
+    /// does — a lifeguard whose spine must run the full stream (LockSet)
+    /// gains nothing from shipping replay jobs on top of it.
+    pub fn spine_elides_any(self) -> bool {
+        !matches!(self, LifeguardKind::LockSet)
+    }
 }
 
 impl fmt::Display for LifeguardKind {
@@ -314,13 +322,10 @@ impl Lifeguard for AnyLifeguard {
     }
 
     fn handle_batch(&mut self, evs: &[DeliveredEvent], cost: &mut CostSink) {
-        // One discriminant branch for the whole batch; the loop body is a
-        // direct (inlinable) call on the concrete lifeguard.
-        with_each_lifeguard!(self, lg => {
-            for ev in evs {
-                lg.handle(ev, cost);
-            }
-        })
+        // One discriminant branch for the whole batch; the concrete
+        // lifeguard's own batch sweep (columnar override or the default
+        // loop) runs with direct, inlinable calls.
+        with_each_lifeguard!(self, lg => lg.handle_batch(evs, cost))
     }
 
     fn violations(&self) -> &[Violation] {
@@ -399,6 +404,29 @@ mod tests {
             assert_eq!(any.etct().registered_count(), boxed.etct().registered_count());
             assert!(any.try_snapshot().is_some(), "{k}: every variant is clonable");
         }
+    }
+
+    #[test]
+    fn spine_elision_matches_metadata_discipline() {
+        use igm_isa::{MemRef, OpClass, Reg};
+        use igm_lba::{CheckKind, Event, MetaSource};
+        let read = Event::MemRead(MemRef::word(0x9000));
+        let check =
+            Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) };
+        let prop = Event::Prop(OpClass::ImmToReg { rd: Reg::Eax });
+        for k in
+            [LifeguardKind::AddrCheck, LifeguardKind::TaintCheck, LifeguardKind::TaintCheckDetailed]
+        {
+            assert!(k.spine_elides(&read) && k.spine_elides(&check), "{k}");
+            assert!(!k.spine_elides(&prop), "{k}: updates always run on the spine");
+        }
+        assert!(LifeguardKind::MemCheck.spine_elides(&read));
+        assert!(
+            !LifeguardKind::MemCheck.spine_elides(&check),
+            "MemCheck check handlers write cascade-suppression state"
+        );
+        assert!(!LifeguardKind::LockSet.spine_elides(&read));
+        assert!(!LifeguardKind::LockSet.spine_elides(&check));
     }
 
     #[test]

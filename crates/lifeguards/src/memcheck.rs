@@ -87,16 +87,11 @@ impl MemCheck {
     }
 
     fn range_all(&self, m: MemRef, bit: u8) -> bool {
-        (0..m.size.bytes())
-            .all(|i| self.meta.shadow().packed_get(m.addr.wrapping_add(i)) & bit != 0)
+        self.meta.shadow().packed_test_all(m.addr, m.size.bytes(), bit)
     }
 
     fn set_bits_range(&mut self, base: u32, len: u32, set: u8, clear: u8) {
-        for i in 0..len {
-            let a = base.wrapping_add(i);
-            let v = self.meta.shadow().packed_get(a);
-            self.meta.shadow_mut().packed_set(a, (v | set) & !clear);
-        }
+        self.meta.shadow_mut().packed_update_range(base, len, set, clear);
     }
 
     fn check_accessible(&mut self, pc: u32, mref: MemRef, is_write: bool, cost: &mut CostSink) {
@@ -287,6 +282,21 @@ impl Lifeguard for MemCheck {
         etct
     }
 
+    /// Columnar batch sweep: the access checks and propagation handlers are
+    /// dispatched without re-entering the generic `handle` match, so the
+    /// hot loads/stores/props path stays branch-predictable. Cost accounting
+    /// is identical to per-event handling.
+    fn handle_batch(&mut self, evs: &[DeliveredEvent], cost: &mut CostSink) {
+        for ev in evs {
+            match &ev.event {
+                Event::MemRead(m) => self.check_accessible(ev.pc, *m, false, cost),
+                Event::MemWrite(m) => self.check_accessible(ev.pc, *m, true, cost),
+                Event::Prop(op) => self.handle_prop(op, cost),
+                _ => self.handle(ev, cost),
+            }
+        }
+    }
+
     fn handle(&mut self, ev: &DeliveredEvent, cost: &mut CostSink) {
         match &ev.event {
             Event::MemRead(m) => self.check_accessible(ev.pc, *m, false, cost),
@@ -328,7 +338,7 @@ impl Lifeguard for MemCheck {
                 let va = self.meta.map(*base, cost);
                 cost.instr(3 + len / 16);
                 cost.mem(va);
-                if !(0..*len).all(|i| self.meta.shadow().packed_get(base + i) & A_BIT != 0) {
+                if !self.meta.shadow().packed_test_all(*base, *len, A_BIT) {
                     self.violations.push(Violation::UnallocatedAccess {
                         pc: ev.pc,
                         mref: MemRef::word(*base),
@@ -573,6 +583,39 @@ mod tests {
             Event::Check { kind: CheckKind::CondBranchInput, source: MetaSource::Reg(Reg::Eax) },
         );
         assert!(lg.violations().is_empty());
+    }
+
+    #[test]
+    fn batch_override_matches_per_event_handling() {
+        let evs = vec![
+            DeliveredEvent::new(0x10, Event::Annot(Annotation::Malloc { base: 0x9000, size: 64 })),
+            DeliveredEvent::new(0x14, Event::MemWrite(MemRef::word(0x9000))),
+            DeliveredEvent::new(0x18, Event::Prop(OpClass::ImmToMem { dst: MemRef::word(0x9000) })),
+            DeliveredEvent::new(
+                0x1c,
+                Event::Prop(OpClass::MemToReg { src: MemRef::word(0x9004), rd: Reg::Eax }),
+            ),
+            DeliveredEvent::new(
+                0x20,
+                Event::Check {
+                    kind: CheckKind::CondBranchInput,
+                    source: MetaSource::Reg(Reg::Eax),
+                },
+            ),
+            DeliveredEvent::new(0x24, Event::MemRead(MemRef::word(0xdead_0000))),
+            DeliveredEvent::new(0x28, Event::Annot(Annotation::Free { base: 0x9000 })),
+        ];
+        let mut a = MemCheck::new(&AccelConfig::baseline());
+        let mut b = MemCheck::new(&AccelConfig::baseline());
+        let mut c1 = CostSink::new();
+        let mut c2 = CostSink::new();
+        a.handle_batch(&evs, &mut c1);
+        for ev in &evs {
+            b.handle(ev, &mut c2);
+        }
+        assert_eq!(a.violations(), b.violations());
+        assert_eq!(c1.instrs(), c2.instrs());
+        assert_eq!(c1.mem_vas(), c2.mem_vas());
     }
 
     #[test]

@@ -10,15 +10,16 @@
 //! would have shown it. Epoch results merge back in epoch order, yielding a
 //! violation sequence identical to sequential monitoring.
 //!
-//! This split is sound only when checking handlers never write metadata —
-//! then eliding checks from the spine cannot perturb the shadow-state
-//! evolution. That is the runtime's per-lifeguard capability mask (the
-//! analogue of the paper's Figure 2 applicability matrix,
-//! [`LifeguardKind::epoch_support`]): AddrCheck and both TaintChecks
-//! qualify; MemCheck (loads set initialized bits) and LockSet (every access
-//! refines a candidate lockset) do not and **fall back to sequential
-//! consistency** — the whole trace runs as one sequential pass on the
-//! caller's thread (not a worker, whose tenant sessions it would starve).
+//! The spine may elide an event only when its handler is metadata-pure —
+//! then skipping it cannot perturb the shadow-state evolution. That is the
+//! runtime's per-lifeguard, per-event capability mask (the analogue of the
+//! paper's Figure 2 applicability matrix,
+//! [`LifeguardKind::spine_elides`]): AddrCheck and both TaintChecks elide
+//! every check; MemCheck elides only its accessibility checks (its `Check`
+//! handlers write cascade-suppression state and stay on the spine); LockSet
+//! elides nothing — its spine runs the full stream, and the parallelism it
+//! gains is the overlap between consecutive epochs' check replays. Every
+//! lifeguard takes the parallel path; there is no sequential fallback.
 //!
 //! The per-core accelerators (IT, IF) are hardware units whose state spans
 //! epoch boundaries on a single consumer core; the epoch-parallel software
@@ -79,7 +80,7 @@ impl EpochConfig {
         }
     }
 
-    fn initial_budget(&self) -> usize {
+    pub(crate) fn initial_budget(&self) -> usize {
         match *self {
             EpochConfig::Fixed(n) => n,
             EpochConfig::Adaptive { initial, min, max, .. } => initial.clamp(min, max),
@@ -88,12 +89,24 @@ impl EpochConfig {
 
     /// The budget following an epoch that held `records` records and
     /// delivered `checks` check events.
-    fn next_budget(&self, records: usize, checks: u64) -> usize {
+    pub(crate) fn next_budget(&self, records: usize, checks: u64) -> usize {
         match *self {
             EpochConfig::Fixed(n) => n,
             EpochConfig::Adaptive { min, max, target_checks, .. } => {
                 adaptive_next_budget(records, checks, target_checks, min, max)
             }
+        }
+    }
+
+    /// Re-clamps a budget carried over from an earlier pipelined stretch.
+    /// The pool keeps a session's last adaptive budget across pipeline
+    /// exit/re-entry so a hot phase resumes where it left off, but the
+    /// carried value must still honor the configuration's `min`/`max` (the
+    /// config may not be the one that produced it).
+    pub(crate) fn clamp_budget(&self, budget: usize) -> usize {
+        match *self {
+            EpochConfig::Fixed(n) => n,
+            EpochConfig::Adaptive { min, max, .. } => budget.clamp(min, max),
         }
     }
 }
@@ -120,14 +133,12 @@ pub fn adaptive_next_budget(
     next.clamp(min, max)
 }
 
-/// Outcome of an epoch-parallel (or fallen-back sequential) run.
+/// Outcome of an epoch-parallel run.
 #[derive(Debug)]
 pub struct EpochReport {
     /// Which lifeguard ran.
     pub lifeguard: LifeguardKind,
-    /// Whether the parallel path ran (`false`: sequential fallback).
-    pub parallel: bool,
-    /// Number of epochs executed (1 for the fallback).
+    /// Number of epochs executed.
     pub epochs: usize,
     /// Records monitored.
     pub records: u64,
@@ -137,14 +148,15 @@ pub struct EpochReport {
     pub violations: Vec<Violation>,
 }
 
-/// Is `ev` a checking event (metadata-pure for epoch-capable lifeguards)?
-fn is_check_event(ev: &Event) -> bool {
+/// Is `ev` a checking event? This classification feeds the adaptive epoch
+/// sizing (check density) for every lifeguard; whether the spine may *skip*
+/// the event is the separate, per-lifeguard [`LifeguardKind::spine_elides`].
+pub(crate) fn is_check_event(ev: &Event) -> bool {
     matches!(ev, Event::Check { .. } | Event::MemRead(_) | Event::MemWrite(_))
 }
 
 /// Runs `trace` under `cfg.lifeguard`, checking epochs of `epoch_records`
-/// records in parallel on `pool`'s workers when the lifeguard's capability
-/// row permits, and sequentially on the calling thread otherwise.
+/// records in parallel on `pool`'s workers.
 ///
 /// The session's accelerator request is masked down to translation-only
 /// (no IT/IF) in both paths, so parallel and fallback results are directly
@@ -177,44 +189,7 @@ pub fn monitor_epoch_parallel_with(
     let accel =
         AccelConfig { it: None, if_geometry: None, ..cfg.lifeguard.mask_config(&cfg.accel) };
     let cfg = SessionConfig { accel, ..cfg.clone() };
-    if cfg.lifeguard.epoch_support().parallel_checks {
-        run_parallel(pool, &cfg, trace, epoch)
-    } else {
-        run_fallback(&cfg, trace)
-    }
-}
-
-/// Sequential-consistency fallback: one sequential monitoring pass on the
-/// batch-grain hot path.
-fn run_fallback(cfg: &SessionConfig, trace: impl IntoIterator<Item = TraceEntry>) -> EpochReport {
-    // Runs on the caller's thread (which blocks for the result anyway)
-    // rather than a pool worker: an unbounded sequential job on a worker
-    // would starve every tenant session resident there.
-    let mut lifeguard = cfg.build_lifeguard();
-    let mut pipeline = DispatchPipeline::new(lifeguard.etct(), &cfg.accel);
-    let mut cost = CostSink::new();
-    let mut events = EventBuf::new();
-    let mut buf = TraceBatch::with_capacity(crate::pool::INTERNAL_BATCH_RECORDS);
-    let mut records = 0u64;
-    for entry in trace {
-        buf.push(&entry);
-        records += 1;
-        if buf.len() == crate::pool::INTERNAL_BATCH_RECORDS {
-            crate::pool::pump_records(&mut pipeline, &mut lifeguard, &mut cost, &mut events, &buf);
-            buf.clear();
-        }
-    }
-    if !buf.is_empty() {
-        crate::pool::pump_records(&mut pipeline, &mut lifeguard, &mut cost, &mut events, &buf);
-    }
-    EpochReport {
-        lifeguard: cfg.lifeguard,
-        parallel: false,
-        epochs: 1,
-        records,
-        delivered: pipeline.stats().delivered,
-        violations: lifeguard.take_violations(),
-    }
+    run_parallel(pool, &cfg, trace, epoch)
 }
 
 fn run_parallel(
@@ -254,7 +229,8 @@ fn run_parallel(
         let mut r: crate::pool::EpochResult = rx
             .recv_timeout(std::time::Duration::from_secs(300))
             .expect("an epoch worker failed or stalled (see stderr); aborting merge");
-        recycled.push(std::mem::take(&mut r.records));
+        assert!(!r.failed, "epoch {} job panicked; the violation set would be incomplete", r.index);
+        recycled.append(&mut r.records);
         results.push(r);
     };
 
@@ -306,7 +282,7 @@ fn run_parallel(
     );
     let delivered = results.iter().map(|r| r.delivered).sum();
     let violations = results.into_iter().flat_map(|r| r.violations).collect();
-    EpochReport { lifeguard: cfg.lifeguard, parallel: true, epochs, records, delivered, violations }
+    EpochReport { lifeguard: cfg.lifeguard, epochs, records, delivered, violations }
 }
 
 /// The sequential update-only spine: a lifeguard advanced over propagation
@@ -340,22 +316,31 @@ fn dispatch_epoch(
     // it.
     let snapshot = spine.lifeguard.clone();
     let pipeline = DispatchPipeline::new(snapshot.etct(), &cfg.accel);
-    // Update-only spine advance: checks are elided (they are metadata-pure
-    // for epoch-capable lifeguards); the epoch job replays them against the
-    // snapshot instead.
+    // Spine advance with per-lifeguard elision: events whose handlers are
+    // metadata-pure for this lifeguard are skipped here — the epoch job
+    // replays them against the snapshot instead.
     spine.pipeline.dispatch_batch(buf, &mut spine.events);
     spine.updates.clear();
-    spine.updates.extend(spine.events.events().iter().filter(|d| !is_check_event(&d.event)));
-    let checks = (spine.events.len() - spine.updates.len()) as u64;
+    spine
+        .updates
+        .extend(spine.events.events().iter().filter(|d| !cfg.lifeguard.spine_elides(&d.event)));
+    let checks = spine.events.events().iter().filter(|d| is_check_event(&d.event)).count() as u64;
     spine.cost.clear();
     spine.lifeguard.handle_batch(&spine.updates, &mut spine.cost);
     // Spine-side violations are duplicates of what the epoch job will
-    // report with exact state (annotation handlers may report); discard so
+    // report with exact state (non-elided handlers may report); discard so
     // snapshots always start with an empty violation list.
     let _ = spine.lifeguard.take_violations();
     empty.clear();
     let records = std::mem::replace(buf, empty);
-    pool.submit_epoch(EpochJob { index, lifeguard: snapshot, pipeline, records, done: tx.clone() });
+    pool.submit_epoch(EpochJob {
+        index,
+        lifeguard: snapshot,
+        pipeline,
+        records: vec![records],
+        done: tx.clone(),
+        pipelined: None,
+    });
     checks
 }
 
@@ -403,12 +388,16 @@ mod tests {
         assert_eq!(EpochConfig::default(), EpochConfig::Fixed(DEFAULT_EPOCH_RECORDS));
     }
 
+    /// Satellite of the pipelining work: a budget carried across a
+    /// pipeline exit/re-entry must be re-clamped to the (possibly
+    /// different) configuration's bounds before the first epoch runs.
     #[test]
-    fn capability_mask_matches_metadata_discipline() {
-        assert!(LifeguardKind::AddrCheck.epoch_support().parallel_checks);
-        assert!(LifeguardKind::TaintCheck.epoch_support().parallel_checks);
-        assert!(LifeguardKind::TaintCheckDetailed.epoch_support().parallel_checks);
-        assert!(!LifeguardKind::MemCheck.epoch_support().parallel_checks);
-        assert!(!LifeguardKind::LockSet.epoch_support().parallel_checks);
+    fn carried_budgets_are_reclamped_on_pipeline_reentry() {
+        let adaptive =
+            EpochConfig::Adaptive { initial: 1_024, min: 256, max: 16_384, target_checks: 2_048 };
+        assert_eq!(adaptive.clamp_budget(64), 256, "below min clamps up");
+        assert_eq!(adaptive.clamp_budget(1_000_000), 16_384, "above max clamps down");
+        assert_eq!(adaptive.clamp_budget(4_096), 4_096, "in-range budgets carry over");
+        assert_eq!(EpochConfig::Fixed(4_096).clamp_budget(9), 4_096, "fixed ignores carryover");
     }
 }

@@ -31,13 +31,21 @@
 //!   the pool's metrics registry ([`MonitorPool::metrics`]): per-lifeguard
 //!   dispatch-latency histograms, channel queue-latency/occupancy, steal
 //!   and park counters, a lifecycle-event ring, all scrapeable live via
-//!   [`MonitorPool::serve_stats`].
+//!   [`MonitorPool::serve_stats`]. A single hot session no longer caps
+//!   out at one worker's throughput: when its channel stays
+//!   byte-saturated the pool switches it to **intra-session epoch
+//!   pipelining** ([`pool::PipelineMode`]) — the owning worker runs an
+//!   update-only spine (per-lifeguard check elision,
+//!   [`igm_lifeguards::LifeguardKind::spine_elides`]) and streams
+//!   snapshot-check epoch jobs through the shared injector, emitting
+//!   violations in epoch order so the observable sequence is identical
+//!   to sequential checking.
 //! * [`epoch`] — [`monitor_epoch_parallel`]: epoch-chunked parallel checking
-//!   of one trace against snapshotted shadow state, with a
-//!   sequential-consistency fallback for lifeguards whose metadata does not
-//!   commute with check elision (MemCheck, LockSet) — the runtime analogue
-//!   of the paper's per-lifeguard Figure 2 capability masking
-//!   ([`igm_lifeguards::LifeguardKind::epoch_support`]).
+//!   of one trace against snapshotted shadow state. Every lifeguard runs
+//!   parallel: epoch jobs replay the *full* event stream from the epoch
+//!   boundary snapshot, so even metadata that does not commute with check
+//!   elision (MemCheck's cascade suppression, LockSet's lockset
+//!   refinement) evolves exactly as it would sequentially.
 //!
 //! # Example: two tenants, one pool
 //!
@@ -75,7 +83,7 @@ pub use epoch::{
     EpochReport, DEFAULT_EPOCH_RECORDS,
 };
 pub use pool::{
-    MonitorPool, PoolConfig, PoolViolation, SessionConfig, SessionHandle, SessionId,
+    MonitorPool, PipelineMode, PoolConfig, PoolViolation, SessionConfig, SessionHandle, SessionId,
     ViolationStream,
 };
 pub use spsc::{log_channel, ChannelStatsSnapshot, LogConsumer, LogProducer, SendError};

@@ -395,6 +395,19 @@ impl LogConsumer {
         self.shared.counters.depth_batches.load(Ordering::Relaxed)
     }
 
+    /// Live compressed bytes buffered, from the lock-free counter mirror
+    /// (same staleness caveat as [`LogConsumer::pending_batches`]). With
+    /// [`LogConsumer::capacity_bytes`] this is the occupancy signal the
+    /// pool's hot-session detector reads per pump turn.
+    pub fn used_bytes(&self) -> u32 {
+        self.shared.counters.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The channel's configured capacity in compressed-record bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.shared.capacity_bytes
+    }
+
     /// Current counters.
     pub fn stats(&self) -> ChannelStatsSnapshot {
         self.shared.snapshot()

@@ -12,10 +12,11 @@ use igm_lifeguards::{CostSink, Lifeguard, LifeguardKind, Violation};
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
 use proptest::prelude::*;
 
-/// The lifeguards whose sessions the scheduler may freely migrate and check
-/// in parallel elsewhere (`epoch_support().parallel_checks`).
+/// Every lifeguard: epoch jobs replay the full event stream from the
+/// boundary snapshot, so all five check in parallel with sequential
+/// results.
 fn epoch_supporting() -> impl Iterator<Item = LifeguardKind> {
-    LifeguardKind::ALL.into_iter().filter(|k| k.epoch_support().parallel_checks)
+    LifeguardKind::ALL.into_iter()
 }
 
 /// A trace for `kind` with violations planted every `stride` records at
@@ -42,6 +43,14 @@ fn planted_trace(kind: LifeguardKind, n: usize, stride: usize, seed: u32) -> Vec
                         pc + 1,
                         OpClass::MemToReg { src: MemRef::word(0xdead_0000 + 8 * i), rd: Reg::Edx },
                     ));
+                }
+                LifeguardKind::LockSet => {
+                    // Two threads write the same fresh word, no lock held.
+                    let w = 0xb000_0000 + 4 * i;
+                    trace.push(TraceEntry::op(pc + 1, OpClass::ImmToMem { dst: MemRef::word(w) }));
+                    trace.push(TraceEntry::annot(pc + 2, Annotation::ThreadSwitch { tid: 1 }));
+                    trace.push(TraceEntry::op(pc + 3, OpClass::ImmToMem { dst: MemRef::word(w) }));
+                    trace.push(TraceEntry::annot(pc + 4, Annotation::ThreadSwitch { tid: 0 }));
                 }
                 _ => {
                     // Jump through untrusted input.

@@ -186,18 +186,112 @@ impl TwoLevelShadow {
         *b = (*b & !(mask << shift)) | ((v & mask) << shift);
     }
 
+    /// Whether the packed fast paths apply: a bit-packed layout and a range
+    /// that does not wrap the 32-bit application space (wrap-around keeps
+    /// the per-byte loop so its modular semantics are preserved).
+    fn packed_range_fast(&self, start: u32, len: u32) -> bool {
+        matches!(self.layout.bits_per_app_byte(), 1 | 2 | 4 | 8)
+            && start.checked_add(len - 1).is_some()
+    }
+
     /// Sets the packed metadata of every application byte in
     /// `[start, start+len)` to `v`.
     pub fn packed_set_range(&mut self, start: u32, len: u32, v: u8) {
-        for i in 0..len {
-            self.packed_set(start.wrapping_add(i), v);
+        self.packed_update_range(start, len, v, 0xff);
+    }
+
+    /// Applies `meta = (meta & !clear) | set` to the packed metadata of
+    /// every application byte in `[start, start+len)`. `set` and `clear`
+    /// are packed-value masks (only the low `bits_per_app_byte` bits are
+    /// used); bits in `set` are always written, so `packed_set_range` is
+    /// the `clear = full mask` special case.
+    pub fn packed_update_range(&mut self, start: u32, len: u32, set: u8, clear: u8) {
+        if len == 0 {
+            return;
+        }
+        let bits = self.layout.bits_per_app_byte();
+        if !self.packed_range_fast(start, len) {
+            let mask = ((1u16 << bits.min(8)) - 1) as u8;
+            for i in 0..len {
+                let a = start.wrapping_add(i);
+                let old = self.packed_get(a);
+                self.packed_set(a, (old & !clear & mask) | (set & mask));
+            }
+            return;
+        }
+        // The packed metadata of a chunk is one contiguous bitstring:
+        // the app byte at chunk-relative offset `o` owns bits
+        // `[o*bits, (o+1)*bits)` of `chunk.data`, so a range is a head
+        // partial byte, a run of fill bytes, and a tail partial byte.
+        let set_fill = fill_byte(set, bits);
+        let clear_fill = fill_byte(clear, bits) | set_fill;
+        let span = self.layout.chunk_app_span();
+        let bits = bits as u64;
+        let mut a = start as u64;
+        let end = start as u64 + len as u64;
+        while a < end {
+            let chunk_start = a & !(span - 1);
+            let seg_end = (chunk_start + span).min(end);
+            let bit0 = (a - chunk_start) * bits;
+            let bit1 = (seg_end - chunk_start) * bits;
+            let chunk = self.ensure_chunk(a as u32);
+            apply_bits(&mut chunk.data, bit0, bit1, set_fill, clear_fill);
+            a = seg_end;
         }
     }
 
     /// Whether every application byte in `[start, start+len)` has packed
     /// metadata equal to `v`.
     pub fn packed_all(&self, start: u32, len: u32, v: u8) -> bool {
-        (0..len).all(|i| self.packed_get(start.wrapping_add(i)) == v)
+        if len == 0 {
+            return true;
+        }
+        if !self.packed_range_fast(start, len) {
+            return (0..len).all(|i| self.packed_get(start.wrapping_add(i)) == v);
+        }
+        let bits = self.layout.bits_per_app_byte();
+        self.packed_check(start, len, fill_byte(v, bits), 0xff)
+    }
+
+    /// Whether every application byte in `[start, start+len)` has all the
+    /// bits of `bit` set in its packed metadata (a bit-test, not an
+    /// equality: `meta & bit == bit` per application byte).
+    pub fn packed_test_all(&self, start: u32, len: u32, bit: u8) -> bool {
+        if len == 0 || bit == 0 {
+            return true;
+        }
+        let bits = self.layout.bits_per_app_byte();
+        if !self.packed_range_fast(start, len) {
+            return (0..len).all(|i| self.packed_get(start.wrapping_add(i)) & bit == bit);
+        }
+        self.packed_check(start, len, 0xff, fill_byte(bit, bits))
+    }
+
+    /// Shared masked-compare walk: every application byte in the range must
+    /// satisfy `(meta_byte ^ want) & field == 0` on its packed bits.
+    fn packed_check(&self, start: u32, len: u32, want: u8, field: u8) -> bool {
+        let span = self.layout.chunk_app_span();
+        let bits = self.layout.bits_per_app_byte() as u64;
+        let mut a = start as u64;
+        let end = start as u64 + len as u64;
+        while a < end {
+            let chunk_start = a & !(span - 1);
+            let seg_end = (chunk_start + span).min(end);
+            let bit0 = (a - chunk_start) * bits;
+            let bit1 = (seg_end - chunk_start) * bits;
+            let ok = match &self.chunks[self.layout.l1_index(a as u32) as usize] {
+                Some(c) => check_bits(&c.data, bit0, bit1, want, field),
+                // An absent chunk reads as the default byte everywhere, so
+                // one masked compare against the union of the in-byte bit
+                // positions the range uses decides the whole segment.
+                None => (self.default_byte ^ want) & field & union_mask(bit0, bit1) == 0,
+            };
+            if !ok {
+                return false;
+            }
+            a = seg_end;
+        }
+        true
     }
 
     /// Whether any application byte in `[start, start+len)` has packed
@@ -216,6 +310,107 @@ impl TwoLevelShadow {
     pub fn metadata_bytes(&self) -> u64 {
         self.allocated_chunks() as u64 * self.layout.chunk_bytes() as u64
     }
+}
+
+/// Repeats a `bits`-wide packed value across a full metadata byte.
+fn fill_byte(v: u8, bits: u32) -> u8 {
+    let mask = ((1u16 << bits) - 1) as u8;
+    let mut fill = 0u8;
+    let mut s = 0;
+    while s < 8 {
+        fill |= (v & mask) << s;
+        s += bits;
+    }
+    fill
+}
+
+/// `(1 << n) - 1` for `n` in `0..=8`.
+#[inline]
+fn low_mask(n: u32) -> u8 {
+    ((1u16 << n) - 1) as u8
+}
+
+/// Writes `b = (b & !clear) | set` to bit range `[bit0, bit1)` of `data`,
+/// where `set`/`clear` are full-byte fill patterns and the range endpoints
+/// are multiples of the packed field width (so field boundaries never
+/// straddle the head/tail masks).
+fn apply_bits(data: &mut [u8], bit0: u64, bit1: u64, set: u8, clear: u8) {
+    let mut byte0 = (bit0 / 8) as usize;
+    let byte1 = (bit1 / 8) as usize;
+    let head_shift = (bit0 % 8) as u32;
+    let tail_bits = (bit1 % 8) as u32;
+    if byte0 == byte1 {
+        let m = low_mask(tail_bits - head_shift) << head_shift;
+        data[byte0] = (data[byte0] & !(clear & m)) | (set & m);
+        return;
+    }
+    if head_shift != 0 {
+        let m = 0xffu8 << head_shift;
+        data[byte0] = (data[byte0] & !(clear & m)) | (set & m);
+        byte0 += 1;
+    }
+    if clear == 0xff {
+        data[byte0..byte1].fill(set);
+    } else {
+        for b in &mut data[byte0..byte1] {
+            *b = (*b & !clear) | set;
+        }
+    }
+    if tail_bits != 0 {
+        let m = low_mask(tail_bits);
+        data[byte1] = (data[byte1] & !(clear & m)) | (set & m);
+    }
+}
+
+/// Whether every byte of bit range `[bit0, bit1)` satisfies
+/// `(b ^ want) & field == 0` on the range's bits.
+fn check_bits(data: &[u8], bit0: u64, bit1: u64, want: u8, field: u8) -> bool {
+    let mut byte0 = (bit0 / 8) as usize;
+    let byte1 = (bit1 / 8) as usize;
+    let head_shift = (bit0 % 8) as u32;
+    let tail_bits = (bit1 % 8) as u32;
+    if byte0 == byte1 {
+        let m = low_mask(tail_bits - head_shift) << head_shift;
+        return (data[byte0] ^ want) & field & m == 0;
+    }
+    if head_shift != 0 {
+        if (data[byte0] ^ want) & field & (0xffu8 << head_shift) != 0 {
+            return false;
+        }
+        byte0 += 1;
+    }
+    let mid_ok = if field == 0xff {
+        data[byte0..byte1].iter().all(|&b| b == want)
+    } else {
+        data[byte0..byte1].iter().all(|&b| (b ^ want) & field == 0)
+    };
+    if !mid_ok {
+        return false;
+    }
+    tail_bits == 0 || (data[byte1] ^ want) & field & low_mask(tail_bits) == 0
+}
+
+/// Union of the in-byte bit positions used by bit range `[bit0, bit1)`.
+fn union_mask(bit0: u64, bit1: u64) -> u8 {
+    let mut byte0 = (bit0 / 8) as usize;
+    let byte1 = (bit1 / 8) as usize;
+    let head_shift = (bit0 % 8) as u32;
+    let tail_bits = (bit1 % 8) as u32;
+    if byte0 == byte1 {
+        return low_mask(tail_bits - head_shift) << head_shift;
+    }
+    let mut m = 0u8;
+    if head_shift != 0 {
+        m |= 0xffu8 << head_shift;
+        byte0 += 1;
+    }
+    if byte1 > byte0 {
+        m |= 0xff;
+    }
+    if tail_bits != 0 {
+        m |= low_mask(tail_bits);
+    }
+    m
 }
 
 #[cfg(test)]
@@ -323,6 +518,112 @@ mod tests {
         assert_eq!(s.packed_get(0x9002), 0);
         assert_eq!(s.packed_get(0x9004), 0);
         assert_eq!(s.elem(0x9000).unwrap()[0], 0b0000_1000);
+    }
+
+    /// Reference implementations: the per-byte loops the fast range ops
+    /// replaced.
+    fn slow_all(s: &TwoLevelShadow, start: u32, len: u32, v: u8) -> bool {
+        (0..len).all(|i| s.packed_get(start.wrapping_add(i)) == v)
+    }
+    fn slow_test_all(s: &TwoLevelShadow, start: u32, len: u32, bit: u8) -> bool {
+        (0..len).all(|i| s.packed_get(start.wrapping_add(i)) & bit == bit)
+    }
+
+    #[test]
+    fn fast_range_ops_match_per_byte_loops() {
+        // Small-span layouts (64 KiB of app space per chunk) so the slow
+        // reference loops stay cheap: 1-bit and 2-bit packed fields.
+        for app_bytes_per_elem in [8u32, 4] {
+            let layout = ShadowLayout::for_coverage(16, app_bytes_per_elem, ElemSize::B1).unwrap();
+            let mask = ((1u16 << layout.bits_per_app_byte()) - 1) as u8;
+            let mut fast = TwoLevelShadow::new(layout, 0);
+            let mut slow = TwoLevelShadow::new(layout, 0);
+            // A messy pile of ranges: chunk-crossing, sub-byte, byte-aligned.
+            let span = layout.chunk_app_span() as u32;
+            let ranges = [
+                (0x9000u32, 3u32),
+                (0x9001, 7),
+                (0x9000, 64),
+                (span - 5, 11),    // crosses the first chunk boundary
+                (2 * span - 3, 7), // crosses the second
+                (0x9003, 1),
+            ];
+            for (i, &(start, len)) in ranges.iter().enumerate() {
+                let v = (i as u8 + 1) & mask;
+                fast.packed_set_range(start, len, v);
+                for j in 0..len {
+                    slow.packed_set(start.wrapping_add(j), v);
+                }
+                for &(qs, ql) in &ranges {
+                    for q in 0..=mask {
+                        assert_eq!(
+                            fast.packed_all(qs, ql, q),
+                            slow_all(&slow, qs, ql, q),
+                            "packed_all({qs:#x}, {ql}, {q}) diverged"
+                        );
+                        assert_eq!(
+                            fast.packed_test_all(qs, ql, q),
+                            slow_test_all(&slow, qs, ql, q),
+                            "packed_test_all({qs:#x}, {ql}, {q}) diverged"
+                        );
+                    }
+                }
+            }
+            // Byte-for-byte identical shadow state.
+            for &(start, len) in &ranges {
+                for j in 0..len {
+                    let a = start.wrapping_add(j);
+                    assert_eq!(fast.packed_get(a), slow.packed_get(a));
+                }
+            }
+            // A range covering several whole chunks: interior fully set,
+            // both exclusive boundaries untouched.
+            let (base, big) = (span / 2 + 1, 3 * span + 13);
+            fast.packed_set_range(base, big, 1);
+            assert!(fast.packed_all(base, big, 1));
+            assert_eq!(fast.packed_get(base.wrapping_sub(1)), 0);
+            assert_eq!(fast.packed_get(base + big), 0);
+        }
+    }
+
+    #[test]
+    fn packed_update_range_sets_and_clears_fields() {
+        // MemCheck-style 2-bit fields: bit0 = allocated, bit1 = uninit.
+        let layout = ShadowLayout::for_coverage(12, 4, ElemSize::B1).unwrap();
+        let mut s = TwoLevelShadow::new(layout, 0);
+        s.packed_update_range(0x9000, 40, 0b01, 0b10); // allocate, mark init-clear
+        assert!(s.packed_all(0x9000, 40, 0b01));
+        s.packed_update_range(0x9008, 8, 0b10, 0); // taint the middle as uninit
+        assert!(s.packed_all(0x9008, 8, 0b11));
+        assert!(s.packed_all(0x9000, 8, 0b01), "head untouched");
+        assert!(s.packed_all(0x9010, 24, 0b01), "tail untouched");
+        s.packed_update_range(0x9000, 40, 0, 0b11); // free everything
+        assert!(s.packed_all(0x9000, 40, 0));
+    }
+
+    #[test]
+    fn fast_ranges_against_absent_chunks_honor_default() {
+        let layout = ShadowLayout::for_coverage(12, 8, ElemSize::B1).unwrap();
+        let s = TwoLevelShadow::new(layout, 0xff);
+        assert!(s.packed_all(0x5000_0000, 4096, 1));
+        assert!(s.packed_test_all(0x5000_0000, 4096, 1));
+        assert!(!s.packed_all(0x5000_0000, 4096, 0));
+        let z = TwoLevelShadow::new(layout, 0);
+        assert!(!z.packed_test_all(0x5000_0000, 3, 1));
+        assert_eq!(z.allocated_chunks(), 0, "checks never allocate");
+    }
+
+    #[test]
+    fn wrapping_ranges_fall_back_to_modular_semantics() {
+        let layout = ShadowLayout::for_coverage(12, 8, ElemSize::B1).unwrap();
+        let mut s = TwoLevelShadow::new(layout, 0);
+        // A range wrapping past u32::MAX touches both address-space ends.
+        s.packed_set_range(u32::MAX - 2, 6, 1);
+        assert_eq!(s.packed_get(u32::MAX), 1);
+        assert_eq!(s.packed_get(2), 1);
+        assert_eq!(s.packed_get(3), 0);
+        assert!(s.packed_all(u32::MAX - 2, 6, 1));
+        assert!(s.packed_test_all(u32::MAX - 2, 6, 1));
     }
 
     #[test]

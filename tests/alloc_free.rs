@@ -12,6 +12,7 @@ use igm::accel::{AccelConfig, DispatchPipeline, ItConfig};
 use igm::isa::{MemRef, OpClass, Reg, TraceEntry};
 use igm::lba::{EventBuf, TraceBatch};
 use igm::lifeguards::{CostSink, Lifeguard, LifeguardKind};
+use igm::runtime::{EpochConfig, MonitorPool, PipelineMode, PoolConfig, SessionConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -155,6 +156,54 @@ fn steady_state_batch_build_and_aos_dispatch_allocate_nothing() {
     lifeguard.handle_batch(events.events(), &mut cost);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "batch refill + AoS dispatch must be allocation-free");
+}
+
+/// Intra-session epoch pipelining keeps the arena discipline end to end:
+/// every `TraceBatch` a pipelined epoch job drains rides back through its
+/// `EpochResult` into the session channel's spare pool, so the producer
+/// refills recycled arenas instead of building fresh ones. A threaded
+/// pool run cannot be literally zero-alloc (epoch jobs, mpsc nodes and
+/// violation vectors allocate per *epoch*), but it must amortize: after
+/// a warm-up stretch, streaming another `N` records through the
+/// always-pipelined path has to cost well under one allocation per
+/// record — without recycling, rebuilding each batch's column arenas
+/// alone would blow through that bound.
+#[test]
+fn pipelined_epochs_recycle_batch_arenas() {
+    let _serial = SERIAL.lock().unwrap();
+    let entries = steady_batch(256);
+    let pool = MonitorPool::new(PoolConfig {
+        workers: 2,
+        pipeline: PipelineMode::Always,
+        epoch: EpochConfig::Fixed(1_024),
+        ..PoolConfig::default()
+    });
+    let session = pool.open_session(
+        SessionConfig::new("hot", LifeguardKind::AddrCheck).premark(&[(HEAP, 0x1000)]),
+    );
+
+    // Warm-up: circulate enough arenas for the channel, the epoch
+    // accumulator and the in-flight jobs, and settle column capacities.
+    for _ in 0..64 {
+        session.send_batch(entries.clone()).unwrap();
+    }
+    let chunks = 256u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..chunks {
+        session.send_batch(entries.clone()).unwrap();
+    }
+    let report = session.finish();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(report.violations.is_empty(), "steady batch must be clean");
+    assert!(pool.stats().epoch_jobs > 0, "the pipelined path must actually ship epochs");
+    let allocs = after - before;
+    let records = chunks * entries.len() as u64;
+    assert!(
+        allocs < records / 8,
+        "pipelined steady state allocated {allocs} times for {records} records — \
+         drained arenas are not being recycled"
+    );
+    pool.shutdown();
 }
 
 /// The observability layer keeps the same discipline: a dispatch pass
