@@ -873,13 +873,235 @@ fn main() {
         ));
     }
 
+    // ------------------------------------------------------------------
+    // Trace lake: posting-index overhead, indexed-encode cost, and the
+    // bitmap query planner vs a full-replay filter at three
+    // selectivities. The SPEC-like tenants' op/page streams are
+    // randomized, so their posting lists are entropy-bound (~1 B/record,
+    // reported for transparency); the loop tenant is the structured case
+    // the sidecar containers exist for — strided runs and periodic
+    // op patterns — where the index stays under 0.3 B/record and the
+    // planner's directory-level frame skips buy the ≥10× speedup at
+    // ≤1% selectivity. Both bounds are asserted.
+    // ------------------------------------------------------------------
+    use igm_lake::query::{execute, matches_entry};
+    use igm_lake::{LakeHits, LakeQuery};
+    use igm_trace::Dim;
+
+    let n_lake = n.max(120_000);
+    let loop_entries: Vec<igm_isa::TraceEntry> = (0..n_lake)
+        .map(|i| {
+            // A 16-instruction loop body streaming sequentially through
+            // memory, one store per four ops: periodic in pc and op
+            // class, strided in address — the shapes the run/pxor
+            // posting containers compress to near nothing.
+            let pc = 0x4000_0000 + 4 * ((i % 16) as u32);
+            let addr = 0x1000_0000u32.wrapping_add((4 * i) as u32);
+            if i % 4 == 3 {
+                igm_isa::TraceEntry::op(
+                    pc,
+                    igm_isa::OpClass::RegToMem {
+                        rs: igm_isa::Reg::Eax,
+                        dst: igm_isa::MemRef::word(addr),
+                    },
+                )
+            } else {
+                igm_isa::TraceEntry::op(
+                    pc,
+                    igm_isa::OpClass::MemToReg {
+                        src: igm_isa::MemRef::word(addr),
+                        rd: igm_isa::Reg::Eax,
+                    },
+                )
+            }
+        })
+        .collect();
+    let chunk_batches = |entries: &[igm_isa::TraceEntry]| {
+        let mut batches: Vec<TraceBatch> = Vec::new();
+        let mut chunker = chunks(entries.iter().copied(), 16 * 1024);
+        let mut b = TraceBatch::new();
+        while chunker.next_into_batch(&mut b) {
+            batches.push(std::mem::take(&mut b));
+        }
+        batches
+    };
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[(v.len() - 1) / 2]
+    };
+
+    println!("\ntrace lake: posting-index density and indexed-encode cost ({n_lake} records)\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>10}",
+        "tenant", "index B/rec", "plain Mrec/s", "indexed Mrec/s", "cost"
+    );
+    let mut lake_density_entries = Vec::new();
+    let mut loop_index = None;
+    let mut loop_encoded = Vec::new();
+    let lake_tenants: Vec<(&str, Vec<igm_isa::TraceEntry>)> = vec![
+        ("gzip", Benchmark::Gzip.trace(n_lake).collect()),
+        ("mcf", Benchmark::Mcf.trace(n_lake).collect()),
+        ("vpr", Benchmark::Vpr.trace(n_lake).collect()),
+        ("loop", loop_entries),
+    ];
+    for (name, entries) in &lake_tenants {
+        let batches = chunk_batches(entries);
+        let mut timed_encode = |indexed: bool| {
+            median(
+                (0..reps)
+                    .map(|_| {
+                        let start = Instant::now();
+                        let mut w = if indexed {
+                            TraceWriter::with_index(Vec::new()).unwrap()
+                        } else {
+                            TraceWriter::new(Vec::new()).unwrap()
+                        };
+                        for batch in &batches {
+                            w.write_chunk_batch(batch).unwrap();
+                        }
+                        let index = w.take_index();
+                        let bytes = w.finish().unwrap();
+                        std::hint::black_box(&bytes);
+                        let rate = entries.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+                        if *name == "loop" && indexed {
+                            loop_index = index;
+                            loop_encoded = bytes;
+                        }
+                        rate
+                    })
+                    .collect(),
+            )
+        };
+        let plain = timed_encode(false);
+        let indexed = timed_encode(true);
+        let mut w = TraceWriter::with_index(Vec::new()).unwrap();
+        for batch in &batches {
+            w.write_chunk_batch(batch).unwrap();
+        }
+        let index = w.take_index().unwrap();
+        let bpr = index.posting_bytes() as f64 / index.total_records() as f64;
+        let cost_pct = (plain - indexed) / plain * 100.0;
+        println!("{name:<10} {bpr:>12.3} {plain:>14.1} {indexed:>14.1} {cost_pct:>9.1}%");
+        if *name == "loop" {
+            assert!(
+                bpr <= 0.3,
+                "loop tenant: structured postings must stay under 0.3 B/record, got {bpr:.3}"
+            );
+        }
+        lake_density_entries.push(format!(
+            "      {{\"tenant\": \"{name}\", \"index_bytes_per_record\": {bpr:.4}, \
+             \"plain_encode_mrecs_per_sec\": {plain:.2}, \
+             \"indexed_encode_mrecs_per_sec\": {indexed:.2}, \
+             \"indexing_cost_pct\": {cost_pct:.2}}}"
+        ));
+    }
+    let loop_index = loop_index.expect("timed loop encode ran at least once");
+    let loop_bpr = loop_index.posting_bytes() as f64 / loop_index.total_records() as f64;
+
+    // Query vs full-replay filter on the loop tenant. Selectivity is set
+    // by how many sequentially-visited 4 KiB pages the page dimension
+    // ORs together: 1 page ≈ 1024 records, all-pages ≈ the whole trace.
+    let first_page = 0x1000_0000u32 >> 12;
+    let pages_total = (n_lake * 4).div_ceil(4096) as u32;
+    let selectivity_pages = [1u32, pages_total.div_ceil(10).max(2), pages_total];
+    println!("\ntrace lake: bitmap query vs full-replay filter (loop tenant)\n");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>10}",
+        "selectivity", "matched", "query µs", "replay µs", "speedup"
+    );
+    let mut lake_query_entries = Vec::new();
+    let mut speedup_at_low_sel = None;
+    for pages in selectivity_pages {
+        let mut q = LakeQuery::new();
+        for p in 0..pages {
+            q = q.include(Dim::AddrPage, first_page + p);
+        }
+        // The planner answers from the sidecar alone...
+        let query_nanos = median(
+            (0..reps)
+                .map(|_| {
+                    let iters = 32;
+                    let start = Instant::now();
+                    let mut hits = LakeHits::default();
+                    for _ in 0..iters {
+                        hits = LakeHits::default();
+                        execute(&loop_index, 1, 1, &q, usize::MAX, &mut hits);
+                    }
+                    std::hint::black_box(&hits);
+                    start.elapsed().as_nanos() as f64 / iters as f64
+                })
+                .collect(),
+        );
+        let mut hits = LakeHits::default();
+        execute(&loop_index, 1, 1, &q, usize::MAX, &mut hits);
+        // ...while the baseline decodes every frame and tests every record.
+        let mut replay_matched = 0u64;
+        let replay_nanos = median(
+            (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    let mut r = TraceReader::new(&loop_encoded[..]).unwrap();
+                    let mut batch = TraceBatch::new();
+                    let mut seq = 0u64;
+                    replay_matched = 0;
+                    while r.read_chunk_into_batch(&mut batch).unwrap() {
+                        for e in batch.iter() {
+                            if matches_entry(&q, seq, &e) {
+                                replay_matched += 1;
+                            }
+                            seq += 1;
+                        }
+                    }
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+        assert_eq!(hits.matched, replay_matched, "planner and replay filter disagree");
+        let selectivity_pct = hits.matched as f64 / n_lake as f64 * 100.0;
+        let speedup = replay_nanos / query_nanos;
+        println!(
+            "{:>10.2}% {:>10} {:>14.1} {:>14.1} {:>9.1}x",
+            selectivity_pct,
+            hits.matched,
+            query_nanos / 1e3,
+            replay_nanos / 1e3,
+            speedup
+        );
+        if selectivity_pct <= 1.0 {
+            speedup_at_low_sel = Some(speedup);
+        }
+        lake_query_entries.push(format!(
+            "      {{\"selectivity_pct\": {selectivity_pct:.3}, \"matched\": {}, \
+             \"query_nanos\": {query_nanos:.0}, \"replay_nanos\": {replay_nanos:.0}, \
+             \"speedup\": {speedup:.2}}}",
+            hits.matched
+        ));
+    }
+    let speedup_at_low_sel =
+        speedup_at_low_sel.expect("the 1-page query sits at or under 1% selectivity");
+    assert!(
+        speedup_at_low_sel >= 10.0,
+        "lake acceptance: need >=10x over replay-scan at <=1% selectivity, got {speedup_at_low_sel:.1}x"
+    );
+    println!(
+        "\nlake gates: {loop_bpr:.3} B/record index (<=0.3), \
+         {speedup_at_low_sel:.0}x at <=1% selectivity (>=10x) ✓"
+    );
+    let lake_section = format!(
+        "{{\n    \"records\": {n_lake},\n    \"loop_index_bytes_per_record\": {loop_bpr:.4},\n    \
+         \"speedup_at_1pct_selectivity\": {speedup_at_low_sel:.2},\n    \
+         \"index_density\": [\n{}\n    ],\n    \"query_speedup\": [\n{}\n    ]\n  }}",
+        lake_density_entries.join(",\n"),
+        lake_query_entries.join(",\n")
+    );
+
     let intra_session = format!(
         "{{\n    \"records\": {n_single},\n    \"cores\": {cores},\n    \
          \"addrcheck_8w_exceeds_1w\": {addrcheck_8w_exceeds_1w},\n    \"results\": [\n{}\n    ]\n  }}",
         single_entries.join(",\n")
     );
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"intra_session_scaling\": {},\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ],\n  \"metrics_overhead\": [\n{}\n  ],\n  \"span_overhead\": [\n{}\n  ],\n  \"dispatch_latency\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"tenants\": {},\n  \"records_per_tenant\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ],\n  \"intra_session_scaling\": {},\n  \"ingest_results\": [\n{}\n  ],\n  \"net_ingest\": [\n{}\n  ],\n  \"codec\": [\n{}\n  ],\n  \"extraction\": [\n{}\n  ],\n  \"metrics_overhead\": [\n{}\n  ],\n  \"span_overhead\": [\n{}\n  ],\n  \"dispatch_latency\": [\n{}\n  ],\n  \"lake\": {}\n}}\n",
         TENANTS.len(),
         n,
         reps,
@@ -891,7 +1113,8 @@ fn main() {
         extraction_entries.join(",\n"),
         overhead_entry,
         span_entry,
-        dispatch_entries.join(",\n")
+        dispatch_entries.join(",\n"),
+        lake_section
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("\nwrote BENCH_throughput.json");

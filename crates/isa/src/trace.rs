@@ -446,6 +446,67 @@ impl TraceOp {
             },
         }
     }
+
+    /// Calls `f` with every address this record carries, in the order the
+    /// columnar shared address stream holds them: memory-operand
+    /// addresses and annotation base/lock addresses alike. This is the
+    /// record-level ground truth the trace lake's address-page index is
+    /// property-tested against.
+    pub fn for_each_addr(&self, mut f: impl FnMut(u32)) {
+        let mut mem = |m: &MemRef| f(m.addr);
+        match self {
+            TraceOp::Op(op) => match op {
+                OpClass::ImmToReg { .. }
+                | OpClass::RegSelf { .. }
+                | OpClass::RegToReg { .. }
+                | OpClass::DestRegOpReg { .. } => {}
+                OpClass::ImmToMem { dst }
+                | OpClass::MemSelf { dst }
+                | OpClass::RegToMem { dst, .. }
+                | OpClass::DestMemOpReg { dst, .. } => mem(dst),
+                OpClass::MemToReg { src, .. } | OpClass::DestRegOpMem { src, .. } => mem(src),
+                OpClass::MemToMem { src, dst } => {
+                    mem(src);
+                    mem(dst);
+                }
+                OpClass::ReadOnly { src, .. } => {
+                    if let Some(m) = src {
+                        mem(m);
+                    }
+                }
+                OpClass::Other { mem_read, mem_write, .. } => {
+                    if let Some(m) = mem_read {
+                        mem(m);
+                    }
+                    if let Some(m) = mem_write {
+                        mem(m);
+                    }
+                }
+            },
+            TraceOp::Ctrl(c) => match c {
+                CtrlOp::Direct | CtrlOp::CondBranch { .. } => {}
+                CtrlOp::Indirect { target } => {
+                    if let JumpTarget::Mem(m) = target {
+                        mem(m);
+                    }
+                }
+                CtrlOp::Ret { slot } => mem(slot),
+            },
+            TraceOp::Annot(a) => match a {
+                Annotation::Malloc { base, .. }
+                | Annotation::Free { base }
+                | Annotation::ReadInput { base, .. } => f(*base),
+                Annotation::Lock { lock } | Annotation::Unlock { lock } => f(*lock),
+                Annotation::Syscall { arg_mem, .. } => {
+                    if let Some(m) = arg_mem {
+                        mem(m);
+                    }
+                }
+                Annotation::PrintfFormat { fmt } => mem(fmt),
+                Annotation::ThreadSwitch { .. } | Annotation::ThreadExit { .. } => {}
+            },
+        }
+    }
 }
 
 /// One record of the retirement trace: the program counter plus payload.

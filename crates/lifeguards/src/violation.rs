@@ -62,6 +62,22 @@ pub enum TaintSink {
     FormatString,
 }
 
+impl Violation {
+    /// The faulting instruction's pc, when the violation anchors to one
+    /// (a [`Violation::Leak`] is an end-of-run property, not a site).
+    pub fn pc(&self) -> Option<u32> {
+        match self {
+            Violation::UnallocatedAccess { pc, .. }
+            | Violation::DoubleFree { pc, .. }
+            | Violation::InvalidFree { pc, .. }
+            | Violation::UninitUse { pc, .. }
+            | Violation::TaintedUse { pc, .. }
+            | Violation::DataRace { pc, .. } => Some(*pc),
+            Violation::Leak { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -316,7 +316,7 @@ impl<'p> IngestServer<'p> {
     fn admit(
         &mut self,
         conn: Pending,
-        session_cfg: igm_runtime::SessionConfig,
+        mut session_cfg: igm_runtime::SessionConfig,
         codec: Codec,
         version: u32,
     ) -> Result<(), (String, NetError)> {
@@ -340,14 +340,18 @@ impl<'p> IngestServer<'p> {
                 let base = sanitize(&session_cfg.name);
                 let uses = self.tee_names.entry(base.clone()).or_insert(0);
                 *uses += 1;
-                let filename =
-                    if *uses == 1 { format!("{base}.igmt") } else { format!("{base}-{uses}.igmt") };
-                let path = dir.join(filename);
+                let stem = if *uses == 1 { base } else { format!("{base}-{uses}") };
+                // The artifact stem is the lane's durable trace identity:
+                // violations this session attributes carry RecordIds that
+                // a TraceLake over the tee directory can seek back into.
+                session_cfg.trace = igm_span::trace_id(&stem);
+                let path = dir.join(format!("{stem}.igmt"));
+                let sidecar = dir.join(format!("{stem}.igmx"));
                 let sink = File::create(&path)
                     .map(BufWriter::new)
                     .map_err(|e| (peer.clone(), NetError::Io(e)))?;
                 self.ingestor
-                    .add_source_teed(session_cfg, source, sink)
+                    .add_source_teed_indexed(session_cfg, source, sink, sidecar)
                     .map_err(|e: TraceError| (peer.clone(), NetError::Trace(e)))?;
             }
             None => self.ingestor.add_source(session_cfg, source),

@@ -12,7 +12,7 @@
 //! [`EventRing::since`] — which is how the stats endpoint serves
 //! `/events.json?since=N` without ever blocking a producer.
 
-use igm_span::SpanRecord;
+use igm_span::{RecordId, SpanRecord};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -91,6 +91,11 @@ pub enum EventKind {
         tenant: String,
         /// Human-readable violation description.
         detail: String,
+        /// Global record id of the faulting trace record, when the
+        /// session carries a durable trace identity and the violation
+        /// anchors to a record — the join key against the trace lake
+        /// (`/lake/query?around=` replays its neighborhood).
+        record: Option<RecordId>,
         /// The offending frame's completed span chain, snapshotted from
         /// the flight recorder at violation time (empty when the frame
         /// was unsampled or span recording is off) — per-frame

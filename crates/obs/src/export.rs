@@ -304,13 +304,20 @@ impl EventsSnapshot {
                         json_str(tenant)
                     );
                 }
-                EventKind::Violation { session, tenant, detail, spans } => {
+                EventKind::Violation { session, tenant, detail, record, spans } => {
                     let _ = write!(
                         out,
-                        ", \"session\": {session}, \"tenant\": {}, \"detail\": {}, \"spans\": [",
+                        ", \"session\": {session}, \"tenant\": {}, \"detail\": {}, \"record\": ",
                         json_str(tenant),
                         json_str(detail)
                     );
+                    match record {
+                        Some(id) => {
+                            let _ = write!(out, "{}", json_str(&id.to_string()));
+                        }
+                        None => out.push_str("null"),
+                    }
+                    out.push_str(", \"spans\": [");
                     for (i, s) in spans.iter().enumerate() {
                         if i > 0 {
                             out.push_str(", ");

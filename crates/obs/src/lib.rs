@@ -40,13 +40,15 @@
 
 pub mod events;
 pub mod export;
+pub mod query;
 pub mod registry;
 pub mod server;
 
 pub use events::{EventKind, EventRing, EventsSnapshot, ObsEvent};
+pub use query::{Query, QueryError};
 pub use registry::{
     bucket_index, bucket_upper_bound, Counter, CounterSample, Gauge, GaugeSample, Histogram,
     HistogramSample, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, COUNTER_STRIPES,
     HISTOGRAM_BUCKETS,
 };
-pub use server::StatsServer;
+pub use server::{RouteHandler, RouteResponse, StatsServer};

@@ -25,6 +25,7 @@
 #[cfg(doc)]
 use crate::registry::MetricsSnapshot;
 
+use crate::query::{Query, QueryError};
 use crate::registry::MetricsRegistry;
 use igm_span::FlightRecorder;
 use std::io::{self, Read, Write};
@@ -33,6 +34,52 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// A response produced by a [`RouteHandler`].
+#[derive(Debug, Clone)]
+pub struct RouteResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl RouteResponse {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> RouteResponse {
+        RouteResponse { status: 200, content_type: "application/json", body: body.into() }
+    }
+
+    /// A `400 Bad Request` with the typed JSON error body.
+    pub fn bad_request(err: &QueryError) -> RouteResponse {
+        RouteResponse { status: 400, content_type: "application/json", body: err.to_json() }
+    }
+
+    /// A `404 Not Found` with a plain-text body.
+    pub fn not_found(msg: impl Into<String>) -> RouteResponse {
+        RouteResponse { status: 404, content_type: "text/plain; charset=utf-8", body: msg.into() }
+    }
+}
+
+/// A pluggable route family served alongside the built-in stats routes
+/// (attach via [`StatsServer::serve_routes`]). Handlers receive the
+/// request only after the query string passed the hardened [`Query`]
+/// parser — a malformed query is a `400` on every path, before any
+/// handler runs.
+pub trait RouteHandler: Send + Sync {
+    /// Handles `path`, or returns `None` when the path is not this
+    /// handler's (the server then tries the next handler, and finally
+    /// answers 404).
+    fn handle(&self, path: &str, query: &Query) -> Option<RouteResponse>;
+
+    /// Lines advertising this handler's routes on the `/` index (e.g.
+    /// `"/lake/query?tenant=T  bitmap-index record query"`).
+    fn index_lines(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
 
 /// How long the serving thread dozes between accept polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -75,6 +122,18 @@ impl StatsServer {
         registry: Arc<MetricsRegistry>,
         spans: Option<Arc<FlightRecorder>>,
     ) -> io::Result<StatsServer> {
+        StatsServer::serve_routes(addr, registry, spans, Vec::new())
+    }
+
+    /// Like [`StatsServer::serve_with`], but additionally mounts custom
+    /// [`RouteHandler`]s. Paths not claimed by a built-in route are
+    /// offered to each handler in order; the first `Some` wins.
+    pub fn serve_routes(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        spans: Option<Arc<FlightRecorder>>,
+        routes: Vec<Arc<dyn RouteHandler>>,
+    ) -> io::Result<StatsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -82,7 +141,7 @@ impl StatsServer {
         let stop2 = Arc::clone(&stop);
         let thread = thread::Builder::new()
             .name("igm-stats".into())
-            .spawn(move || serve_loop(listener, registry, spans, stop2))?;
+            .spawn(move || serve_loop(listener, registry, spans, routes, stop2))?;
         Ok(StatsServer { addr, stop, thread: Some(thread) })
     }
 
@@ -110,6 +169,7 @@ fn serve_loop(
     listener: TcpListener,
     registry: Arc<MetricsRegistry>,
     spans: Option<Arc<FlightRecorder>>,
+    routes: Vec<Arc<dyn RouteHandler>>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::Acquire) {
@@ -117,7 +177,7 @@ fn serve_loop(
             Ok((stream, _peer)) => {
                 // Serve inline: one thread, one connection at a time —
                 // a scrape endpoint, not a web server.
-                let _ = handle_connection(stream, &registry, spans.as_deref());
+                let _ = handle_connection(stream, &registry, spans.as_deref(), &routes);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => thread::sleep(ACCEPT_POLL),
@@ -125,19 +185,77 @@ fn serve_loop(
     }
 }
 
-/// Parses `since=N` out of a query string (default 0).
-fn since_param(query: Option<&str>) -> u64 {
-    query
-        .and_then(|q| {
-            q.split('&').find_map(|kv| kv.strip_prefix("since=")).and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
+/// Routes one parsed request. The query string has already passed the
+/// hardened parser; this only decides which body to build.
+fn route_request(
+    path: &str,
+    q: &Query,
+    registry: &MetricsRegistry,
+    spans: Option<&FlightRecorder>,
+    routes: &[Arc<dyn RouteHandler>],
+) -> RouteResponse {
+    // Built-in routes declare their accepted parameters; anything else
+    // (including a well-formed but unknown key) is a typed 400.
+    let strict = |allowed: &[&str]| q.expect_only(allowed).err();
+    let out = match path {
+        "/metrics" => match strict(&[]) {
+            Some(e) => RouteResponse::bad_request(&e),
+            None => RouteResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: registry.snapshot().to_prometheus(),
+            },
+        },
+        "/stats.json" => match strict(&[]) {
+            Some(e) => RouteResponse::bad_request(&e),
+            None => RouteResponse::json(registry.snapshot().to_json()),
+        },
+        "/events.json" => match strict(&["since"]).map(Err).unwrap_or_else(|| q.get_u64("since")) {
+            Err(e) => RouteResponse::bad_request(&e),
+            Ok(since) => RouteResponse::json(registry.events().since(since.unwrap_or(0)).to_json()),
+        },
+        "/spans.json" => match strict(&["since"]).map(Err).unwrap_or_else(|| q.get_u64("since")) {
+            Err(e) => RouteResponse::bad_request(&e),
+            Ok(since) => match spans {
+                Some(rec) => RouteResponse::json(rec.since(since.unwrap_or(0)).to_json()),
+                None => RouteResponse::not_found("no flight recorder attached\n"),
+            },
+        },
+        "/trace" => match (strict(&[]), spans) {
+            (Some(e), _) => RouteResponse::bad_request(&e),
+            (None, Some(rec)) => RouteResponse::json(igm_span::chrome_trace(&rec.snapshot())),
+            (None, None) => RouteResponse::not_found("no flight recorder attached\n"),
+        },
+        "/" => match strict(&[]) {
+            Some(e) => RouteResponse::bad_request(&e),
+            None => {
+                let mut body = String::from(
+                    "igm stats endpoint\n\n/metrics            Prometheus text exposition\n/stats.json         metrics snapshot as JSON\n/events.json?since=N  lifecycle event ring\n/spans.json?since=N   frame span records (flight recorder)\n/trace              Chrome trace-event JSON (chrome://tracing)\n",
+                );
+                for h in routes {
+                    for line in h.index_lines() {
+                        body.push_str(&line);
+                        body.push('\n');
+                    }
+                }
+                RouteResponse { status: 200, content_type: "text/plain; charset=utf-8", body }
+            }
+        },
+        _ => {
+            return routes
+                .iter()
+                .find_map(|h| h.handle(path, q))
+                .unwrap_or_else(|| RouteResponse::not_found("not found\n"))
+        }
+    };
+    out
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
     spans: Option<&FlightRecorder>,
+    routes: &[Arc<dyn RouteHandler>],
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -153,54 +271,13 @@ fn handle_connection(
         Some((p, q)) => (p, Some(q)),
         None => (target.as_str(), None),
     };
-    match path {
-        "/metrics" => {
-            let body = registry.snapshot().to_prometheus();
-            respond(&mut stream, head_only, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
-        }
-        "/stats.json" => {
-            let body = registry.snapshot().to_json();
-            respond(&mut stream, head_only, 200, "application/json", &body)
-        }
-        "/events.json" => {
-            let body = registry.events().since(since_param(query)).to_json();
-            respond(&mut stream, head_only, 200, "application/json", &body)
-        }
-        "/spans.json" => match spans {
-            Some(rec) => {
-                let body = rec.since(since_param(query)).to_json();
-                respond(&mut stream, head_only, 200, "application/json", &body)
-            }
-            None => respond(
-                &mut stream,
-                head_only,
-                404,
-                "text/plain; charset=utf-8",
-                "no flight recorder attached\n",
-            ),
-        },
-        "/trace" => match spans {
-            Some(rec) => {
-                let body = igm_span::chrome_trace(&rec.snapshot());
-                respond(&mut stream, head_only, 200, "application/json", &body)
-            }
-            None => respond(
-                &mut stream,
-                head_only,
-                404,
-                "text/plain; charset=utf-8",
-                "no flight recorder attached\n",
-            ),
-        },
-        "/" => respond(
-            &mut stream,
-            head_only,
-            200,
-            "text/plain; charset=utf-8",
-            "igm stats endpoint\n\n/metrics            Prometheus text exposition\n/stats.json         metrics snapshot as JSON\n/events.json?since=N  lifecycle event ring\n/spans.json?since=N   frame span records (flight recorder)\n/trace              Chrome trace-event JSON (chrome://tracing)\n",
-        ),
-        _ => respond(&mut stream, head_only, 404, "text/plain; charset=utf-8", "not found\n"),
-    }
+    // The query string is validated before any route logic runs: a
+    // malformed query is the same typed 400 body on every path.
+    let resp = match Query::parse(query) {
+        Ok(q) => route_request(path, &q, registry, spans, routes),
+        Err(e) => RouteResponse::bad_request(&e),
+    };
+    respond(&mut stream, head_only, resp.status, resp.content_type, &resp.body)
 }
 
 /// Reads the request head and returns `(method, target)` (e.g. `("GET",
@@ -423,6 +500,98 @@ mod tests {
         assert!(content_length > 2 * 1024 * 1024, "test body must be big: {content_length}");
         assert_eq!(body.len(), content_length, "drip client must receive every byte");
         assert!(body.ends_with("]}"), "body must be complete JSON");
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_queries_are_typed_400s_on_every_route() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut server = StatsServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let assert_400 = |path: &str, kind: &str| {
+            let resp = get(addr, path);
+            assert!(resp.starts_with("HTTP/1.1 400"), "{path} must 400, got: {resp}");
+            assert!(resp.contains("Content-Type: application/json"), "{path}: {resp}");
+            assert!(
+                resp.contains(&format!("\"kind\": \"{kind}\"")),
+                "{path} must report {kind}: {resp}"
+            );
+        };
+
+        // Malformed queries reject identically on every path — built-in,
+        // recorder-gated, index, and unknown alike.
+        for path in
+            ["/metrics", "/stats.json", "/events.json", "/spans.json", "/trace", "/", "/nope"]
+        {
+            assert_400(&format!("{path}?x=%zz"), "bad_escape");
+            assert_400(&format!("{path}?a=1&a=2"), "duplicate_param");
+        }
+
+        // Well-formed but wrong for the route.
+        assert_400("/events.json?since=12x", "bad_number");
+        assert_400("/spans.json?since=-1", "bad_number");
+        assert_400("/events.json?sinse=3", "unknown_param");
+        assert_400("/metrics?since=1", "unknown_param");
+        assert_400("/stats.json?pretty=1", "unknown_param");
+        assert_400("/trace?since=1", "unknown_param");
+        let long = format!("/events.json?x={}", "y".repeat(4096));
+        assert_400(&long, "overlong_query");
+
+        // HEAD mirrors the 400 status.
+        assert!(request(addr, "HEAD", "/events.json?since=bad").starts_with("HTTP/1.1 400"));
+
+        // Valid queries still work after all that.
+        assert!(get(addr, "/events.json?since=0").starts_with("HTTP/1.1 200"));
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200"));
+        server.stop();
+    }
+
+    #[test]
+    fn route_handlers_extend_the_server() {
+        struct Echo;
+        impl RouteHandler for Echo {
+            fn handle(&self, path: &str, query: &Query) -> Option<RouteResponse> {
+                if path != "/echo.json" {
+                    return None;
+                }
+                match query.expect_only(&["msg"]) {
+                    Err(e) => Some(RouteResponse::bad_request(&e)),
+                    Ok(()) => Some(RouteResponse::json(format!(
+                        "{{\"msg\": \"{}\"}}",
+                        query.get("msg").unwrap_or("")
+                    ))),
+                }
+            }
+            fn index_lines(&self) -> Vec<String> {
+                vec!["/echo.json?msg=S    echoes msg".into()]
+            }
+        }
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut server = StatsServer::serve_routes(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            None,
+            vec![Arc::new(Echo)],
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let ok = get(addr, "/echo.json?msg=hi+there");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(ok.contains("\"msg\": \"hi there\""));
+
+        // The hardened parser runs before the handler.
+        assert!(get(addr, "/echo.json?msg=%zz").starts_with("HTTP/1.1 400"));
+        assert!(get(addr, "/echo.json?other=1").contains("\"unknown_param\""));
+
+        // Built-ins still win their paths; unknowns still 404.
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        // The index advertises the plugged-in route.
+        assert!(get(addr, "/").contains("/echo.json?msg=S"));
         server.stop();
     }
 

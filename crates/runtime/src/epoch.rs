@@ -244,7 +244,8 @@ fn run_parallel(
         if buf.len() >= budget {
             let epoch_len = buf.len();
             let empty = recycled.pop().unwrap_or_default();
-            let checks = dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, &tx);
+            let first = records - epoch_len as u64;
+            let checks = dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, first, &tx);
             // Adaptive sizing: re-budget the next epoch from the check
             // density this one observed (a no-op under Fixed sizing).
             budget = epoch.next_budget(epoch_len, checks);
@@ -258,7 +259,8 @@ fn run_parallel(
     }
     if !buf.is_empty() {
         let empty = recycled.pop().unwrap_or_default();
-        dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, &tx);
+        let first = records - buf.len() as u64;
+        dispatch_epoch(pool, cfg, &mut spine, &mut buf, empty, epochs, first, &tx);
         epochs += 1;
         in_flight += 1;
     }
@@ -301,6 +303,7 @@ struct Spine {
 /// `empty` arena in its place — no per-epoch record copy. Returns the
 /// number of *check* events the epoch delivered, the signal the adaptive
 /// sizing feedback rule consumes.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_epoch(
     pool: &MonitorPool,
     cfg: &SessionConfig,
@@ -308,6 +311,7 @@ fn dispatch_epoch(
     buf: &mut TraceBatch,
     mut empty: TraceBatch,
     index: usize,
+    first_record: u64,
     tx: &mpsc::Sender<crate::pool::EpochResult>,
 ) -> u64 {
     // The snapshot is an ordinary clone of the spine's shadow state at the
@@ -337,6 +341,7 @@ fn dispatch_epoch(
         index,
         lifeguard: snapshot,
         pipeline,
+        first_record,
         records: vec![records],
         done: tx.clone(),
         pipelined: None,

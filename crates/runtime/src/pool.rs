@@ -52,8 +52,12 @@ use crate::stats::{PoolStats, PoolStatsSnapshot, SessionReport};
 use igm_core::{AccelConfig, DispatchPipeline};
 use igm_lba::{chunks, EventBuf, TraceBatch};
 use igm_lifeguards::{AnyLifeguard, CostSink, Lifeguard, LifeguardKind, Violation};
-use igm_obs::{Counter, EventKind, EventRing, Gauge, Histogram, MetricsRegistry, StatsServer};
-use igm_span::{alloc_flow, FlightRecorder, FrameTag, Sampler, SpanConfig, Stage, Track};
+use igm_obs::{
+    Counter, EventKind, EventRing, Gauge, Histogram, MetricsRegistry, RouteHandler, StatsServer,
+};
+use igm_span::{
+    alloc_flow, tenant_id, FlightRecorder, FrameTag, RecordId, Sampler, SpanConfig, Stage, Track,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -150,6 +154,12 @@ pub struct SessionConfig {
     pub synthetic_workload: bool,
     /// Loader-established regions pre-marked before monitoring starts.
     pub premark: Vec<(u32, u32)>,
+    /// Durable trace id ([`igm_span::trace_id`] of the captured
+    /// artifact's stem) when this session's record stream is teed to a
+    /// trace file; `0` for a live-only stream. Violations then carry
+    /// [`igm_span::RecordId`]s that join against the trace lake. Never
+    /// wire-encoded — capture/ingest assigns it server-side.
+    pub trace: u32,
 }
 
 impl SessionConfig {
@@ -161,6 +171,7 @@ impl SessionConfig {
             accel: AccelConfig::baseline(),
             synthetic_workload: false,
             premark: Vec::new(),
+            trace: 0,
         }
     }
 
@@ -179,6 +190,13 @@ impl SessionConfig {
     /// Adds pre-marked regions.
     pub fn premark(mut self, regions: &[(u32, u32)]) -> SessionConfig {
         self.premark.extend_from_slice(regions);
+        self
+    }
+
+    /// Tags the session with a durable trace id (see
+    /// [`SessionConfig::trace`]).
+    pub fn trace(mut self, trace: u32) -> SessionConfig {
+        self.trace = trace;
         self
     }
 
@@ -207,6 +225,10 @@ pub struct PoolViolation {
     pub tenant: String,
     /// Which lifeguard reported.
     pub lifeguard: LifeguardKind,
+    /// Global id of the faulting trace record, when the session carries
+    /// a durable trace identity ([`SessionConfig::trace`]) and the
+    /// violation anchors to a record — the lake join key.
+    pub record: Option<RecordId>,
     /// The violation itself.
     pub violation: Violation,
 }
@@ -302,6 +324,9 @@ pub(crate) struct EpochJob {
     pub pipeline: DispatchPipeline,
     /// The epoch's record batches, replayed in order against the snapshot.
     pub records: Vec<TraceBatch>,
+    /// Global record sequence of the epoch's first record (for violation
+    /// record-id attribution).
+    pub first_record: u64,
     pub done: Sender<EpochResult>,
     /// `Some(home hint)` for jobs shipped by a pipelined session: the
     /// session already accounts records/delivered/violations on its live
@@ -316,6 +341,8 @@ pub(crate) struct EpochJob {
 pub(crate) struct EpochResult {
     pub index: usize,
     pub violations: Vec<Violation>,
+    /// The job's `first_record`, echoed back for attribution.
+    pub first_record: u64,
     pub delivered: u64,
     /// The job's record batches, handed back so the epoch driver can
     /// recycle their column capacity instead of reallocating.
@@ -680,6 +707,8 @@ impl MonitorPool {
         });
         let session = ActiveSession {
             id,
+            tenant_hash: tenant_id(&cfg.name),
+            trace: cfg.trace,
             name: cfg.name,
             lifeguard_kind: cfg.lifeguard,
             lifeguard,
@@ -691,6 +720,7 @@ impl MonitorPool {
             events: EventBuf::new(),
             records: 0,
             violations: Vec::new(),
+            violation_records: Vec::new(),
             home: Arc::clone(&home),
             dispatch_hist: self.shared.dispatch_hists[kind_index].clone(),
             journal_counter: self.shared.journal_counters[kind_index].clone(),
@@ -779,6 +809,22 @@ impl MonitorPool {
             addr,
             Arc::clone(&self.shared.metrics),
             self.shared.recorder.clone(),
+        )
+    }
+
+    /// Like [`MonitorPool::serve_stats`], but additionally mounts custom
+    /// [`RouteHandler`]s (e.g. a trace lake's `/lake/*` routes) alongside
+    /// the built-in endpoints.
+    pub fn serve_stats_routes(
+        &self,
+        addr: impl ToSocketAddrs,
+        routes: Vec<Arc<dyn RouteHandler>>,
+    ) -> std::io::Result<StatsServer> {
+        StatsServer::serve_routes(
+            addr,
+            Arc::clone(&self.shared.metrics),
+            self.shared.recorder.clone(),
+            routes,
         )
     }
 
@@ -992,6 +1038,10 @@ impl Drop for SessionHandle {
 struct ActiveSession {
     id: SessionId,
     name: String,
+    /// FNV hash of `name` — the tenant half of emitted [`RecordId`]s.
+    tenant_hash: u32,
+    /// Durable trace id ([`SessionConfig::trace`]; 0 = live-only).
+    trace: u32,
     lifeguard_kind: LifeguardKind,
     lifeguard: AnyLifeguard,
     pipeline: DispatchPipeline,
@@ -1002,6 +1052,8 @@ struct ActiveSession {
     events: EventBuf,
     records: u64,
     violations: Vec<Violation>,
+    /// Parallel to `violations`: each entry's attributed record id.
+    violation_records: Vec<Option<RecordId>>,
     /// Shared with the [`SessionHandle`]: which worker's deque the session
     /// currently lives on, so producer-side wakeups ring the owner first.
     home: Arc<AtomicUsize>,
@@ -1250,6 +1302,9 @@ impl ActiveSession {
             index: pipe.next_index,
             lifeguard: snapshot,
             pipeline: snapshot_pipeline,
+            // The live spine already counted the accumulated records, so
+            // the epoch's first record sits acc_records behind the total.
+            first_record: self.records - pipe.acc_records as u64,
             records: std::mem::take(&mut pipe.acc),
             done: pipe.tx.clone(),
             pipelined: Some(Arc::clone(&self.home)),
@@ -1290,6 +1345,15 @@ impl ActiveSession {
             let emitted: i64 = r.records.iter().map(|b| b.len() as i64).sum();
             pipe.backlog -= emitted;
             shared.epoch_backlog.sub(emitted);
+            // Attribute record ids against the epoch's batches before
+            // they recycle (the job echoed its first global sequence).
+            let ids: Vec<Option<RecordId>> = r
+                .violations
+                .iter()
+                .map(|v| {
+                    attribute_violation(v, &r.records, r.first_record, self.tenant_hash, self.trace)
+                })
+                .collect();
             for batch in r.records.drain(..) {
                 self.consumer.recycle(batch);
             }
@@ -1298,24 +1362,27 @@ impl ActiveSession {
             }
             stats.violations.add(r.violations.len() as u64);
             if shared.stream_taken.load(Ordering::Relaxed) {
-                for v in &r.violations {
+                for (v, id) in r.violations.iter().zip(&ids) {
                     let _ = shared.violations_tx.send(PoolViolation {
                         session: self.id,
                         tenant: self.name.clone(),
                         lifeguard: self.lifeguard_kind,
+                        record: *id,
                         violation: *v,
                     });
                 }
             }
-            for v in &r.violations {
+            for (v, id) in r.violations.iter().zip(&ids) {
                 shared.metrics.events().record(EventKind::Violation {
                     session: self.id,
                     tenant: self.name.clone(),
                     detail: v.to_string(),
+                    record: *id,
                     spans: Vec::new(),
                 });
             }
             self.violations.extend(r.violations);
+            self.violation_records.extend(ids);
         }
         emitted_any
     }
@@ -1335,6 +1402,9 @@ impl ActiveSession {
                 break;
             };
             processed += 1;
+            // Global sequence of this batch's first record — violation
+            // record ids are attributed against it below.
+            let base_seq = self.records;
             self.records += batch.len() as u64;
             // Span stamps only for the sampled minority that carries a
             // tag: the untagged hot path pays one branch here.
@@ -1366,11 +1436,23 @@ impl ActiveSession {
                 shared.span_hists.dispatch.record(done.saturating_sub(t_dispatch));
             }
             stats.records.add(batch.len() as u64);
-            // Hand the drained arena back to the producer side for refill.
-            self.consumer.recycle(batch);
             let fresh = self.lifeguard.take_violations();
             if !fresh.is_empty() {
                 stats.violations.add(fresh.len() as u64);
+                // Attribute record ids while the faulting batch is still
+                // in hand (it recycles right after this block).
+                let ids: Vec<Option<RecordId>> = fresh
+                    .iter()
+                    .map(|v| {
+                        attribute_violation(
+                            v,
+                            std::slice::from_ref(&batch),
+                            base_seq,
+                            self.tenant_hash,
+                            self.trace,
+                        )
+                    })
+                    .collect();
                 // A sampled frame that just violated gets a `violation`
                 // marker record, then its whole completed chain is
                 // snapshotted into the event-ring entry below.
@@ -1387,27 +1469,32 @@ impl ActiveSession {
                 // unboundedly for the pool's lifetime. (They are always
                 // retained in the session report below.)
                 if shared.stream_taken.load(Ordering::Relaxed) {
-                    for v in &fresh {
+                    for (v, id) in fresh.iter().zip(&ids) {
                         let _ = shared.violations_tx.send(PoolViolation {
                             session: self.id,
                             tenant: self.name.clone(),
                             lifeguard: self.lifeguard_kind,
+                            record: *id,
                             violation: *v,
                         });
                     }
                 }
                 // Violations are rare enough to narrate in the event ring
                 // (the allocation here is off the zero-violation hot path).
-                for v in &fresh {
+                for (v, id) in fresh.iter().zip(&ids) {
                     shared.metrics.events().record(EventKind::Violation {
                         session: self.id,
                         tenant: self.name.clone(),
                         detail: v.to_string(),
+                        record: *id,
                         spans: spans.clone(),
                     });
                 }
                 self.violations.extend(fresh);
+                self.violation_records.extend(ids);
             }
+            // Hand the drained arena back to the producer side for refill.
+            self.consumer.recycle(batch);
         }
         processed
     }
@@ -1434,6 +1521,8 @@ impl ActiveSession {
         // Flush any violations reported after the last pump (none today,
         // but harmless and future-proof against buffering handlers).
         self.violations.extend(self.lifeguard.take_violations());
+        // End-of-run violations (leaks) have no faulting record.
+        self.violation_records.resize(self.violations.len(), None);
         stats.sessions_closed.inc();
         stats.events_delivered.add(self.pipeline.stats().delivered);
         events.record(EventKind::SessionClose {
@@ -1449,6 +1538,7 @@ impl ActiveSession {
             records: self.records,
             dispatch: self.pipeline.stats().clone(),
             violations: self.violations,
+            violation_records: self.violation_records,
             metadata_bytes: self.lifeguard.metadata_bytes(),
             channel: self.consumer.stats(),
             wall: self.opened.elapsed(),
@@ -1644,6 +1734,7 @@ fn run_epoch_job_guarded(
         let _ = done.send(EpochResult {
             index,
             violations: Vec::new(),
+            first_record: 0,
             delivered: 0,
             records: Vec::new(),
             failed: true,
@@ -1652,6 +1743,30 @@ fn run_epoch_job_guarded(
             shared.ring_worker(home.load(Ordering::Relaxed));
         }
     }
+}
+
+/// Attributes a violation to a global record id: the first record across
+/// `batches` (starting at global sequence `base`) whose pc matches the
+/// violation's. Best-effort by design — a violation without a pc (leak)
+/// or whose pc left the batch window yields `None`, and a pc executed
+/// several times in the window anchors to its first occurrence (the
+/// neighborhood replay around the id recovers the exact one).
+fn attribute_violation(
+    v: &Violation,
+    batches: &[TraceBatch],
+    base: u64,
+    tenant: u32,
+    trace: u32,
+) -> Option<RecordId> {
+    let pc = v.pc()?;
+    let mut offset = base;
+    for b in batches {
+        if let Some(i) = b.pcs().iter().position(|&p| p == pc) {
+            return Some(RecordId::new(tenant, trace, offset + i as u64));
+        }
+        offset += b.len() as u64;
+    }
+    None
 }
 
 /// The shared batched pump: one columnar dispatch pass and one handler
@@ -1735,6 +1850,7 @@ fn run_epoch_job(
     let _ = job.done.send(EpochResult {
         index: job.index,
         violations,
+        first_record: job.first_record,
         delivered,
         records: job.records,
         failed: false,

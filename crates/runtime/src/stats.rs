@@ -131,6 +131,11 @@ pub struct SessionReport {
     pub dispatch: DispatchStats,
     /// Violations reported, in trace order.
     pub violations: Vec<Violation>,
+    /// Parallel to `violations`: each violation's attributed global
+    /// record id ([`igm_span::RecordId`]) — `Some` when the violation
+    /// anchors to a trace record, `None` for end-of-run properties
+    /// (leaks) or records that left the attribution window.
+    pub violation_records: Vec<Option<igm_span::RecordId>>,
     /// Final lifeguard metadata footprint in bytes.
     pub metadata_bytes: u64,
     /// Log-channel transport counters (stalls, peak occupancy, depth).

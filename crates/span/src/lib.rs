@@ -48,8 +48,10 @@
 #![deny(missing_docs)]
 
 mod export;
+mod record;
 
 pub use export::chrome_trace;
+pub use record::{name_hash, tenant_id, trace_id, RecordId};
 
 use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;

@@ -17,7 +17,7 @@ use igm_lba::{chunks, TraceBatch};
 use igm_runtime::{MonitorPool, SendError, SessionConfig, SessionHandle, SessionReport};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors from a capture or replay session.
 #[derive(Debug)]
@@ -97,6 +97,9 @@ pub struct CaptureSession<W: Write> {
     session: SessionHandle,
     writer: TraceWriter<W>,
     chunk_bytes: u32,
+    /// Where to save the `IGMX` sidecar on finish, when the writer was
+    /// opened indexing (the lake-capture path).
+    sidecar: Option<PathBuf>,
 }
 
 impl<W: Write> CaptureSession<W> {
@@ -110,7 +113,7 @@ impl<W: Write> CaptureSession<W> {
         let chunk_bytes = session.chunk_bytes();
         let mut writer = TraceWriter::new(sink)?;
         writer.attach_metrics(pool.metrics());
-        Ok(CaptureSession { session, writer, chunk_bytes })
+        Ok(CaptureSession { session, writer, chunk_bytes, sidecar: None })
     }
 
     /// Publishes one pre-batched columnar chunk: one trace frame encoded
@@ -144,10 +147,15 @@ impl<W: Write> CaptureSession<W> {
         &self.session
     }
 
-    /// Closes both sides: flushes the trace sink, finishes the live
+    /// Closes both sides: flushes the trace sink (and, for a lake
+    /// capture, saves the `IGMX` sidecar next to it), finishes the live
     /// session, and returns the session report together with the sink.
-    pub fn finish(self) -> Result<(SessionReport, W), CaptureError> {
+    pub fn finish(mut self) -> Result<(SessionReport, W), CaptureError> {
+        let index = self.writer.take_index();
         let sink = self.writer.finish()?;
+        if let (Some(index), Some(path)) = (index, self.sidecar) {
+            index.save_file(path)?;
+        }
         let report = self.session.finish();
         Ok((report, sink))
     }
@@ -161,6 +169,45 @@ pub fn capture_to_file(
 ) -> Result<CaptureSession<BufWriter<File>>, CaptureError> {
     let file = File::create(path)?;
     CaptureSession::new(pool, cfg, BufWriter::new(file))
+}
+
+/// Restricts a tenant name to filesystem-safe characters so a lake stem
+/// derives deterministically from the session name (shared convention
+/// with the `igm-net` tee, which sanitizes the same way).
+pub fn lake_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect()
+}
+
+/// Opens a *lake* capture: the trace is written to `<dir>/<stem>.igmt`
+/// with the posting index built inline
+/// ([`TraceWriter::with_index`](crate::TraceWriter::with_index)), the
+/// `IGMX` v2 sidecar is saved as `<dir>/<stem>.igmx` on finish, and the
+/// session's durable trace id is set to
+/// [`igm_span::trace_id`]`(stem)` — so every violation the session
+/// attributes carries a [`igm_span::RecordId`] that a
+/// `TraceLake` over `dir` can seek straight back into.
+pub fn capture_to_lake(
+    pool: &MonitorPool,
+    mut cfg: SessionConfig,
+    dir: impl AsRef<Path>,
+) -> Result<CaptureSession<BufWriter<File>>, CaptureError> {
+    let stem = lake_stem(&cfg.name);
+    cfg.trace = igm_span::trace_id(&stem);
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let file = File::create(dir.join(format!("{stem}.igmt")))?;
+    let session = pool.open_session(cfg);
+    let chunk_bytes = session.chunk_bytes();
+    let mut writer = TraceWriter::with_index(BufWriter::new(file))?;
+    writer.attach_metrics(pool.metrics());
+    Ok(CaptureSession {
+        session,
+        writer,
+        chunk_bytes,
+        sidecar: Some(dir.join(format!("{stem}.igmx"))),
+    })
 }
 
 /// Replays a recorded trace through a fresh session on `pool`,

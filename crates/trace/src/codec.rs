@@ -411,7 +411,7 @@ fn put_addr(out: &mut Vec<u8>, st: &mut CodecState, addr: u32) {
 /// with this `code`/`flags` owns, as `(sized_mems, plain_addrs, vals)` —
 /// the single map from record shape to column slots, used by the codec-2
 /// column walks on both sides.
-fn stream_shape(code: u8, flags: u8) -> (u8, u8, u8) {
+pub(crate) fn stream_shape(code: u8, flags: u8) -> (u8, u8, u8) {
     match code {
         codes::IMM_TO_MEM
         | codes::MEM_SELF
@@ -1653,10 +1653,12 @@ impl<W: Write> TraceWriter<W> {
         })
     }
 
-    /// Like [`TraceWriter::new`], but also builds the frame-offset index
-    /// as frames are written ([`TraceWriter::index`]) — byte-identical to
-    /// what [`crate::index::TraceIndex::scan`] would rebuild from the
-    /// finished stream, at one small entry per frame.
+    /// Like [`TraceWriter::new`], but also builds the frame directory
+    /// *and* the per-frame posting lists as frames are written
+    /// ([`TraceWriter::index`]) — byte-identical to what
+    /// [`crate::index::TraceIndex::scan_records`] would rebuild from the
+    /// finished stream (the directory half alone matches the header-only
+    /// [`crate::index::TraceIndex::scan`]).
     pub fn with_index(w: W) -> io::Result<TraceWriter<W>> {
         let mut writer = TraceWriter::new(w)?;
         writer.index = Some(crate::index::TraceIndex::new());
@@ -1689,7 +1691,7 @@ impl<W: Write> TraceWriter<W> {
         self.w.write_all(&self.buf)?;
         self.metrics.count_frame(batch.len() as u64, self.buf.len() as u64);
         if let Some(index) = self.index.as_mut() {
-            index.push_frame(8 + self.stream_bytes, batch.len() as u32);
+            index.push_frame_batch(8 + self.stream_bytes, batch);
         }
         self.chunks += 1;
         self.records += batch.len() as u64;
@@ -1749,6 +1751,14 @@ impl<W: Write> TraceWriter<W> {
     /// to enable seeking replays.
     pub fn index(&self) -> Option<&crate::index::TraceIndex> {
         self.index.as_ref()
+    }
+
+    /// Takes ownership of the accumulated index (leaving `None`), for
+    /// writers whose sink is consumed by [`TraceWriter::finish`] but
+    /// whose index must outlive it — the tee'd ingest lanes save their
+    /// sidecar this way at lane retirement.
+    pub fn take_index(&mut self) -> Option<crate::index::TraceIndex> {
+        self.index.take()
     }
 }
 
@@ -1921,6 +1931,13 @@ impl<R: Read> TraceReader<R> {
     /// Records decoded so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Byte offset the next frame header will be read at (8 right after
+    /// construction: the file header) — the offset
+    /// [`crate::index::TraceIndex`] entries store for that frame.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 }
 

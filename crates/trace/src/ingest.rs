@@ -276,6 +276,9 @@ struct Lane {
     /// as one trace frame before publication, so piped and remote tenants
     /// leave on-disk artifacts exactly like [`crate::CaptureSession`]s.
     tee: Option<TraceWriter<Box<dyn Write + Send>>>,
+    /// Where to save the `IGMX` sidecar when the tee writer indexes
+    /// ([`Ingestor::add_source_teed_indexed`]); written at lane close.
+    sidecar: Option<std::path::PathBuf>,
     /// Cached [`TraceSource::wants_transport_feedback`] (skips the
     /// per-turn occupancy snapshot and virtual call for local sources).
     wants_feedback: bool,
@@ -400,7 +403,7 @@ impl<'p> Ingestor<'p> {
     /// passes, which is how `igm-net`'s server plugs freshly accepted
     /// connections into a running front-end.
     pub fn add_source(&mut self, cfg: SessionConfig, source: impl TraceSource + 'static) {
-        self.add_lane(cfg, Box::new(source), None);
+        self.add_lane(cfg, Box::new(source), None, None);
     }
 
     /// Like [`Ingestor::add_source`], but also tees every batch the lane
@@ -416,7 +419,25 @@ impl<'p> Ingestor<'p> {
         sink: impl Write + Send + 'static,
     ) -> Result<(), TraceError> {
         let writer = TraceWriter::new(Box::new(sink) as Box<dyn Write + Send>)?;
-        self.add_lane(cfg, Box::new(source), Some(writer));
+        self.add_lane(cfg, Box::new(source), Some(writer), None);
+        Ok(())
+    }
+
+    /// Like [`Ingestor::add_source_teed`], but the tee writer builds the
+    /// per-frame posting index inline
+    /// ([`TraceWriter::with_index`](crate::TraceWriter::with_index)) and
+    /// the `IGMX` v2 sidecar is saved to `sidecar` when the lane closes —
+    /// so a remote or piped tenant's artifact lands lake-queryable, with
+    /// no offline scan needed.
+    pub fn add_source_teed_indexed(
+        &mut self,
+        cfg: SessionConfig,
+        source: impl TraceSource + 'static,
+        sink: impl Write + Send + 'static,
+        sidecar: std::path::PathBuf,
+    ) -> Result<(), TraceError> {
+        let writer = TraceWriter::with_index(Box::new(sink) as Box<dyn Write + Send>)?;
+        self.add_lane(cfg, Box::new(source), Some(writer), Some(sidecar));
         Ok(())
     }
 
@@ -425,6 +446,7 @@ impl<'p> Ingestor<'p> {
         cfg: SessionConfig,
         source: Box<dyn TraceSource>,
         tee: Option<TraceWriter<Box<dyn Write + Send>>>,
+        sidecar: Option<std::path::PathBuf>,
     ) {
         let name = cfg.name.clone();
         let session = self.pool.open_session(cfg);
@@ -435,6 +457,7 @@ impl<'p> Ingestor<'p> {
             source,
             session: Some(session),
             tee,
+            sidecar,
             wants_feedback,
             staged: None,
             staged_at: None,
@@ -634,11 +657,23 @@ impl Lane {
     /// keeps servicing the other lanes; the report is collected after the
     /// scheduling loop.
     fn close(&mut self) {
-        if let Some(tee) = self.tee.take() {
+        if let Some(mut tee) = self.tee.take() {
+            let index = tee.take_index();
             // Flush the teed artifact; a flush failure is a lane error
-            // (unless the lane already failed for a better reason).
-            if let Err(e) = tee.finish() {
-                self.error.get_or_insert(TraceError::Io(e));
+            // (unless the lane already failed for a better reason). The
+            // sidecar is only saved for a cleanly flushed trace — a
+            // partial artifact must not come with an authoritative index.
+            match tee.finish() {
+                Err(e) => {
+                    self.error.get_or_insert(TraceError::Io(e));
+                }
+                Ok(_) => {
+                    if let (Some(index), Some(path)) = (index, self.sidecar.take()) {
+                        if let Err(e) = index.save_file(path) {
+                            self.error.get_or_insert(TraceError::Io(e));
+                        }
+                    }
+                }
             }
         }
         if let Some(session) = self.session.as_mut() {

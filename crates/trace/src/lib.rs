@@ -48,9 +48,11 @@ pub mod capture;
 pub mod codec;
 pub mod index;
 pub mod ingest;
+pub mod postings;
 
 pub use capture::{
-    capture_to_file, replay_file, replay_reader, replay_window, CaptureError, CaptureSession,
+    capture_to_file, capture_to_lake, lake_stem, replay_file, replay_reader, replay_window,
+    CaptureError, CaptureSession,
 };
 pub use codec::{
     checksum, decode_frame, decode_frame_v1, decode_frame_with, decode_from_slice, encode_frame,
@@ -58,8 +60,11 @@ pub use codec::{
     Predictors, TraceError, TraceReader, TraceWriter, FORMAT_VERSION, FORMAT_VERSION_V1,
     FRAME_HEADER_BYTES, FRAME_HEADER_BYTES_V2, MAGIC, MAX_PAYLOAD_BYTES,
 };
-pub use index::{IndexEntry, TraceIndex, INDEX_MAGIC, INDEX_VERSION};
+pub use index::{IndexEntry, TraceIndex, INDEX_MAGIC, INDEX_VERSION, INDEX_VERSION_V2};
 pub use ingest::{
     batch_pipe, FileSource, IngestConfig, IngestReport, Ingestor, IterSource, LanePoll, LaneStats,
     PassOutcome, PipeSender, PipeSource, SourceStatus, TraceSource,
+};
+pub use postings::{
+    op_class, site, Dim, FramePostings, FrameSet, Posting, PAGE_SHIFT, PC_BUCKET_SHIFT,
 };

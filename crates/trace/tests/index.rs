@@ -4,7 +4,9 @@
 use igm_lba::TraceBatch;
 use igm_lifeguards::LifeguardKind;
 use igm_runtime::{MonitorPool, PoolConfig, SessionConfig};
-use igm_trace::{replay_window, TraceError, TraceIndex, TraceReader, TraceWriter, INDEX_VERSION};
+use igm_trace::{
+    checksum, replay_window, TraceError, TraceIndex, TraceReader, TraceWriter, INDEX_VERSION_V2,
+};
 use igm_workload::Benchmark;
 use std::io::Cursor;
 
@@ -27,7 +29,10 @@ fn encoded() -> (Vec<u8>, TraceIndex) {
 fn writer_index_matches_a_header_scan() {
     let (bytes, written) = encoded();
     let scanned = TraceIndex::scan(&bytes[..]).unwrap();
-    assert_eq!(written, scanned);
+    // The header-only scan rebuilds the directory half exactly; the
+    // writer additionally carries postings (v2 content).
+    assert_eq!(written.entries(), scanned.entries());
+    assert!(written.has_postings() && !scanned.has_postings());
     assert!(written.frames() > 1, "the workload must span several frames");
     assert_eq!(written.total_records(), N);
     // Entries partition the record space contiguously.
@@ -45,6 +50,7 @@ fn sidecar_round_trips_and_rejects_damage() {
     let (_, index) = encoded();
     let mut sidecar = Vec::new();
     index.save(&mut sidecar).unwrap();
+    assert_eq!(u32::from_le_bytes(sidecar[4..8].try_into().unwrap()), INDEX_VERSION_V2);
     assert_eq!(TraceIndex::load(&sidecar[..]).unwrap(), index);
 
     // Bad magic.
@@ -53,16 +59,101 @@ fn sidecar_round_trips_and_rejects_damage() {
     assert!(matches!(TraceIndex::load(&bad[..]), Err(TraceError::Corrupt { .. })));
     // Wrong version.
     let mut bad = sidecar.clone();
-    bad[4..8].copy_from_slice(&(INDEX_VERSION + 1).to_le_bytes());
+    bad[4..8].copy_from_slice(&(INDEX_VERSION_V2 + 1).to_le_bytes());
     assert!(matches!(TraceIndex::load(&bad[..]), Err(TraceError::UnsupportedVersion(_))));
     // Flipped entry byte: checksum catches it.
     let mut bad = sidecar.clone();
     let mid = 16 + (bad.len() - 20) / 2;
     bad[mid] ^= 0xff;
     assert!(matches!(TraceIndex::load(&bad[..]), Err(TraceError::Corrupt { .. })));
-    // Truncation.
-    let bad = &sidecar[..sidecar.len() - 3];
-    assert!(matches!(TraceIndex::load(bad), Err(TraceError::Corrupt { .. })));
+    // Truncation (inside the posting section and at the tail).
+    for cut in [3, sidecar.len() / 3] {
+        let bad = &sidecar[..sidecar.len() - cut];
+        assert!(matches!(TraceIndex::load(bad), Err(TraceError::Corrupt { .. })));
+    }
+}
+
+/// Damage the posting section but *repair the checksum*, so only the
+/// structural validation inside `FramePostings::decode` stands between
+/// the damage and the caller. Structure-level damage (the section's
+/// leading count/dim bytes) must be rejected outright; a value-level
+/// flip deep inside a container body may decode as a structurally
+/// valid posting, but must never silently load as the original index.
+#[test]
+fn v2_posting_section_damage_is_rejected_structurally() {
+    let (_, index) = encoded();
+    let mut sidecar = Vec::new();
+    index.save(&mut sidecar).unwrap();
+    let frames = index.frames();
+    // Body layout: 16-byte header, frames*12 directory, 8-byte posting
+    // length, postings, 4-byte checksum.
+    let postings_at = 16 + frames * 12 + 8;
+    let body_range = 16..sidecar.len() - 4;
+    let repaired = |victim: usize| {
+        let mut bad = sidecar.clone();
+        bad[victim] ^= 0x2a;
+        let sum = checksum(&bad[body_range.clone()]);
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&sum.to_le_bytes());
+        bad
+    };
+    for victim in [postings_at, postings_at + 1] {
+        let bad = repaired(victim);
+        assert!(
+            matches!(TraceIndex::load(&bad[..]), Err(TraceError::Corrupt { .. })),
+            "flipping posting byte at {victim} must not load cleanly"
+        );
+    }
+    let bad = repaired((postings_at + sidecar.len() - 4) / 2);
+    match TraceIndex::load(&bad[..]) {
+        Err(TraceError::Corrupt { .. }) => {}
+        Ok(loaded) => assert_ne!(loaded, index, "damaged sidecar must not load as the original"),
+        Err(e) => panic!("unexpected error kind: {e:?}"),
+    }
+}
+
+/// A directory-only index still writes the v1 format, and v1 sidecars
+/// (whatever produced them) still load — read-compat for every sidecar
+/// written before postings existed.
+#[test]
+fn v1_sidecars_still_load() {
+    let (bytes, written) = encoded();
+    let scanned = TraceIndex::scan(&bytes[..]).unwrap();
+    let mut v1 = Vec::new();
+    scanned.save(&mut v1).unwrap();
+    assert_eq!(u32::from_le_bytes(v1[4..8].try_into().unwrap()), 1, "directory-only saves as v1");
+    let loaded = TraceIndex::load(&v1[..]).unwrap();
+    assert_eq!(loaded, scanned);
+    assert!(!loaded.has_postings());
+    assert_eq!(loaded.entries(), written.entries());
+    // It still drives seeks exactly like the posting-bearing index.
+    assert_eq!(loaded.frame_for_record(N / 2).unwrap(), written.frame_for_record(N / 2).unwrap());
+}
+
+/// The tentpole byte-identity property: an index built inline by the
+/// writer and one rebuilt offline by the decoding scan serialize to the
+/// exact same sidecar bytes, across workloads and chunk sizes.
+#[test]
+fn writer_and_scan_records_sidecars_are_byte_identical() {
+    for bench in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Parser] {
+        for (n, chunk) in [(1_500u64, 512u32), (9_000, 2_048), (4_096, 4_096)] {
+            let mut w = TraceWriter::with_index(Vec::new()).unwrap();
+            let mut chunker = igm_lba::chunks(bench.trace(n), chunk);
+            let mut batch = TraceBatch::new();
+            while chunker.next_into_batch(&mut batch) {
+                w.write_chunk_batch(&batch).unwrap();
+            }
+            let written = w.index().unwrap().clone();
+            let bytes = w.finish().unwrap();
+            let rescanned = TraceIndex::scan_records(&bytes[..]).unwrap();
+            assert_eq!(written, rescanned, "{bench:?} n={n} chunk={chunk}");
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            written.save(&mut a).unwrap();
+            rescanned.save(&mut b).unwrap();
+            assert_eq!(a, b, "sidecar bytes diverge for {bench:?} n={n} chunk={chunk}");
+        }
+    }
 }
 
 #[test]

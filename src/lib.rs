@@ -62,6 +62,13 @@
 //!   `/spans.json`, a Chrome trace-event `/trace` export, per-stage
 //!   `igm_span_stage_nanos` histograms, and violation span-chain
 //!   snapshots in the event ring.
+//! * [`lake`] — the queryable trace lake: global
+//!   `(tenant, trace, seq)` record ids assigned at capture, `IGMX` v2
+//!   sidecars carrying per-frame compressed-bitmap posting lists (pc
+//!   bucket, opcode class, address page, violation site), a
+//!   [`lake::TraceLake`] catalog whose bitmap query planner answers
+//!   forensic filters from sidecars alone, ±k record-neighborhood
+//!   decode and windowed replay, and `/lake/*` stats-server routes.
 //! * [`profiling`] — design-space sweeps (the paper's PIN study).
 //!
 //! ## Quickstart
@@ -107,6 +114,7 @@
 
 pub use igm_core as accel;
 pub use igm_isa as isa;
+pub use igm_lake as lake;
 pub use igm_lba as lba;
 pub use igm_lifeguards as lifeguards;
 pub use igm_net as net;
